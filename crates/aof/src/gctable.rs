@@ -1,0 +1,255 @@
+//! The GC table: per-file occupancy accounting for the lazy GC.
+//!
+//! Figure 2 of the paper: DEL "updates the occupancy ratio of the
+//! corresponding file containing the deleted key and value, which are
+//! maintained in a GC table in the memory". When a file's ratio of live
+//! bytes drops to the configured threshold, the file becomes a candidate
+//! for reclamation — but the engine may defer reclaiming it while reads
+//! are in flight and free space remains (the *lazy* part, which trades
+//! disk space for smooth write throughput — Figures 6 and 7).
+
+use crate::FileId;
+use std::collections::BTreeMap;
+
+/// Occupancy of a single file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Occupancy {
+    /// Bytes of records still reachable (live or referenced by later
+    /// versions).
+    pub live_bytes: u64,
+    /// Total record bytes ever appended to the file.
+    pub total_bytes: u64,
+    /// Whether the file is sealed (full); only sealed files are GC
+    /// candidates — the active file is still growing.
+    pub sealed: bool,
+}
+
+impl Occupancy {
+    /// live / total; a file with no records counts as fully occupied so it
+    /// never looks like a GC candidate by accident.
+    pub fn ratio(&self) -> f64 {
+        if self.total_bytes == 0 {
+            1.0
+        } else {
+            self.live_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
+/// In-memory occupancy accounting for all AOF files.
+#[derive(Debug, Default)]
+pub struct GcTable {
+    files: BTreeMap<FileId, Occupancy>,
+}
+
+impl GcTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `len` bytes appended to `file` (initially live).
+    pub fn on_append(&mut self, file: FileId, len: u64) {
+        let occ = self.files.entry(file).or_default();
+        occ.live_bytes += len;
+        occ.total_bytes += len;
+    }
+
+    /// Registers `len` bytes of `file` becoming dead (deleted or
+    /// superseded with no referent).
+    ///
+    /// # Panics
+    /// Panics if more bytes die than were ever live — that is an
+    /// accounting bug in the engine, not a runtime condition.
+    pub fn on_dead(&mut self, file: FileId, len: u64) {
+        let occ = self
+            .files
+            .get_mut(&file)
+            .unwrap_or_else(|| panic!("GC table has no file {file}"));
+        assert!(
+            occ.live_bytes >= len,
+            "file {file}: {len} bytes died but only {} live",
+            occ.live_bytes
+        );
+        occ.live_bytes -= len;
+    }
+
+    /// Re-registers `len` bytes of `file` as live again. This happens when
+    /// a later deduplicated version starts referencing a record whose
+    /// bytes had already been counted dead (possible when versions are
+    /// ingested out of order).
+    ///
+    /// # Panics
+    /// Panics if reviving would exceed the file's total bytes.
+    pub fn on_revive(&mut self, file: FileId, len: u64) {
+        let occ = self
+            .files
+            .get_mut(&file)
+            .unwrap_or_else(|| panic!("GC table has no file {file}"));
+        occ.live_bytes += len;
+        assert!(
+            occ.live_bytes <= occ.total_bytes,
+            "file {file}: revived past total ({} > {})",
+            occ.live_bytes,
+            occ.total_bytes
+        );
+    }
+
+    /// Marks `file` sealed (no further appends), making it eligible for
+    /// reclamation once its occupancy drops.
+    pub fn seal(&mut self, file: FileId) {
+        self.files.entry(file).or_default().sealed = true;
+    }
+
+    /// Removes a reclaimed file from the table.
+    pub fn remove(&mut self, file: FileId) -> Option<Occupancy> {
+        self.files.remove(&file)
+    }
+
+    /// Occupancy of one file.
+    pub fn occupancy(&self, file: FileId) -> Option<Occupancy> {
+        self.files.get(&file).copied()
+    }
+
+    /// Sealed files whose occupancy ratio is at or below `threshold`,
+    /// lowest ratio first — the engine reclaims the emptiest file for the
+    /// biggest space gain per byte rewritten.
+    pub fn candidates(&self, threshold: f64) -> Vec<FileId> {
+        let mut out: Vec<(f64, FileId)> = self
+            .files
+            .iter()
+            .filter(|(_, occ)| occ.sealed && occ.ratio() <= threshold)
+            .map(|(id, occ)| (occ.ratio(), *id))
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        out.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Sum of live bytes across all files.
+    pub fn total_live_bytes(&self) -> u64 {
+        self.files.values().map(|o| o.live_bytes).sum()
+    }
+
+    /// Sum of appended bytes across all files (live + dead, pre-GC).
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(|o| o.total_bytes).sum()
+    }
+
+    /// Iterates all tracked files with their occupancy, ascending by id.
+    /// Used to snapshot the table into an engine checkpoint.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, Occupancy)> + '_ {
+        self.files.iter().map(|(&id, &occ)| (id, occ))
+    }
+
+    /// Restores one file's occupancy verbatim (checkpoint load).
+    pub fn restore(&mut self, file: FileId, occ: Occupancy) {
+        self.files.insert(file, occ);
+    }
+
+    /// Number of tracked files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_death_move_the_ratio() {
+        let mut t = GcTable::new();
+        t.on_append(1, 100);
+        assert_eq!(t.occupancy(1).unwrap().ratio(), 1.0);
+        t.on_dead(1, 75);
+        assert!((t.occupancy(1).unwrap().ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(t.total_live_bytes(), 25);
+        assert_eq!(t.total_bytes(), 100);
+    }
+
+    #[test]
+    fn empty_file_is_fully_occupied() {
+        assert_eq!(Occupancy::default().ratio(), 1.0);
+    }
+
+    #[test]
+    fn candidates_require_seal_and_threshold() {
+        let mut t = GcTable::new();
+        t.on_append(1, 100);
+        t.on_dead(1, 80); // ratio 0.2, but unsealed
+        t.on_append(2, 100);
+        t.on_dead(2, 80); // ratio 0.2, sealed
+        t.seal(2);
+        t.on_append(3, 100);
+        t.on_dead(3, 10); // ratio 0.9, sealed
+        t.seal(3);
+        assert_eq!(t.candidates(0.25), vec![2]);
+        // Lowering the bar further excludes file 2 as well.
+        assert!(t.candidates(0.1).is_empty());
+    }
+
+    #[test]
+    fn candidates_sorted_emptiest_first() {
+        let mut t = GcTable::new();
+        for (id, dead) in [(1u64, 60u64), (2, 90), (3, 75)] {
+            t.on_append(id, 100);
+            t.on_dead(id, dead);
+            t.seal(id);
+        }
+        assert_eq!(t.candidates(0.5), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn remove_drops_accounting() {
+        let mut t = GcTable::new();
+        t.on_append(5, 40);
+        t.seal(5);
+        assert_eq!(
+            t.remove(5),
+            Some(Occupancy {
+                live_bytes: 40,
+                total_bytes: 40,
+                sealed: true
+            })
+        );
+        assert!(t.is_empty());
+        assert_eq!(t.remove(5), None);
+    }
+
+    #[test]
+    fn revive_restores_live_bytes() {
+        let mut t = GcTable::new();
+        t.on_append(1, 100);
+        t.on_dead(1, 60);
+        t.on_revive(1, 60);
+        assert_eq!(t.occupancy(1).unwrap().ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "revived past total")]
+    fn over_revive_panics() {
+        let mut t = GcTable::new();
+        t.on_append(1, 10);
+        t.on_revive(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes died but only")]
+    fn over_death_panics() {
+        let mut t = GcTable::new();
+        t.on_append(1, 10);
+        t.on_dead(1, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "GC table has no file")]
+    fn death_of_unknown_file_panics() {
+        let mut t = GcTable::new();
+        t.on_dead(9, 1);
+    }
+}

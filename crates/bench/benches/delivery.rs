@@ -1,0 +1,94 @@
+//! Delivery-path micro-benchmarks: deduplication throughput, slice
+//! building with checksums, and the WAN simulator's fair-share solver.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use indexgen::{CorpusConfig, CrawlSimulator};
+use netsim::{NetSim, Topology};
+use simclock::{SimClock, SimTime};
+
+fn bench_dedup(c: &mut Criterion) {
+    let cfg = CorpusConfig {
+        num_docs: 1000,
+        summary_mean_bytes: 2048,
+        ..CorpusConfig::default()
+    };
+    let mut crawler = CrawlSimulator::new(cfg);
+    let v1 = crawler.advance_round(1.0);
+    let v2 = crawler.advance_round(0.3);
+    let bytes: u64 = v2.total_bytes();
+    let mut group = c.benchmark_group("bifrost-dedup");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("process-1k-docs", |b| {
+        b.iter(|| {
+            let mut d = bifrost::Deduplicator::new();
+            d.process(&v1);
+            black_box(d.process(&v2))
+        })
+    });
+    group.finish();
+}
+
+fn bench_slices(c: &mut Criterion) {
+    let cfg = CorpusConfig {
+        num_docs: 1000,
+        summary_mean_bytes: 2048,
+        ..CorpusConfig::default()
+    };
+    let mut crawler = CrawlSimulator::new(cfg);
+    let v1 = crawler.advance_round(1.0);
+    let mut d = bifrost::Deduplicator::new();
+    let (entries, stats) = d.process(&v1);
+    let mut group = c.benchmark_group("bifrost-slices");
+    group.throughput(Throughput::Bytes(stats.bytes_after));
+    group.bench_function("build-and-verify", |b| {
+        b.iter(|| {
+            let mut builder = bifrost::SliceBuilder::new(256 * 1024);
+            for e in &entries {
+                builder.push(e.clone());
+            }
+            let slices = builder.finish();
+            for s in &slices {
+                s.verify().unwrap();
+            }
+            black_box(slices.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.bench_function("200-flows-max-min", |b| {
+        b.iter(|| {
+            let mut topo = Topology::new();
+            let links: Vec<_> = (0..24).map(|_| topo.add_link(1e6)).collect();
+            let mut sim = NetSim::new(topo, SimClock::new());
+            for i in 0..200u64 {
+                let path = vec![
+                    links[(i % 8) as usize],
+                    links[8 + (i % 16) as usize],
+                ];
+                sim.schedule_flow(SimTime::from_millis(i), path, 100_000 + i * 1000);
+            }
+            sim.run_until_idle();
+            black_box(sim.clock().now())
+        })
+    });
+    group.finish();
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indexgen");
+    group.bench_function("round-1k-docs", |b| {
+        let mut crawler = CrawlSimulator::new(CorpusConfig {
+            num_docs: 1000,
+            summary_mean_bytes: 2048,
+            ..CorpusConfig::default()
+        });
+        b.iter(|| black_box(crawler.advance_round(0.3).total_pairs()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dedup, bench_slices, bench_netsim, bench_crawl);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Engine operation micro-benchmarks: PUT/GET cost on QinDB and the LSM
+//! baseline (host CPU time of the implementation, not simulated device
+//! time — the simulated-latency comparisons live in the `figures` binary).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lsmtree::{LsmConfig, LsmTree};
+use qindb::{QinDb, QinDbConfig};
+use simclock::SimClock;
+use ssdsim::{Device, DeviceConfig};
+use wisckey::{WiscKey, WiscKeyConfig};
+
+const VALUE: usize = 1024;
+
+fn qindb() -> QinDb {
+    let dev = Device::new(DeviceConfig::sized(64 * 1024 * 1024), SimClock::new());
+    QinDb::new(dev, QinDbConfig::small_files(2 * 1024 * 1024))
+}
+
+fn lsm() -> LsmTree {
+    let dev = Device::new(DeviceConfig::sized(64 * 1024 * 1024), SimClock::new());
+    LsmTree::new(
+        dev,
+        LsmConfig {
+            write_buffer_bytes: 512 * 1024,
+            level_base_bytes: 2 * 1024 * 1024,
+            table_target_bytes: 256 * 1024,
+            ..LsmConfig::default()
+        },
+    )
+}
+
+fn wkey() -> WiscKey {
+    let dev = Device::new(DeviceConfig::sized(64 * 1024 * 1024), SimClock::new());
+    WiscKey::new(dev, WiscKeyConfig::default())
+}
+
+/// Steady-state keyspace: puts overwrite a rotating window so the
+/// engines' garbage collectors keep the device bounded no matter how
+/// many iterations Criterion drives — the measured cost includes the
+/// amortized GC work, as production would see.
+const KEYSPACE: u64 = 4096;
+
+fn bench_put(c: &mut Criterion) {
+    let value = vec![7u8; VALUE];
+    let mut group = c.benchmark_group("engine-put-1k");
+    group.throughput(Throughput::Bytes(VALUE as u64));
+    group.bench_function("qindb", |b| {
+        let mut db = qindb();
+        let mut i = 0u64;
+        b.iter(|| {
+            db.put(format!("key-{:012}", i % KEYSPACE).as_bytes(), 1, Some(&value))
+                .unwrap();
+            i += 1;
+        })
+    });
+    group.bench_function("lsm", |b| {
+        let mut db = lsm();
+        let mut i = 0u64;
+        b.iter(|| {
+            db.put(format!("key-{:012}", i % KEYSPACE).as_bytes(), &value).unwrap();
+            i += 1;
+        })
+    });
+    group.bench_function("wisckey", |b| {
+        let mut db = wkey();
+        let mut i = 0u64;
+        b.iter(|| {
+            db.put(format!("key-{:012}", i % KEYSPACE).as_bytes(), &value).unwrap();
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let value = vec![7u8; VALUE];
+    let n = 5_000u64;
+    let mut group = c.benchmark_group("engine-get-1k");
+    group.throughput(Throughput::Bytes(VALUE as u64));
+
+    let mut qdb = qindb();
+    for i in 0..n {
+        qdb.put(format!("key-{i:012}").as_bytes(), 1, Some(&value)).unwrap();
+    }
+    group.bench_function("qindb", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key-{:012}", i % n);
+            i += 1;
+            black_box(qdb.get(key.as_bytes(), 1).unwrap())
+        })
+    });
+
+    let mut ldb = lsm();
+    for i in 0..n {
+        ldb.put(format!("key-{i:012}").as_bytes(), &value).unwrap();
+    }
+    group.bench_function("lsm", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key-{:012}", i % n);
+            i += 1;
+            black_box(ldb.get(key.as_bytes()).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_traceback(c: &mut Criterion) {
+    // GET through a deep dedup chain: version 1 full, 2..=8 deduplicated.
+    let value = vec![7u8; VALUE];
+    let n = 2_000u64;
+    let mut db = qindb();
+    for i in 0..n {
+        db.put(format!("key-{i:012}").as_bytes(), 1, Some(&value)).unwrap();
+        for v in 2..=8u64 {
+            db.put(format!("key-{i:012}").as_bytes(), v, None).unwrap();
+        }
+    }
+    let mut group = c.benchmark_group("qindb-get-traceback");
+    group.bench_function("depth-7", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("key-{:012}", i % n);
+            i += 1;
+            black_box(db.get(key.as_bytes(), 8).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get, bench_traceback);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Micro-benchmarks of the core data structures (real wall time, via
+//! Criterion): the skip list against `BTreeMap`, the record codec, the
+//! bloom filter, and content signatures.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memtable::SkipList;
+use qindb::Record;
+use std::collections::BTreeMap;
+
+fn keys(n: u64) -> Vec<u64> {
+    // Scrambled insertion order.
+    (0..n).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()
+}
+
+fn bench_skiplist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorted-map-insert");
+    for n in [1_000u64, 10_000] {
+        let data = keys(n);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("skiplist", n), &data, |b, data| {
+            b.iter(|| {
+                let mut sl = SkipList::new();
+                for &k in data {
+                    sl.insert(k, k);
+                }
+                black_box(sl.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("btreemap", n), &data, |b, data| {
+            b.iter(|| {
+                let mut m = BTreeMap::new();
+                for &k in data {
+                    m.insert(k, k);
+                }
+                black_box(m.len())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sorted-map-get");
+    let n = 10_000u64;
+    let data = keys(n);
+    let mut sl = SkipList::new();
+    let mut bt = BTreeMap::new();
+    for &k in &data {
+        sl.insert(k, k);
+        bt.insert(k, k);
+    }
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("skiplist", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &k in &data {
+                if sl.get(&k).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("btreemap", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &k in &data {
+                if bt.contains_key(&k) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_record_codec(c: &mut Criterion) {
+    let record = Record::Put {
+        seq: 42,
+        key: Bytes::from_static(b"url:0123456789abcdef"),
+        version: 7,
+        value: Some(Bytes::from(vec![0xA5u8; 2048])),
+    };
+    let encoded = record.encode();
+    let mut group = c.benchmark_group("record-codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode-2k", |b| b.iter(|| black_box(record.encode())));
+    group.bench_function("decode-2k", |b| {
+        b.iter(|| black_box(Record::decode(&encoded).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let keys: Vec<Vec<u8>> = (0..10_000u32).map(|i| i.to_be_bytes().to_vec()).collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let mut group = c.benchmark_group("bloom");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("build-10k", |b| {
+        b.iter(|| black_box(lsmtree::BloomFilter::build(&refs, 10)))
+    });
+    let filter = lsmtree::BloomFilter::build(&refs, 10);
+    group.bench_function("probe-10k", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for k in &refs {
+                if filter.may_contain(k) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let value = vec![0x5Au8; 20 * 1024];
+    let mut group = c.benchmark_group("signature");
+    group.throughput(Throughput::Bytes(value.len() as u64));
+    group.bench_function("sign-20k", |b| b.iter(|| black_box(bifrost::sign(&value))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_skiplist,
+    bench_record_codec,
+    bench_bloom,
+    bench_signature
+);
+criterion_main!(benches);

@@ -1,0 +1,325 @@
+//! Figure 8: read latency under two scenarios.
+//!
+//! The paper measures point-read latency on both engines with the update
+//! stream off (8a) and on (8b), reporting average, 99th, and 99.9th
+//! percentiles. QinDB's tail advantage comes from its single flash access
+//! per read (the skip list resolves the location in memory), where
+//! LevelDB may probe several tables down the levels.
+
+use indexgen::{CorpusConfig, CrawlSimulator, IndexVersion};
+use lsmtree::{LsmConfig, LsmTree};
+use qindb::{QinDb, QinDbConfig};
+use rand::rngs::StdRng;
+use wisckey::{WiscKey, WiscKeyConfig};
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use simclock::{percentile, SimClock, SimTime};
+use ssdsim::{Device, DeviceConfig};
+
+/// Read-latency experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Config {
+    /// Keys in the store.
+    pub keys: usize,
+    /// Mean value bytes.
+    pub value_bytes: usize,
+    /// Versions pre-loaded before measuring.
+    pub preload_versions: u64,
+    /// Point reads measured.
+    pub reads: usize,
+    /// Whether an insert stream runs concurrently (Figure 8b).
+    pub with_updates: bool,
+    /// Read inter-arrival time in µs. Reads arrive on a fixed schedule and
+    /// queue behind whatever the device is busy with — this is how the
+    /// baseline's compaction pauses surface in its tail latency.
+    pub arrival_us: u64,
+    /// Update-stream puts issued per read when `with_updates` is on
+    /// (expressed as one put every N reads).
+    pub reads_per_put: usize,
+    /// Device size.
+    pub device_bytes: u64,
+    /// RNG seed for the read key sequence.
+    pub seed: u64,
+}
+
+impl Fig8Config {
+    /// The read-only scenario (Figure 8a).
+    pub fn read_only() -> Self {
+        Fig8Config {
+            keys: 2000,
+            value_bytes: 2048,
+            preload_versions: 3,
+            reads: 4000,
+            with_updates: false,
+            device_bytes: 96 * 1024 * 1024,
+            seed: 0x000F_168A,
+            arrival_us: 700,
+            reads_per_put: 4,
+        }
+    }
+
+    /// The mixed scenario (Figure 8b).
+    pub fn with_updates() -> Self {
+        Fig8Config {
+            with_updates: true,
+            seed: 0x000F_168B,
+            ..Self::read_only()
+        }
+    }
+
+    /// Scaled down for tests.
+    pub fn quick(with_updates: bool) -> Self {
+        Fig8Config {
+            keys: 800,
+            value_bytes: 1024,
+            preload_versions: 3,
+            reads: 1500,
+            with_updates,
+            device_bytes: 24 * 1024 * 1024,
+            seed: 0x000F_1680,
+            arrival_us: 700,
+            reads_per_put: 4,
+        }
+    }
+}
+
+/// Latency percentiles for one engine.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyReport {
+    /// Engine label.
+    pub engine: String,
+    /// Mean latency in µs.
+    pub avg_us: f64,
+    /// 99th percentile in µs.
+    pub p99_us: u64,
+    /// 99.9th percentile in µs.
+    pub p999_us: u64,
+    /// Reads measured.
+    pub reads: usize,
+}
+
+fn report(engine: &str, lats: &[SimTime]) -> LatencyReport {
+    let avg =
+        lats.iter().map(|t| t.as_micros() as f64).sum::<f64>() / lats.len().max(1) as f64;
+    LatencyReport {
+        engine: engine.to_string(),
+        avg_us: avg,
+        p99_us: percentile(lats, 0.99).map_or(0, SimTime::as_micros),
+        p999_us: percentile(lats, 0.999).map_or(0, SimTime::as_micros),
+        reads: lats.len(),
+    }
+}
+
+fn corpus(cfg: &Fig8Config) -> CrawlSimulator {
+    CrawlSimulator::new(CorpusConfig {
+        num_docs: cfg.keys,
+        summary_mean_bytes: cfg.value_bytes,
+        ..CorpusConfig::default()
+    })
+}
+
+/// Runs the scenario on QinDB.
+pub fn run_qindb(cfg: &Fig8Config) -> LatencyReport {
+    let clock = SimClock::new();
+    let dev = Device::new(DeviceConfig::sized(cfg.device_bytes), clock.clone());
+    let mut db = QinDb::new(
+        dev,
+        QinDbConfig {
+            aof: aof::AofConfig {
+                file_size: (cfg.device_bytes / 24) as usize,
+            },
+            ..QinDbConfig::default()
+        },
+    );
+    let mut crawler = corpus(cfg);
+    let mut versions: Vec<IndexVersion> = Vec::new();
+    for v in 1..=cfg.preload_versions {
+        let index = crawler.advance_round(1.0);
+        for pair in &index.summary {
+            db.put(&pair.key, v, Some(&pair.value)).expect("preload");
+        }
+        versions.push(index);
+    }
+    db.flush().expect("flush preload"); // reads must hit flash, not the tail buffer
+    // The concurrent update stream, interleaved one put per read.
+    let update_stream: Vec<_> = if cfg.with_updates {
+        crawler.advance_round(1.0).summary
+    } else {
+        Vec::new()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut lats = Vec::with_capacity(cfg.reads);
+    let clock2 = db.device().clock().clone();
+    let t_base = clock2.now();
+    for i in 0..cfg.reads {
+        if cfg.with_updates && !update_stream.is_empty() && i % cfg.reads_per_put == 0 {
+            let pair = &update_stream[(i / cfg.reads_per_put) % update_stream.len()];
+            db.put(&pair.key, cfg.preload_versions + 1, Some(&pair.value))
+                .expect("update stream");
+        }
+        let v = rng.gen_range(1..=cfg.preload_versions);
+        let key = &versions[v as usize - 1].summary[rng.gen_range(0..cfg.keys)].key;
+        // Reads arrive on a fixed schedule; a read issued while the
+        // device is still busy (a compaction, a GC pass) queues.
+        let arrival = t_base + SimTime::from_micros(cfg.arrival_us) * i as u64;
+        clock2.advance_to(arrival);
+        let got = db.get(key, v).expect("read");
+        assert!(got.is_some(), "preloaded key must resolve");
+        lats.push(clock2.now().saturating_sub(arrival));
+    }
+    report("qindb", &lats)
+}
+
+/// Runs the scenario on the LevelDB-style baseline.
+pub fn run_leveldb(cfg: &Fig8Config) -> LatencyReport {
+    let clock = SimClock::new();
+    let dev = Device::new(DeviceConfig::sized(cfg.device_bytes), clock.clone());
+    let mut db = LsmTree::new(
+        dev,
+        LsmConfig {
+            write_buffer_bytes: (cfg.device_bytes / 96) as usize,
+            level_base_bytes: cfg.device_bytes / 24,
+            level_multiplier: 4,
+            table_target_bytes: (cfg.device_bytes / 192) as usize,
+            // A scaled-down table cache: with ~190 tables on the device,
+            // cold probes pay the index-load cost, like LevelDB's
+            // max_open_files pressure in production.
+            max_open_tables: 24,
+            ..LsmConfig::default()
+        },
+    );
+    let composite = |key: &[u8], v: u64| {
+        let mut k = key.to_vec();
+        k.extend_from_slice(&v.to_be_bytes());
+        k
+    };
+    let mut crawler = corpus(cfg);
+    let mut versions: Vec<IndexVersion> = Vec::new();
+    for v in 1..=cfg.preload_versions {
+        let index = crawler.advance_round(1.0);
+        for pair in &index.summary {
+            db.put(&composite(&pair.key, v), &pair.value).expect("preload");
+        }
+        versions.push(index);
+    }
+    db.flush_memtable().expect("flush preload");
+    db.maybe_compact().expect("compact preload");
+    let update_stream: Vec<_> = if cfg.with_updates {
+        crawler.advance_round(1.0).summary
+    } else {
+        Vec::new()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut lats = Vec::with_capacity(cfg.reads);
+    let clock2 = db.device().clock().clone();
+    let t_base = clock2.now();
+    for i in 0..cfg.reads {
+        if cfg.with_updates && !update_stream.is_empty() && i % cfg.reads_per_put == 0 {
+            let pair = &update_stream[(i / cfg.reads_per_put) % update_stream.len()];
+            db.put(&composite(&pair.key, cfg.preload_versions + 1), &pair.value)
+                .expect("update stream");
+        }
+        let v = rng.gen_range(1..=cfg.preload_versions);
+        let key = &versions[v as usize - 1].summary[rng.gen_range(0..cfg.keys)].key;
+        let arrival = t_base + SimTime::from_micros(cfg.arrival_us) * i as u64;
+        clock2.advance_to(arrival);
+        let got = db.get(&composite(key, v)).expect("read");
+        assert!(got.is_some(), "preloaded key must resolve");
+        lats.push(clock2.now().saturating_sub(arrival));
+    }
+    report("leveldb-like", &lats)
+}
+
+/// Runs the scenario on the WiscKey-style engine: every read costs a
+/// pointer-LSM probe plus a value-log read.
+pub fn run_wisckey(cfg: &Fig8Config) -> LatencyReport {
+    let clock = SimClock::new();
+    let dev = Device::new(DeviceConfig::sized(cfg.device_bytes), clock.clone());
+    let mut db = WiscKey::new(
+        dev,
+        WiscKeyConfig {
+            lsm: LsmConfig {
+                write_buffer_bytes: (cfg.device_bytes / 384) as usize,
+                level_base_bytes: cfg.device_bytes / 96,
+                level_multiplier: 4,
+                table_target_bytes: (cfg.device_bytes / 768) as usize,
+                max_open_tables: 24,
+                ..LsmConfig::default()
+            },
+            vlog: wisckey::VlogConfig { segment_pages: 256 },
+            value_threshold: 256,
+            max_segments: (cfg.device_bytes * 6 / 10 / (256 * 4096)) as usize,
+            lsm_fraction: 0.25,
+        },
+    );
+    let composite = |key: &[u8], v: u64| {
+        let mut k = key.to_vec();
+        k.extend_from_slice(&v.to_be_bytes());
+        k
+    };
+    let mut crawler = corpus(cfg);
+    let mut versions: Vec<IndexVersion> = Vec::new();
+    for v in 1..=cfg.preload_versions {
+        let index = crawler.advance_round(1.0);
+        for pair in &index.summary {
+            db.put(&composite(&pair.key, v), &pair.value).expect("preload");
+        }
+        versions.push(index);
+    }
+    db.flush().expect("flush preload");
+    let update_stream: Vec<_> = if cfg.with_updates {
+        crawler.advance_round(1.0).summary
+    } else {
+        Vec::new()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut lats = Vec::with_capacity(cfg.reads);
+    let clock2 = db.device().clock().clone();
+    let t_base = clock2.now();
+    for i in 0..cfg.reads {
+        if cfg.with_updates && !update_stream.is_empty() && i % cfg.reads_per_put == 0 {
+            let pair = &update_stream[(i / cfg.reads_per_put) % update_stream.len()];
+            db.put(&composite(&pair.key, cfg.preload_versions + 1), &pair.value)
+                .expect("update stream");
+        }
+        let v = rng.gen_range(1..=cfg.preload_versions);
+        let key = &versions[v as usize - 1].summary[rng.gen_range(0..cfg.keys)].key;
+        let arrival = t_base + SimTime::from_micros(cfg.arrival_us) * i as u64;
+        clock2.advance_to(arrival);
+        let got = db.get(&composite(key, v)).expect("read");
+        assert!(got.is_some(), "preloaded key must resolve");
+        lats.push(clock2.now().saturating_sub(arrival));
+    }
+    report("wisckey", &lats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qindb_has_tighter_tail_read_only() {
+        let cfg = Fig8Config::quick(false);
+        let q = run_qindb(&cfg);
+        let l = run_leveldb(&cfg);
+        assert!(
+            q.p999_us <= l.p999_us,
+            "QinDB p99.9 should not exceed the baseline: q={} l={}",
+            q.p999_us,
+            l.p999_us
+        );
+        assert!(q.avg_us > 0.0 && l.avg_us > 0.0);
+    }
+
+    #[test]
+    fn update_stream_inflates_baseline_tail_more() {
+        let quiet = run_leveldb(&Fig8Config::quick(false));
+        let busy = run_leveldb(&Fig8Config::quick(true));
+        assert!(
+            busy.p999_us >= quiet.p999_us,
+            "updates should not improve the baseline tail: quiet={} busy={}",
+            quiet.p999_us,
+            busy.p999_us
+        );
+    }
+}

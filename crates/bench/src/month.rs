@@ -1,0 +1,539 @@
+//! Figures 9 & 10: a month of production updates.
+//!
+//! The paper analyzes one month of system logs (10 versions): Figure 9
+//! correlates each day's deduplication ratio with its update time;
+//! Figure 10a compares updating throughput with and without DirectLoad;
+//! Figure 10b reports the fraction of slices missing the one-hour arrival
+//! deadline against the 0.6 % SLO.
+//!
+//! We regenerate the month by driving two complete deployments with an
+//! identical crawl sequence whose per-day change fraction follows a noisy
+//! diurnal pattern:
+//!
+//! * **DirectLoad** — dedup on, QinDB/Mint storage;
+//! * **legacy** — dedup off (full values on the wire), LSM storage.
+
+use bifrost::{Bifrost, BifrostConfig, DataCenterId, DeliveryMode, TrunkCapacities, UpdateEntry};
+use bytes::{BufMut, Bytes, BytesMut};
+use directload::{DirectLoad, DirectLoadConfig, LegacyCluster, LegacyClusterConfig};
+use indexgen::{CorpusConfig, CrawlSimulator, IndexKind};
+use mint::{MintConfig, WriteOp};
+use qindb::QinDbConfig;
+use serde::Serialize;
+use simclock::{SimClock, SimTime};
+use ssdsim::DeviceConfig;
+
+/// Month-simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MonthConfig {
+    /// Days simulated (one version per day; the paper's month carried 10
+    /// versions, ours ships daily for denser series).
+    pub days: u32,
+    /// Documents in the corpus.
+    pub num_docs: usize,
+    /// Mean summary bytes.
+    pub value_bytes: usize,
+    /// Slice target size.
+    pub slice_bytes: u64,
+    /// Arrival deadline (the paper's is one hour).
+    pub deadline: SimTime,
+    /// Fault injection rate for slice corruption.
+    pub corruption_rate: f64,
+    /// Minutes a full (0 % dedup) version should take on the simulated
+    /// WAN; trunk capacities are derived from this.
+    pub full_version_minutes: f64,
+    /// Depth of the diurnal background-traffic swing: available capacity
+    /// oscillates between `1 - depth` and 1.0 of nominal across each day.
+    /// The paper's fluctuations "from other factors" come from here.
+    pub background_depth: f64,
+    /// Seed for the change-fraction sequence.
+    pub seed: u64,
+}
+
+impl Default for MonthConfig {
+    fn default() -> Self {
+        MonthConfig {
+            days: 30,
+            num_docs: 400,
+            value_bytes: 2048,
+            slice_bytes: 64 * 1024,
+            deadline: SimTime::from_hours(1),
+            corruption_rate: 0.004,
+            full_version_minutes: 55.0,
+            background_depth: 0.25,
+            seed: 0x30_DA_75,
+        }
+    }
+}
+
+impl MonthConfig {
+    /// Scaled down for tests.
+    pub fn quick() -> Self {
+        MonthConfig {
+            days: 8,
+            num_docs: 150,
+            value_bytes: 2048,
+            slice_bytes: 16 * 1024,
+            full_version_minutes: 60.0,
+            ..Default::default()
+        }
+    }
+
+    fn corpus(&self) -> CorpusConfig {
+        CorpusConfig {
+            num_docs: self.num_docs,
+            summary_mean_bytes: self.value_bytes,
+            ..CorpusConfig::default()
+        }
+    }
+
+    /// Derives trunk capacities so a full version takes about
+    /// `full_version_minutes` end to end.
+    fn trunks(&self) -> TrunkCapacities {
+        // Estimate the full version's wire bytes with a scratch crawler
+        // (deterministic: same seed as the real runs).
+        let mut scratch = CrawlSimulator::new(self.corpus());
+        let v1 = scratch.advance_round(1.0);
+        let summary_bytes: u64 = v1.summary.iter().map(|p| p.payload_bytes()).sum();
+        let other_bytes: u64 = v1.total_bytes() - summary_bytes;
+        // Each region's uplink carries the inverted stream twice (two DCs)
+        // plus the summary stream once, in its 60/40 virtual splits. Take
+        // the inverted side as the bottleneck.
+        let secs = self.full_version_minutes * 60.0;
+        let uplink = (2.0 * other_bytes as f64 / 0.6) / secs;
+        TrunkCapacities {
+            uplink,
+            backbone: uplink,
+            downlink: uplink * 1.5,
+            summary_fraction: 0.4,
+        }
+    }
+}
+
+/// One day's measurements across both systems.
+#[derive(Debug, Clone, Serialize)]
+pub struct DaySample {
+    /// Day index (1-based).
+    pub day: u32,
+    /// Fraction of pages changed in that day's crawl.
+    pub change_fraction: f64,
+    /// Byte-level dedup ratio Bifrost achieved.
+    pub dedup_ratio: f64,
+    /// DirectLoad's update time in minutes.
+    pub update_min: f64,
+    /// Legacy system's update time in minutes.
+    pub legacy_update_min: f64,
+    /// DirectLoad updating throughput (10³ keys/s, the paper's unit).
+    pub kps: f64,
+    /// Legacy updating throughput (10³ keys/s).
+    pub legacy_kps: f64,
+    /// DirectLoad's slice miss ratio for the day.
+    pub miss_ratio: f64,
+}
+
+/// The month's aggregate results.
+#[derive(Debug, Clone, Serialize)]
+pub struct MonthReport {
+    /// Per-day series.
+    pub days: Vec<DaySample>,
+    /// Bytes removed by dedup over the month (the headline 63 %).
+    pub bandwidth_saved: f64,
+    /// Mean DirectLoad / legacy throughput ratio (Figure 10a's up-to-5×).
+    pub mean_throughput_ratio: f64,
+    /// Peak throughput ratio.
+    pub peak_throughput_ratio: f64,
+    /// Month-wide miss ratio (Figure 10b's 0.24 %).
+    pub miss_ratio: f64,
+    /// Sum of update times: DirectLoad (the "3 days" side of the cycle).
+    pub cycle_directload_min: f64,
+    /// Sum of update times: legacy (the "15 days" side).
+    pub cycle_legacy_min: f64,
+}
+
+fn prefixed(kind: IndexKind, key: &[u8]) -> Bytes {
+    let tag = match kind {
+        IndexKind::Forward => b'F',
+        IndexKind::Summary => b'S',
+        IndexKind::Inverted => b'I',
+    };
+    let mut out = BytesMut::with_capacity(key.len() + 2);
+    out.put_u8(tag);
+    out.put_u8(b':');
+    out.put_slice(key);
+    out.freeze()
+}
+
+/// The pre-DirectLoad deployment: full transmission + LSM clusters.
+struct LegacyPipeline {
+    crawler: CrawlSimulator,
+    bifrost: Bifrost,
+    clock: SimClock,
+    dcs: Vec<(DataCenterId, LegacyCluster)>,
+}
+
+impl LegacyPipeline {
+    fn new(cfg: &MonthConfig) -> Self {
+        let clock = SimClock::new();
+        let bifrost = Bifrost::new(
+            BifrostConfig {
+                slice_bytes: cfg.slice_bytes,
+                trunks: cfg.trunks(),
+                deadline: cfg.deadline,
+                corruption_rate: cfg.corruption_rate,
+                dedup_enabled: false,
+                ..Default::default()
+            },
+            clock.clone(),
+        );
+        let dcs = DataCenterId::all()
+            .into_iter()
+            .map(|dc| {
+                (
+                    dc,
+                    LegacyCluster::new(LegacyClusterConfig {
+                        device: DeviceConfig::sized(96 * 1024 * 1024),
+                        ..LegacyClusterConfig::tiny()
+                    }),
+                )
+            })
+            .collect();
+        LegacyPipeline {
+            crawler: CrawlSimulator::new(cfg.corpus()),
+            bifrost,
+            clock,
+            dcs,
+        }
+    }
+
+    /// Runs one version; returns (update minutes, keys, kps).
+    fn run_version(&mut self, change_fraction: f64) -> (f64, u64, f64) {
+        let start = self.clock.now();
+        let index = self.crawler.advance_round(change_fraction);
+        let (delivery, entries) = self.bifrost.deliver_version(&index, start);
+        let to_op = |e: &UpdateEntry| WriteOp {
+            key: prefixed(e.kind, &e.key),
+            version: e.version,
+            value: e.value.clone(),
+        };
+        let summary_ops: Vec<WriteOp> = entries
+            .iter()
+            .filter(|e| e.kind == IndexKind::Summary)
+            .map(to_op)
+            .collect();
+        let other_ops: Vec<WriteOp> = entries
+            .iter()
+            .filter(|e| e.kind != IndexKind::Summary)
+            .map(to_op)
+            .collect();
+        let hosts = DataCenterId::summary_hosts();
+        let mut storage = SimTime::ZERO;
+        for (dc, cluster) in &mut self.dcs {
+            let mut wall = SimTime::ZERO;
+            if hosts.contains(dc) {
+                wall += cluster.apply(&summary_ops).expect("legacy apply");
+            }
+            wall += cluster.apply(&other_ops).expect("legacy apply");
+            storage = storage.max(wall);
+        }
+        let update = delivery.update_time + storage;
+        let keys = entries.len() as u64;
+        let secs = update.as_secs_f64().max(f64::MIN_POSITIVE);
+        (update.as_mins_f64(), keys, keys as f64 / secs / 1e3)
+    }
+}
+
+/// The availability pass: the paper's miss ratio is measured on the
+/// steady hourly slice stream, where the one-hour deadline has ample
+/// headroom over typical transfer times and misses come from pathologies
+/// (corruption caught at a relay checksum, then the repair process). We
+/// replay the same crawl sequence through a delivery-only deployment with
+/// production-like pacing and collect per-day miss ratios.
+fn availability_pass(cfg: &MonthConfig, changes: &[f64]) -> (Vec<f64>, f64) {
+    let clock = SimClock::new();
+    let trunks = cfg.trunks();
+    let mut bifrost = Bifrost::new(
+        BifrostConfig {
+            slice_bytes: cfg.slice_bytes,
+            trunks: TrunkCapacities {
+                // Production provisions the steady stream with headroom;
+                // transfers are minutes against a one-hour deadline.
+                uplink: trunks.uplink * 3.0,
+                backbone: trunks.backbone * 3.0,
+                downlink: trunks.downlink * 3.0,
+                summary_fraction: trunks.summary_fraction,
+            },
+            deadline: cfg.deadline,
+            corruption_rate: cfg.corruption_rate,
+            generation_window: SimTime::from_mins(60),
+            ..Default::default()
+        },
+        clock.clone(),
+    );
+    let mut crawler = CrawlSimulator::new(cfg.corpus());
+    let mut per_day = Vec::with_capacity(changes.len());
+    let mut missed = 0usize;
+    let mut flows = 0usize;
+    for (i, &change) in changes.iter().enumerate() {
+        let start = clock.now();
+        let index = crawler.advance_round(change);
+        let (report, _) = bifrost.deliver_version(&index, start);
+        per_day.push(report.miss_ratio);
+        if i > 0 {
+            missed += report.missed;
+            flows += report.flows;
+        }
+    }
+    let month = if flows == 0 {
+        0.0
+    } else {
+        missed as f64 / flows as f64
+    };
+    (per_day, month)
+}
+
+/// Relay-vs-P2P comparison (§6.3): the same month of versions delivered
+/// through the managed relay fan-out and through regional peer fetches.
+#[derive(Debug, Clone, Serialize)]
+pub struct P2pReport {
+    /// Uplink bytes out of data center #0, relay mode (MB).
+    pub relay_uplink_mb: f64,
+    /// Uplink bytes out of data center #0, P2P mode (MB).
+    pub p2p_uplink_mb: f64,
+    /// Fraction of uplink bandwidth P2P saved.
+    pub bandwidth_saved: f64,
+    /// Slice miss ratio, relay mode.
+    pub relay_miss: f64,
+    /// Slice miss ratio, P2P mode.
+    pub p2p_miss: f64,
+}
+
+/// Replays the month's crawl sequence through both delivery modes on an
+/// inverted-heavy corpus (the stream P2P fan-out actually affects).
+pub fn p2p_comparison(cfg: &MonthConfig) -> P2pReport {
+    let corpus = CorpusConfig {
+        num_docs: cfg.num_docs,
+        terms_per_doc: 24,
+        vocab_size: 256,
+        summary_mean_bytes: cfg.value_bytes / 4,
+        ..CorpusConfig::default()
+    };
+    let trunks = cfg.trunks();
+    let run = |mode: DeliveryMode| {
+        let clock = SimClock::new();
+        let mut bifrost = Bifrost::new(
+            BifrostConfig {
+                slice_bytes: cfg.slice_bytes,
+                trunks: TrunkCapacities {
+                    uplink: trunks.uplink * 3.0,
+                    backbone: trunks.backbone * 3.0,
+                    downlink: trunks.downlink * 3.0,
+                    summary_fraction: trunks.summary_fraction,
+                },
+                deadline: cfg.deadline,
+                corruption_rate: cfg.corruption_rate,
+                generation_window: SimTime::from_mins(60),
+                mode,
+                ..Default::default()
+            },
+            clock.clone(),
+        );
+        let mut crawler = CrawlSimulator::new(corpus);
+        let mut uplink = 0u64;
+        let mut missed = 0usize;
+        let mut flows = 0usize;
+        for day in 0..cfg.days {
+            let change = if day == 0 { 1.0 } else { 0.3 };
+            let start = clock.now();
+            let index = crawler.advance_round(change);
+            let (report, _) = bifrost.deliver_version(&index, start);
+            uplink += report.uplink_bytes;
+            if day > 0 {
+                missed += report.missed;
+                flows += report.flows;
+            }
+        }
+        (
+            uplink as f64 / 1e6,
+            if flows == 0 {
+                0.0
+            } else {
+                missed as f64 / flows as f64
+            },
+        )
+    };
+    let (relay_uplink_mb, relay_miss) = run(DeliveryMode::Relay);
+    let (p2p_uplink_mb, p2p_miss) = run(DeliveryMode::P2p);
+    P2pReport {
+        relay_uplink_mb,
+        p2p_uplink_mb,
+        bandwidth_saved: 1.0 - p2p_uplink_mb / relay_uplink_mb.max(f64::MIN_POSITIVE),
+        relay_miss,
+        p2p_miss,
+    }
+}
+
+/// Runs the full month on both deployments.
+pub fn run(cfg: &MonthConfig) -> MonthReport {
+    let mut direct = DirectLoad::new(DirectLoadConfig {
+        corpus: cfg.corpus(),
+        bifrost: BifrostConfig {
+            slice_bytes: cfg.slice_bytes,
+            trunks: cfg.trunks(),
+            deadline: cfg.deadline,
+            corruption_rate: cfg.corruption_rate,
+            ..Default::default()
+        },
+        mint: MintConfig {
+            device: DeviceConfig::sized(96 * 1024 * 1024),
+            engine: QinDbConfig {
+                aof: aof::AofConfig {
+                    file_size: 4 * 1024 * 1024,
+                },
+                ..QinDbConfig::default()
+            },
+            ..MintConfig::tiny()
+        },
+        versions_retained: 4,
+    });
+    let mut legacy = LegacyPipeline::new(cfg);
+    // A noisy diurnal change-fraction sequence in [0.15, 0.8]: weekly
+    // swing plus per-day jitter, deterministic in the seed.
+    let mut rng = cfg.seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        (rng >> 11) as f64 / (1u64 << 53) as f64
+    };
+    // Pre-draw the month's change fractions so the availability pass can
+    // replay the identical sequence.
+    let changes: Vec<f64> = (1..=cfg.days)
+        .map(|day| {
+            let phase = (day as f64) * std::f64::consts::TAU / 7.0;
+            if day == 1 {
+                1.0
+            } else {
+                (0.30 + 0.22 * phase.sin() + 0.12 * (next() - 0.5)).clamp(0.12, 0.75)
+            }
+        })
+        .collect();
+    let (miss_per_day, month_miss) = availability_pass(cfg, &changes);
+    // Diurnal background traffic: capacity dips toward midday of each
+    // simulated day on both deployments alike. Days here are delivery
+    // windows back to back, so schedule a dip/recovery pair per day of
+    // simulated delivery time.
+    if cfg.background_depth > 0.0 {
+        for day in 0..cfg.days as u64 * 2 {
+            let at = SimTime::from_hours(day * 2);
+            let scale = if day % 2 == 0 {
+                1.0 - cfg.background_depth
+            } else {
+                1.0
+            };
+            direct.bifrost_mut().schedule_background(at, scale);
+            legacy.bifrost.schedule_background(at, scale);
+        }
+    }
+    let mut days = Vec::with_capacity(cfg.days as usize);
+    let mut bytes_before = 0u64;
+    let mut bytes_after = 0u64;
+    // Day 1 ships the initial full version — a warm-up that never occurs
+    // in the steady monthly stream the paper measured — so it is plotted
+    // but excluded from the monthly aggregates.
+    for day in 1..=cfg.days {
+        let change = changes[day as usize - 1];
+        let report = direct.run_version(change).expect("directload version");
+        let (legacy_min, _, legacy_kps) = legacy.run_version(change);
+        let d = &report.delivery;
+        if day > 1 {
+            bytes_before += d.dedup.bytes_before;
+            bytes_after += d.dedup.bytes_after;
+        }
+        days.push(DaySample {
+            day,
+            change_fraction: change,
+            dedup_ratio: d.dedup.byte_ratio(),
+            update_min: report.update_time.as_mins_f64(),
+            legacy_update_min: legacy_min,
+            kps: report.keys_per_sec / 1e3,
+            legacy_kps,
+            miss_ratio: miss_per_day[day as usize - 1],
+        });
+    }
+    let ratios: Vec<f64> = days
+        .iter()
+        .skip(1) // day 1 ships in full for both systems
+        .map(|d| d.kps / d.legacy_kps.max(f64::MIN_POSITIVE))
+        .collect();
+    MonthReport {
+        bandwidth_saved: if bytes_before == 0 {
+            0.0
+        } else {
+            1.0 - bytes_after as f64 / bytes_before as f64
+        },
+        mean_throughput_ratio: ratios.iter().sum::<f64>() / ratios.len().max(1) as f64,
+        peak_throughput_ratio: ratios.iter().fold(0.0f64, |a, &b| a.max(b)),
+        miss_ratio: month_miss,
+        cycle_directload_min: days.iter().map(|d| d.update_min).sum(),
+        cycle_legacy_min: days.iter().map(|d| d.legacy_update_min).sum(),
+        days,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_saves_bandwidth_but_misses_more() {
+        let r = p2p_comparison(&MonthConfig::quick());
+        assert!(
+            r.bandwidth_saved > 0.2,
+            "P2P should save uplink bandwidth: {:.2}",
+            r.bandwidth_saved
+        );
+        assert!(
+            r.p2p_miss >= r.relay_miss,
+            "P2P should not be more reliable: {} vs {}",
+            r.p2p_miss,
+            r.relay_miss
+        );
+    }
+
+    #[test]
+    fn month_shapes_match_paper() {
+        let report = run(&MonthConfig::quick());
+        assert_eq!(report.days.len(), 8);
+        // Dedup saves a large share of the bandwidth.
+        assert!(
+            report.bandwidth_saved > 0.3,
+            "bandwidth saved {:.2}",
+            report.bandwidth_saved
+        );
+        // DirectLoad is faster than the legacy deployment.
+        assert!(
+            report.mean_throughput_ratio > 1.5,
+            "throughput ratio {:.2}",
+            report.mean_throughput_ratio
+        );
+        assert!(report.cycle_directload_min < report.cycle_legacy_min);
+        // Update time anti-correlates with dedup ratio across the steady
+        // days (Pearson correlation; the paper notes per-day fluctuations
+        // from other factors, so individual day pairs may invert).
+        let steady = &report.days[1..];
+        let n = steady.len() as f64;
+        let mean_d: f64 = steady.iter().map(|d| d.dedup_ratio).sum::<f64>() / n;
+        let mean_u: f64 = steady.iter().map(|d| d.update_min).sum::<f64>() / n;
+        let cov: f64 = steady
+            .iter()
+            .map(|d| (d.dedup_ratio - mean_d) * (d.update_min - mean_u))
+            .sum();
+        let var_d: f64 = steady.iter().map(|d| (d.dedup_ratio - mean_d).powi(2)).sum();
+        let var_u: f64 = steady.iter().map(|d| (d.update_min - mean_u).powi(2)).sum();
+        let r = cov / (var_d * var_u).sqrt().max(f64::MIN_POSITIVE);
+        assert!(
+            r < -0.3,
+            "dedup ratio and update time should anti-correlate, r = {r:.2}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Bifrost — the cross-region index delivery subsystem (§2.2).
+//!
+//! Bifrost takes the index data a crawl round produced and ships it from
+//! the building data center (data center #0) to the six regional data
+//! centers, through three relay groups interconnected by backbone links.
+//! This crate implements its whole pipeline:
+//!
+//! 1. **Deduplication** ([`Deduplicator`]): every pair's value signature
+//!    is compared with the previous version's; identical values are
+//!    stripped before transmission (on production data ~70 % of entries,
+//!    ~63 % of bytes). Stripped pairs still travel — key and version only
+//!    — so the destination stores the `r`-flagged item QinDB needs.
+//! 2. **Slicing** ([`SliceBuilder`]): the stream is cut into checksummed
+//!    slices; every relay re-verifies (recomputes and compares) the checksum
+//!    so transmission corruption is caught early and the slice resent.
+//! 3. **Delivery** ([`Bifrost`]): slices become flows in the WAN
+//!    simulator. Summary and inverted/forward streams get the paper's
+//!    empirical 40 % / 60 % bandwidth reservation (modelled as parallel
+//!    virtual links), and the scheduler routes each slice over the direct
+//!    or detour path with the least predicted queueing, using the central
+//!    monitor's view of per-link backlog.
+//!
+//! The output is a [`DeliveryReport`] carrying exactly the quantities
+//! Figures 9 and 10 plot: dedup ratio, update time, and per-slice deadline
+//! misses.
+
+mod dedup;
+mod delivery;
+mod monitor;
+mod signature;
+mod slice;
+mod topology;
+
+pub use dedup::{DedupStats, Deduplicator, UpdateEntry};
+pub use delivery::{Bifrost, BifrostConfig, DeliveryMode, DeliveryReport};
+pub use monitor::Monitor;
+pub use signature::{sign, Signature};
+pub use slice::{Slice, SliceBuilder, SliceError};
+pub use topology::{DataCenterId, RegionId, RegionalTopology, StreamClass, TrunkCapacities};

@@ -1,0 +1,166 @@
+//! The centralized network monitoring platform (§2.2).
+//!
+//! "In order to timely understand the inter-regional network traffic, a
+//! centralized network monitoring platform keeps collecting the real-time
+//! network statistics from the relay groups, predicts the available
+//! bandwidth resources of the network channels, and directs how the index
+//! data should be delivered to the relay groups."
+//!
+//! The platform tracks two things per link:
+//!
+//! * **backlog** — bytes scheduled onto the link and not yet drained
+//!   (reset as deliveries complete);
+//! * **predicted bandwidth** — an exponentially-weighted moving average
+//!   of the throughput the link actually achieved in past deliveries,
+//!   which tracks diurnal background traffic without being told about it.
+//!
+//! The scheduler costs a candidate path as `Σ (backlog + transfer) /
+//! predicted_bandwidth` over its links and picks the cheapest — slices
+//! detour around channels the monitor has observed to be slow.
+
+use netsim::LinkId;
+use simclock::SimTime;
+use std::collections::HashMap;
+
+/// EWMA weight for new bandwidth observations.
+const ALPHA: f64 = 0.3;
+
+#[derive(Debug, Clone, Copy)]
+struct LinkStats {
+    /// Bytes scheduled and not yet known-drained.
+    backlog: f64,
+    /// Predicted available bandwidth (bytes/second).
+    predicted: f64,
+    /// Bytes scheduled during the current observation window.
+    window_bytes: f64,
+}
+
+/// The monitoring platform's view of the WAN.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    links: HashMap<LinkId, LinkStats>,
+}
+
+impl Monitor {
+    /// Creates an empty monitor; links are registered on first sight with
+    /// their nominal capacity as the initial prediction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(&mut self, link: LinkId, nominal: f64) -> &mut LinkStats {
+        self.links.entry(link).or_insert(LinkStats {
+            backlog: 0.0,
+            predicted: nominal,
+            window_bytes: 0.0,
+        })
+    }
+
+    /// Records `bytes` scheduled onto `link` (with `nominal` capacity for
+    /// first-sight initialization).
+    pub fn on_scheduled(&mut self, link: LinkId, bytes: u64, nominal: f64) {
+        let s = self.entry(link, nominal);
+        s.backlog += bytes as f64;
+        s.window_bytes += bytes as f64;
+    }
+
+    /// Predicted time (seconds) for `bytes` to clear `link`, counting the
+    /// backlog already queued ahead of it.
+    pub fn predicted_cost(&self, link: LinkId, bytes: u64, nominal: f64) -> f64 {
+        match self.links.get(&link) {
+            Some(s) => (s.backlog + bytes as f64) / s.predicted.max(1.0),
+            None => bytes as f64 / nominal.max(1.0),
+        }
+    }
+
+    /// Current predicted bandwidth of `link`, if it has been observed.
+    pub fn predicted_bandwidth(&self, link: LinkId) -> Option<f64> {
+        self.links.get(&link).map(|s| s.predicted)
+    }
+
+    /// Closes an observation window: the relay groups report that
+    /// everything scheduled since the last call drained within `busy`
+    /// time. Each active link's achieved rate updates its prediction, and
+    /// backlogs reset.
+    pub fn on_window_complete(&mut self, busy: SimTime) {
+        let secs = busy.as_secs_f64();
+        for s in self.links.values_mut() {
+            if s.window_bytes > 0.0 && secs > 0.0 {
+                let achieved = s.window_bytes / secs;
+                // A link only reveals its available bandwidth when it was
+                // the bottleneck; rates far below the current prediction
+                // still drag it down, which is what makes the monitor
+                // notice congestion.
+                s.predicted = (1.0 - ALPHA) * s.predicted + ALPHA * achieved;
+            }
+            s.backlog = 0.0;
+            s.window_bytes = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(i: u32) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn unseen_link_costs_by_nominal_capacity() {
+        let m = Monitor::new();
+        assert!((m.predicted_cost(link(0), 1000, 500.0) - 2.0).abs() < 1e-9);
+        assert_eq!(m.predicted_bandwidth(link(0)), None);
+    }
+
+    #[test]
+    fn backlog_raises_cost() {
+        let mut m = Monitor::new();
+        m.on_scheduled(link(0), 1000, 1000.0);
+        // 1000 queued + 1000 new at 1000 B/s = 2 s.
+        assert!((m.predicted_cost(link(0), 1000, 1000.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_completion_updates_prediction_toward_observed() {
+        let mut m = Monitor::new();
+        m.on_scheduled(link(0), 10_000, 1000.0);
+        // The window drained in 20 s → achieved 500 B/s, below nominal.
+        m.on_window_complete(SimTime::from_secs(20));
+        let p = m.predicted_bandwidth(link(0)).unwrap();
+        assert!(p < 1000.0 && p > 500.0, "EWMA should move toward 500: {p}");
+        // Backlog cleared.
+        assert!((m.predicted_cost(link(0), p as u64, 1000.0) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn idle_links_keep_their_prediction() {
+        let mut m = Monitor::new();
+        m.on_scheduled(link(0), 1000, 800.0);
+        m.on_window_complete(SimTime::from_secs(1));
+        let before = m.predicted_bandwidth(link(0)).unwrap();
+        // A window in which the link carried nothing teaches nothing.
+        m.on_window_complete(SimTime::from_secs(100));
+        assert_eq!(m.predicted_bandwidth(link(0)), Some(before));
+    }
+
+    #[test]
+    fn congestion_then_recovery_tracks_both_ways() {
+        let mut m = Monitor::new();
+        // Several slow windows: prediction sinks.
+        for _ in 0..10 {
+            m.on_scheduled(link(0), 1000, 1000.0);
+            m.on_window_complete(SimTime::from_secs(10)); // 100 B/s
+        }
+        let low = m.predicted_bandwidth(link(0)).unwrap();
+        assert!(low < 300.0, "should have learned congestion: {low}");
+        // Fast windows: prediction recovers.
+        for _ in 0..10 {
+            m.on_scheduled(link(0), 10_000, 1000.0);
+            m.on_window_complete(SimTime::from_secs(10)); // 1000 B/s
+        }
+        let high = m.predicted_bandwidth(link(0)).unwrap();
+        assert!(high > 700.0, "should have learned recovery: {high}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Content signatures for deduplication and slice checksums.
+//!
+//! The paper deduplicates "by comparing the signatures of index data
+//! between consecutive versions". A 64-bit FNV-1a digest is plenty for the
+//! simulation (collisions are ~2⁻⁶⁴ per pair; a deployment would use a
+//! cryptographic digest).
+
+/// A 64-bit content signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature(pub u64);
+
+/// Signs a byte string.
+pub fn sign(data: &[u8]) -> Signature {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    Signature(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_content_equal_signature() {
+        assert_eq!(sign(b"abc"), sign(b"abc"));
+    }
+
+    #[test]
+    fn different_content_different_signature() {
+        assert_ne!(sign(b"abc"), sign(b"abd"));
+        assert_ne!(sign(b""), sign(b"\0"));
+    }
+
+    #[test]
+    fn spread_over_small_inputs() {
+        use std::collections::HashSet;
+        let sigs: HashSet<Signature> = (0..10_000u32).map(|i| sign(&i.to_le_bytes())).collect();
+        assert_eq!(sigs.len(), 10_000);
+    }
+}

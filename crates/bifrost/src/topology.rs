@@ -1,0 +1,254 @@
+//! The paper's deployment topology: one building data center, three
+//! regional relay groups, six serving data centers.
+//!
+//! Each physical trunk is modelled as two parallel virtual links — one per
+//! stream class — implementing the empirical 40 % / 60 % bandwidth
+//! reservation for summary vs. inverted indices (§2.2): keeping both
+//! streams continuously active stops the relay nodes' general-purpose
+//! resource manager from revoking the allocation.
+
+use netsim::{LinkId, Topology};
+
+/// One of the three regions (North, East, South China in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u8);
+
+/// Number of regions.
+pub const REGIONS: u8 = 3;
+/// Serving data centers per region.
+pub const DCS_PER_REGION: u8 = 2;
+
+/// A serving data center, addressed by region and slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataCenterId {
+    /// The region hosting this data center.
+    pub region: RegionId,
+    /// Slot within the region (0 or 1).
+    pub slot: u8,
+}
+
+impl DataCenterId {
+    /// All six serving data centers.
+    pub fn all() -> Vec<DataCenterId> {
+        (0..REGIONS)
+            .flat_map(|r| {
+                (0..DCS_PER_REGION).map(move |s| DataCenterId {
+                    region: RegionId(r),
+                    slot: s,
+                })
+            })
+            .collect()
+    }
+
+    /// The three data centers that store summary indices (slot 0 of each
+    /// region — "the summary indices can only be found in three ones due
+    /// to the high storage cost").
+    pub fn summary_hosts() -> Vec<DataCenterId> {
+        (0..REGIONS)
+            .map(|r| DataCenterId {
+                region: RegionId(r),
+                slot: 0,
+            })
+            .collect()
+    }
+}
+
+/// Which reserved stream a transfer belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamClass {
+    /// Summary indices (40 % reservation).
+    Summary,
+    /// Forward + inverted indices (60 % reservation).
+    Inverted,
+}
+
+/// Physical capacities of the three trunk types, in bytes/second.
+#[derive(Debug, Clone, Copy)]
+pub struct TrunkCapacities {
+    /// Data center #0 → relay group.
+    pub uplink: f64,
+    /// Relay group ↔ relay group (backbone).
+    pub backbone: f64,
+    /// Relay group → serving data center.
+    pub downlink: f64,
+    /// Fraction of each trunk reserved for the summary stream.
+    pub summary_fraction: f64,
+}
+
+impl Default for TrunkCapacities {
+    /// 1 Gbps-class trunks scaled to the simulation (bytes/second), with
+    /// the paper's 40/60 split.
+    fn default() -> Self {
+        TrunkCapacities {
+            uplink: 125.0e6,
+            backbone: 125.0e6,
+            downlink: 125.0e6,
+            summary_fraction: 0.4,
+        }
+    }
+}
+
+/// Link handles for the built topology.
+#[derive(Debug)]
+pub struct RegionalTopology {
+    /// `up[class][region]`.
+    up: [Vec<LinkId>; 2],
+    /// `bb[class][from][to]` (diagonal unused).
+    bb: [Vec<Vec<Option<LinkId>>>; 2],
+    /// `down[class][region][slot]`.
+    down: [Vec<Vec<LinkId>>; 2],
+    /// Intra-region peer links (slot 0 → slot 1), for the P2P delivery
+    /// mode the paper's §6.3 weighs against relays.
+    peer: Vec<LinkId>,
+}
+
+fn class_idx(class: StreamClass) -> usize {
+    match class {
+        StreamClass::Summary => 0,
+        StreamClass::Inverted => 1,
+    }
+}
+
+impl RegionalTopology {
+    /// Builds the six-DC topology into a fresh [`Topology`].
+    pub fn build(caps: TrunkCapacities) -> (Topology, RegionalTopology) {
+        assert!((0.0..1.0).contains(&caps.summary_fraction) && caps.summary_fraction > 0.0);
+        let mut topo = Topology::new();
+        let frac = [caps.summary_fraction, 1.0 - caps.summary_fraction];
+        let mut up: [Vec<LinkId>; 2] = [Vec::new(), Vec::new()];
+        let mut bb: [Vec<Vec<Option<LinkId>>>; 2] = [Vec::new(), Vec::new()];
+        let mut down: [Vec<Vec<LinkId>>; 2] = [Vec::new(), Vec::new()];
+        for c in 0..2 {
+            for _r in 0..REGIONS {
+                up[c].push(topo.add_link(caps.uplink * frac[c]));
+            }
+            for i in 0..REGIONS {
+                let mut row = Vec::new();
+                for j in 0..REGIONS {
+                    row.push((i != j).then(|| topo.add_link(caps.backbone * frac[c])));
+                }
+                bb[c].push(row);
+            }
+            for _r in 0..REGIONS {
+                let slots = (0..DCS_PER_REGION)
+                    .map(|_| topo.add_link(caps.downlink * frac[c]))
+                    .collect();
+                down[c].push(slots);
+            }
+        }
+        let peer = (0..REGIONS).map(|_| topo.add_link(caps.downlink)).collect();
+        (topo, RegionalTopology { up, bb, down, peer })
+    }
+
+    /// The uplink of `region` for `class`.
+    pub fn uplink(&self, class: StreamClass, region: RegionId) -> LinkId {
+        self.up[class_idx(class)][region.0 as usize]
+    }
+
+    /// The backbone link `from → to` for `class`.
+    pub fn backbone(&self, class: StreamClass, from: RegionId, to: RegionId) -> LinkId {
+        self.bb[class_idx(class)][from.0 as usize][to.0 as usize]
+            .expect("no self-loop backbone link")
+    }
+
+    /// The downlink to `dc` for `class`.
+    pub fn downlink(&self, class: StreamClass, dc: DataCenterId) -> LinkId {
+        self.down[class_idx(class)][dc.region.0 as usize][dc.slot as usize]
+    }
+
+    /// The intra-region peer link from a region's slot-0 data center to
+    /// its slot-1 sibling.
+    pub fn peer_link(&self, region: RegionId) -> LinkId {
+        self.peer[region.0 as usize]
+    }
+
+    /// Candidate paths from data center #0 to `dc` for `class`: the direct
+    /// route through the home relay group, plus one detour through each
+    /// other region's relay group (circumventing congested uplinks).
+    pub fn paths(&self, class: StreamClass, dc: DataCenterId) -> Vec<Vec<LinkId>> {
+        let mut out = Vec::with_capacity(REGIONS as usize);
+        let home = dc.region;
+        out.push(vec![self.uplink(class, home), self.downlink(class, dc)]);
+        for r in 0..REGIONS {
+            let via = RegionId(r);
+            if via == home {
+                continue;
+            }
+            out.push(vec![
+                self.uplink(class, via),
+                self.backbone(class, via, home),
+                self.downlink(class, dc),
+            ]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_expected_link_count() {
+        let (topo, _) = RegionalTopology::build(TrunkCapacities::default());
+        // Per class: 3 up + 6 backbone + 6 down = 15; two classes = 30;
+        // plus 3 intra-region peer links.
+        assert_eq!(topo.len(), 33);
+    }
+
+    #[test]
+    fn peer_links_exist_per_region() {
+        let (topo, rt) = RegionalTopology::build(TrunkCapacities::default());
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..REGIONS {
+            let l = rt.peer_link(RegionId(r));
+            assert!(seen.insert(l), "peer links must be distinct");
+            assert!(topo.capacity(l) > 0.0);
+        }
+    }
+
+    #[test]
+    fn split_reserves_forty_sixty() {
+        let caps = TrunkCapacities {
+            uplink: 100.0,
+            ..Default::default()
+        };
+        let (topo, rt) = RegionalTopology::build(caps);
+        let s = rt.uplink(StreamClass::Summary, RegionId(0));
+        let i = rt.uplink(StreamClass::Inverted, RegionId(0));
+        assert!((topo.capacity(s) - 40.0).abs() < 1e-9);
+        assert!((topo.capacity(i) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn six_dcs_three_summary_hosts() {
+        assert_eq!(DataCenterId::all().len(), 6);
+        let hosts = DataCenterId::summary_hosts();
+        assert_eq!(hosts.len(), 3);
+        assert!(hosts.iter().all(|d| d.slot == 0));
+    }
+
+    #[test]
+    fn paths_are_direct_plus_detours() {
+        let (_, rt) = RegionalTopology::build(TrunkCapacities::default());
+        let dc = DataCenterId {
+            region: RegionId(1),
+            slot: 1,
+        };
+        let paths = rt.paths(StreamClass::Inverted, dc);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].len(), 2); // direct
+        assert_eq!(paths[1].len(), 3); // detours
+        assert_eq!(paths[2].len(), 3);
+        // All paths end at the dc's downlink.
+        let down = rt.downlink(StreamClass::Inverted, dc);
+        assert!(paths.iter().all(|p| *p.last().unwrap() == down));
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-loop")]
+    fn self_backbone_rejected() {
+        let (_, rt) = RegionalTopology::build(TrunkCapacities::default());
+        rt.backbone(StreamClass::Summary, RegionId(0), RegionId(0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the delivery layer.
+//!
+//! * Slicing is a pure re-framing: every entry appears in exactly one
+//!   slice, in order, and every slice verifies its checksum.
+//! * Deduplication agrees with a naive model: a value is stripped iff the
+//!   same (kind, key) carried byte-identical content in the previous
+//!   version, and stripping never loses a key.
+
+use bifrost::{Deduplicator, SliceBuilder, UpdateEntry};
+use bytes::Bytes;
+use indexgen::{IndexKind, IndexPair, IndexVersion};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn entry(key: Vec<u8>, value: Option<Vec<u8>>) -> UpdateEntry {
+    UpdateEntry {
+        kind: IndexKind::Summary,
+        key: Bytes::from(key),
+        version: 1,
+        value: value.map(Bytes::from),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn slicing_preserves_every_entry_in_order(
+        entries in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..16),
+             proptest::option::of(proptest::collection::vec(any::<u8>(), 0..300))),
+            0..80,
+        ),
+        target in 64u64..4096,
+    ) {
+        let entries: Vec<UpdateEntry> =
+            entries.into_iter().map(|(k, v)| entry(k, v)).collect();
+        let mut builder = SliceBuilder::new(target);
+        for e in &entries {
+            builder.push(e.clone());
+        }
+        let slices = builder.finish();
+        // Conservation and order.
+        let flattened: Vec<&UpdateEntry> =
+            slices.iter().flat_map(|s| s.entries.iter()).collect();
+        prop_assert_eq!(flattened.len(), entries.len());
+        for (a, b) in flattened.iter().zip(entries.iter()) {
+            prop_assert_eq!(*a, b);
+        }
+        // Integrity and size accounting.
+        for s in &slices {
+            prop_assert!(s.verify().is_ok());
+            let bytes: u64 = s.entries.iter().map(UpdateEntry::wire_bytes).sum();
+            prop_assert_eq!(s.bytes, bytes);
+            prop_assert!(!s.entries.is_empty());
+        }
+        // Sequential ids.
+        for (i, s) in slices.iter().enumerate() {
+            prop_assert_eq!(s.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn dedup_matches_naive_model(
+        v1 in proptest::collection::vec(
+            (0u8..20, proptest::collection::vec(any::<u8>(), 0..64)), 1..30),
+        v2 in proptest::collection::vec(
+            (0u8..20, proptest::collection::vec(any::<u8>(), 0..64)), 1..30),
+    ) {
+        // Build two synthetic versions with (key-id, value) pairs; later
+        // duplicates of a key within a version are dropped (the generator
+        // never emits duplicate keys).
+        let build = |pairs: &[(u8, Vec<u8>)], version: u64| {
+            let mut seen = std::collections::HashSet::new();
+            let summary: Vec<IndexPair> = pairs
+                .iter()
+                .filter(|(k, _)| seen.insert(*k))
+                .map(|(k, v)| IndexPair {
+                    kind: IndexKind::Summary,
+                    key: Bytes::from(format!("key-{k:02}")),
+                    value: Bytes::from(v.clone()),
+                })
+                .collect();
+            IndexVersion {
+                version,
+                forward: Vec::new(),
+                summary,
+                inverted: Vec::new(),
+            }
+        };
+        let version1 = build(&v1, 1);
+        let version2 = build(&v2, 2);
+        let mut d = Deduplicator::new();
+        let (out1, stats1) = d.process(&version1);
+        prop_assert_eq!(stats1.pairs_deduped, 0);
+        prop_assert_eq!(out1.len(), version1.summary.len());
+
+        let prev: HashMap<&Bytes, &Bytes> = version1
+            .summary
+            .iter()
+            .map(|p| (&p.key, &p.value))
+            .collect();
+        let (out2, stats2) = d.process(&version2);
+        prop_assert_eq!(out2.len(), version2.summary.len());
+        let mut expected_stripped = 0;
+        for (entry, pair) in out2.iter().zip(version2.summary.iter()) {
+            prop_assert_eq!(&entry.key, &pair.key);
+            let duplicate = prev.get(&pair.key) == Some(&&pair.value);
+            if duplicate {
+                expected_stripped += 1;
+                prop_assert!(entry.value.is_none(), "unchanged value not stripped");
+            } else {
+                prop_assert_eq!(entry.value.as_ref(), Some(&pair.value));
+            }
+        }
+        prop_assert_eq!(stats2.pairs_deduped, expected_stripped);
+    }
+}

@@ -1,0 +1,97 @@
+//! DirectLoad — a fast web-scale index updating system across large
+//! regional centers.
+//!
+//! This crate is the top of the reproduction: it wires the index building
+//! pipeline ([`indexgen`]), the delivery subsystem ([`bifrost`]), and one
+//! [`mint`] storage cluster per serving data center into the end-to-end
+//! update cycle the paper deploys at Baidu, plus the operational machinery
+//! around it:
+//!
+//! * [`DirectLoad`] — the versioned update pipeline: crawl → build →
+//!   deduplicate → transmit → store, with version retention (at most four
+//!   versions per key on disk, like production);
+//! * [`GrayRelease`] — version advance at a single data center first,
+//!   inconsistency measurement, and rollback (§3);
+//! * [`LegacyCluster`] — the pre-DirectLoad baseline (no deduplication,
+//!   LSM-tree storage engines) used by the Figure 10a comparison;
+//! * [`DirectLoad::search`] — the serving path the indices exist for:
+//!   terms → inverted lookups → ranking → abstracts (§1.1.1);
+//! * [`RumReport`] — the Read/Update/Memory accounting of §5.
+//!
+//! # Quick start
+//!
+//! ```
+//! use directload::{DirectLoad, DirectLoadConfig};
+//!
+//! let mut system = DirectLoad::new(DirectLoadConfig::small());
+//! // Crawl a round where 30% of pages changed, and push it everywhere.
+//! let report = system.run_version(0.3).unwrap();
+//! assert_eq!(report.version, 1);
+//! assert!(report.update_time.as_secs_f64() > 0.0);
+//! ```
+
+mod baseline;
+mod gray;
+mod pipeline;
+mod rum;
+mod search;
+
+pub use baseline::{LegacyCluster, LegacyClusterConfig};
+pub use gray::GrayRelease;
+pub use pipeline::{DirectLoad, DirectLoadConfig, VersionReport};
+pub use rum::RumReport;
+pub use search::{SearchHit, SearchResponse};
+
+use std::fmt;
+
+/// Top-level errors.
+#[derive(Debug)]
+pub enum DirectLoadError {
+    /// A storage cluster failed.
+    Mint(mint::MintError),
+    /// A baseline engine failed.
+    Lsm(lsmtree::LsmError),
+    /// The requested data kind is not stored at this data center (summary
+    /// indices live in three of the six).
+    NotStoredHere {
+        /// The data center queried.
+        dc: bifrost::DataCenterId,
+    },
+}
+
+impl fmt::Display for DirectLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectLoadError::Mint(e) => write!(f, "storage error: {e}"),
+            DirectLoadError::Lsm(e) => write!(f, "baseline engine error: {e}"),
+            DirectLoadError::NotStoredHere { dc } => {
+                write!(f, "data kind not stored at {dc:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DirectLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DirectLoadError::Mint(e) => Some(e),
+            DirectLoadError::Lsm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mint::MintError> for DirectLoadError {
+    fn from(e: mint::MintError) -> Self {
+        DirectLoadError::Mint(e)
+    }
+}
+
+impl From<lsmtree::LsmError> for DirectLoadError {
+    fn from(e: lsmtree::LsmError) -> Self {
+        DirectLoadError::Lsm(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, DirectLoadError>;

@@ -1,0 +1,116 @@
+//! RUM accounting (§5).
+//!
+//! The RUM Conjecture (Athanassoulis et al., EDBT 2016) frames a storage
+//! design by three costs: **R**ead latency, **U**pdate overhead, and
+//! **M**emory/storage space — optimizing two sacrifices the third.
+//! QinDB's position: reads are fast (in-memory index + one flash access),
+//! updates are fast (appends, minimal write amplification), and the bill
+//! is paid in *space* — lazy GC keeps dead bytes around, and the full key
+//! index lives in RAM.
+//!
+//! [`RumReport`] collects the three axes from a measured run so the §5
+//! analysis can be regenerated numerically.
+
+use serde::Serialize;
+use simclock::{percentile, SimTime};
+
+/// One engine's measured RUM profile.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RumReport {
+    /// R: mean read latency (µs).
+    pub read_avg_us: f64,
+    /// R: 99th percentile read latency (µs).
+    pub read_p99_us: u64,
+    /// R: 99.9th percentile read latency (µs).
+    pub read_p999_us: u64,
+    /// U: application-level write throughput (MB/s).
+    pub user_write_mbps: f64,
+    /// U: total write amplification (device programs / user bytes).
+    pub total_waf: f64,
+    /// M: bytes of main memory held by the index structures.
+    pub memory_bytes: u64,
+    /// M: bytes occupied on flash.
+    pub storage_bytes: u64,
+}
+
+impl RumReport {
+    /// Assembles a report from raw measurements.
+    ///
+    /// * `read_latencies` — per-GET latencies;
+    /// * `user_write_bytes` — application payload written over `elapsed`;
+    /// * `sys_write_bytes` — NAND bytes programmed over the same window;
+    /// * `memory_bytes` / `storage_bytes` — the M axis.
+    pub fn from_measurements(
+        read_latencies: &[SimTime],
+        user_write_bytes: u64,
+        sys_write_bytes: u64,
+        elapsed: SimTime,
+        memory_bytes: u64,
+        storage_bytes: u64,
+    ) -> Self {
+        let n = read_latencies.len().max(1) as f64;
+        let read_avg_us =
+            read_latencies.iter().map(|t| t.as_micros() as f64).sum::<f64>() / n;
+        let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        RumReport {
+            read_avg_us,
+            read_p99_us: percentile(read_latencies, 0.99).map_or(0, SimTime::as_micros),
+            read_p999_us: percentile(read_latencies, 0.999).map_or(0, SimTime::as_micros),
+            user_write_mbps: user_write_bytes as f64 / 1e6 / secs,
+            total_waf: if user_write_bytes == 0 {
+                1.0
+            } else {
+                sys_write_bytes as f64 / user_write_bytes as f64
+            },
+            memory_bytes,
+            storage_bytes,
+        }
+    }
+
+    /// Renders the report as aligned table rows (used by the figures
+    /// harness and EXPERIMENTS.md).
+    pub fn rows(&self, label: &str) -> String {
+        format!(
+            "{label:<10} R: avg {:.0}us p99 {}us p99.9 {}us | U: {:.2} MB/s user, WAF {:.2} | M: {:.1} MB RAM, {:.1} MB flash",
+            self.read_avg_us,
+            self.read_p99_us,
+            self.read_p999_us,
+            self.user_write_mbps,
+            self.total_waf,
+            self.memory_bytes as f64 / 1e6,
+            self.storage_bytes as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_from_measurements() {
+        let lats: Vec<SimTime> = (1..=1000).map(SimTime::from_micros).collect();
+        let r = RumReport::from_measurements(
+            &lats,
+            10_000_000,
+            25_000_000,
+            SimTime::from_secs(10),
+            1_000_000,
+            5_000_000,
+        );
+        assert!((r.read_avg_us - 500.5).abs() < 0.01);
+        assert_eq!(r.read_p99_us, 990);
+        assert_eq!(r.read_p999_us, 999); // nearest-rank: ceil(0.999·1000) = 999
+        assert!((r.user_write_mbps - 1.0).abs() < 1e-9);
+        assert!((r.total_waf - 2.5).abs() < 1e-9);
+        let rows = r.rows("qindb");
+        assert!(rows.contains("WAF 2.50"));
+    }
+
+    #[test]
+    fn empty_reads_and_writes_are_safe() {
+        let r = RumReport::from_measurements(&[], 0, 0, SimTime::ZERO, 0, 0);
+        assert_eq!(r.read_p99_us, 0);
+        assert_eq!(r.total_waf, 1.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic web corpus, crawl rounds, and index building.
+//!
+//! The paper's workloads come from Baidu's production crawl: petabytes of
+//! pages reduced to three index families (§1.1.1) —
+//!
+//! * **forward** `<URL, terms>`,
+//! * **summary** `<URL, abstract>` (20-byte keys, ~20 KB values in the
+//!   Figure 5 workload),
+//! * **inverted** `<term, URLs>`.
+//!
+//! We cannot ship that corpus, so this crate substitutes a deterministic
+//! generator with the two properties the evaluation actually depends on:
+//! the key/value size distributions, and the *inter-version duplication
+//! ratio* — on average 70 % of index entries are byte-identical between
+//! consecutive crawl rounds, which is what Bifrost's deduplication
+//! exploits.
+//!
+//! A [`CrawlSimulator`] owns the document population; each call to
+//! [`CrawlSimulator::advance_round`] re-crawls the web with a configurable
+//! change fraction (pages changed since the last round) and emits the full
+//! [`IndexVersion`] for that round. Content changes regenerate a page's
+//! abstract; only the rarer *semantic* changes alter its term set (and
+//! therefore the inverted index).
+
+mod corpus;
+mod version;
+mod workload;
+
+pub use corpus::{CorpusConfig, CrawlSimulator, DocTier};
+pub use version::{IndexKind, IndexPair, IndexVersion};
+pub use workload::{Query, QueryWorkload, QueryWorkloadConfig};

@@ -1,0 +1,103 @@
+//! One crawl round's complete index output.
+
+use bytes::Bytes;
+
+/// Which index family a pair belongs to. The paper ships summary indices
+/// and (forward + inverted) indices as two separate streams with a 40/60
+/// bandwidth split (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// `<URL, terms>`.
+    Forward,
+    /// `<URL, abstract>`.
+    Summary,
+    /// `<term, URLs>`.
+    Inverted,
+}
+
+/// A generated key-value pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexPair {
+    /// Index family.
+    pub kind: IndexKind,
+    /// The key (URL or term).
+    pub key: Bytes,
+    /// The value (terms, abstract, or URL list).
+    pub value: Bytes,
+}
+
+impl IndexPair {
+    /// Bytes this pair contributes to a stream before deduplication.
+    pub fn payload_bytes(&self) -> u64 {
+        (self.key.len() + self.value.len()) as u64
+    }
+}
+
+/// All index data produced by one crawl round.
+#[derive(Debug, Clone)]
+pub struct IndexVersion {
+    /// The round's version number (starts at 1).
+    pub version: u64,
+    /// Forward pairs, in URL order.
+    pub forward: Vec<IndexPair>,
+    /// Summary pairs, in URL order.
+    pub summary: Vec<IndexPair>,
+    /// Inverted pairs, in term order.
+    pub inverted: Vec<IndexPair>,
+}
+
+impl IndexVersion {
+    /// All pairs across the three families.
+    pub fn all_pairs(&self) -> impl Iterator<Item = &IndexPair> {
+        self.forward
+            .iter()
+            .chain(self.summary.iter())
+            .chain(self.inverted.iter())
+    }
+
+    /// Pairs of one family.
+    pub fn pairs_of(&self, kind: IndexKind) -> &[IndexPair] {
+        match kind {
+            IndexKind::Forward => &self.forward,
+            IndexKind::Summary => &self.summary,
+            IndexKind::Inverted => &self.inverted,
+        }
+    }
+
+    /// Total payload bytes before deduplication.
+    pub fn total_bytes(&self) -> u64 {
+        self.all_pairs().map(IndexPair::payload_bytes).sum()
+    }
+
+    /// Number of pairs across all families.
+    pub fn total_pairs(&self) -> usize {
+        self.forward.len() + self.summary.len() + self.inverted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(kind: IndexKind, key: &str, value: &str) -> IndexPair {
+        IndexPair {
+            kind,
+            key: Bytes::copy_from_slice(key.as_bytes()),
+            value: Bytes::copy_from_slice(value.as_bytes()),
+        }
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let v = IndexVersion {
+            version: 1,
+            forward: vec![pair(IndexKind::Forward, "url", "t1 t2")],
+            summary: vec![pair(IndexKind::Summary, "url", "abstract")],
+            inverted: vec![pair(IndexKind::Inverted, "t1", "url")],
+        };
+        assert_eq!(v.total_pairs(), 3);
+        assert_eq!(v.total_bytes(), (3 + 5) + (3 + 8) + (2 + 3));
+        assert_eq!(v.pairs_of(IndexKind::Summary).len(), 1);
+        assert_eq!(v.all_pairs().count(), 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! A standard bloom filter (double hashing, as in LevelDB's filter
+//! policy). One filter is built per SSTable so negative point lookups
+//! skip the table without any device I/O.
+
+/// A fixed-size bloom filter over byte-string keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    nbits: usize,
+    k: u32,
+}
+
+fn hash64(data: &[u8], seed: u64) -> u64 {
+    // FNV-1a 64-bit with a seed fold; adequate spread for filter use.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl BloomFilter {
+    /// Builds a filter sized for `keys.len()` keys at `bits_per_key`.
+    pub fn build(keys: &[&[u8]], bits_per_key: usize) -> Self {
+        let nbits = (keys.len() * bits_per_key).max(64);
+        // k = ln2 * bits/key, clamped like LevelDB.
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let mut filter = BloomFilter {
+            bits: vec![0u64; nbits.div_ceil(64)],
+            nbits,
+            k,
+        };
+        for key in keys {
+            filter.insert(key);
+        }
+        filter
+    }
+
+    fn insert(&mut self, key: &[u8]) {
+        let h1 = hash64(key, 0);
+        let h2 = hash64(key, 0x9E37_79B9_7F4A_7C15) | 1;
+        for i in 0..self.k as u64 {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits as u64) as usize;
+            self.bits[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+
+    /// True when `key` *may* be present; false means definitely absent.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let h1 = hash64(key, 0);
+        let h2 = hash64(key, 0x9E37_79B9_7F4A_7C15) | 1;
+        for i in 0..self.k as u64 {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits as u64) as usize;
+            if self.bits[bit / 64] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Memory footprint of the bit array.
+    pub fn approx_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = BloomFilter::build(&refs, 10);
+        for k in &keys {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let f = BloomFilter::build(&refs, 10);
+        let mut fp = 0;
+        for i in 1000u32..11_000 {
+            if f.may_contain(&i.to_be_bytes()) {
+                fp += 1;
+            }
+        }
+        // 10 bits/key gives ~1% in theory; allow generous slack.
+        assert!(fp < 400, "false positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn empty_filter_rejects() {
+        let f = BloomFilter::build(&[], 10);
+        assert!(!f.may_contain(b"anything"));
+    }
+}

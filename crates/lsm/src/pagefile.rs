@@ -1,0 +1,186 @@
+//! A minimal extent allocator over the device's logical (FTL) page space.
+//!
+//! LevelDB sits on a filesystem; this layer stands in for it. SSTables are
+//! immutable, so a "file" is just one contiguous logical-page extent:
+//! allocate, write once, read at byte offsets, trim on delete. First-fit
+//! reuse of freed extents keeps the logical space bounded.
+
+use crate::{LsmError, Result};
+use ssdsim::{Device, Lpa};
+
+/// A write-once logical file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VFile {
+    /// First logical page of the extent.
+    pub start: Lpa,
+    /// Extent length in pages.
+    pub pages: u64,
+    /// Meaningful bytes (≤ pages * page_size).
+    pub len: usize,
+}
+
+/// First-fit extent allocator over a logical page range.
+#[derive(Debug)]
+pub struct ExtentAllocator {
+    /// Free extents as (start, pages), kept sorted by start and coalesced.
+    free: Vec<(Lpa, u64)>,
+}
+
+impl ExtentAllocator {
+    /// Creates an allocator owning the whole logical space.
+    pub fn new(logical_pages: u64) -> Self {
+        Self::with_range(0, logical_pages)
+    }
+
+    /// Creates an allocator owning `[start, start + pages)` — used when
+    /// several subsystems partition one device's logical space (e.g. a
+    /// WiscKey engine splitting it between its key LSM and its value log).
+    pub fn with_range(start: Lpa, pages: u64) -> Self {
+        assert!(pages > 0, "empty allocator range");
+        ExtentAllocator {
+            free: vec![(start, pages)],
+        }
+    }
+
+    /// Allocates `pages` contiguous logical pages.
+    pub fn alloc(&mut self, pages: u64) -> Result<Lpa> {
+        assert!(pages > 0, "zero-page allocation");
+        for i in 0..self.free.len() {
+            let (start, len) = self.free[i];
+            if len >= pages {
+                if len == pages {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (start + pages, len - pages);
+                }
+                return Ok(start);
+            }
+        }
+        Err(LsmError::OutOfLogicalSpace { pages })
+    }
+
+    /// Returns an extent to the pool, coalescing neighbours.
+    pub fn release(&mut self, start: Lpa, pages: u64) {
+        if pages == 0 {
+            return;
+        }
+        let idx = self.free.partition_point(|&(s, _)| s < start);
+        self.free.insert(idx, (start, pages));
+        // Coalesce with the next extent, then with the previous one.
+        if idx + 1 < self.free.len() {
+            let (ns, nl) = self.free[idx + 1];
+            if start + pages == ns {
+                self.free[idx].1 += nl;
+                self.free.remove(idx + 1);
+            }
+        }
+        if idx > 0 {
+            let (ps, pl) = self.free[idx - 1];
+            if ps + pl == start {
+                self.free[idx - 1].1 += self.free[idx].1;
+                self.free.remove(idx);
+            }
+        }
+    }
+
+    /// Total free pages (for diagnostics).
+    pub fn free_pages(&self) -> u64 {
+        self.free.iter().map(|&(_, l)| l).sum()
+    }
+}
+
+/// Writes `data` as a new file. The data is written through the FTL in
+/// one sequential pass.
+pub fn write_file(dev: &Device, alloc: &mut ExtentAllocator, data: &[u8]) -> Result<VFile> {
+    let page = dev.geometry().page_size;
+    let pages = (data.len().max(1)).div_ceil(page) as u64;
+    let start = alloc.alloc(pages)?;
+    // Write in bounded chunks to keep peak buffering modest.
+    let chunk_pages = 64usize;
+    let mut off = 0usize;
+    let mut lpa = start;
+    while off < data.len() {
+        let end = (off + chunk_pages * page).min(data.len());
+        dev.ftl_write(lpa, &data[off..end])?;
+        lpa += ((end - off).div_ceil(page)) as u64;
+        off = end;
+    }
+    Ok(VFile {
+        start,
+        pages,
+        len: data.len(),
+    })
+}
+
+/// Reads `len` bytes at byte `offset` within `file`.
+pub fn read_file(dev: &Device, file: &VFile, offset: usize, len: usize) -> Result<Vec<u8>> {
+    assert!(offset + len <= file.len, "read past end of vfile");
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let page = dev.geometry().page_size;
+    let first_page = offset / page;
+    let last_page = (offset + len - 1) / page;
+    let (data, _) = dev.ftl_read(
+        file.start + first_page as u64,
+        (last_page - first_page + 1) as u32,
+    )?;
+    let begin = offset - first_page * page;
+    Ok(data[begin..begin + len].to_vec())
+}
+
+/// Deletes a file: TRIMs its pages and returns the extent to the pool.
+pub fn delete_file(dev: &Device, alloc: &mut ExtentAllocator, file: VFile) {
+    dev.ftl_trim(file.start, file.pages);
+    alloc.release(file.start, file.pages);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::SimClock;
+    use ssdsim::DeviceConfig;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::small(), SimClock::new())
+    }
+
+    #[test]
+    fn alloc_release_coalesce() {
+        let mut a = ExtentAllocator::new(100);
+        let x = a.alloc(30).unwrap();
+        let y = a.alloc(30).unwrap();
+        let z = a.alloc(40).unwrap();
+        assert_eq!((x, y, z), (0, 30, 60));
+        assert!(a.alloc(1).is_err());
+        a.release(y, 30);
+        a.release(x, 30);
+        a.release(z, 40);
+        assert_eq!(a.free_pages(), 100);
+        // Fully coalesced: one extent of 100.
+        assert_eq!(a.alloc(100).unwrap(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = dev();
+        let mut a = ExtentAllocator::new(DeviceConfig::small().logical_pages());
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let f = write_file(&d, &mut a, &data).unwrap();
+        assert_eq!(read_file(&d, &f, 0, data.len()).unwrap(), data);
+        assert_eq!(read_file(&d, &f, 5000, 123).unwrap(), &data[5000..5123]);
+        delete_file(&d, &mut a, f);
+        assert_eq!(a.free_pages(), DeviceConfig::small().logical_pages());
+    }
+
+    #[test]
+    fn reuse_after_delete() {
+        let d = dev();
+        let mut a = ExtentAllocator::new(16);
+        let f1 = write_file(&d, &mut a, &vec![1u8; 16 * 4096]).unwrap();
+        assert!(write_file(&d, &mut a, &[0u8; 1]).is_err());
+        delete_file(&d, &mut a, f1);
+        let f2 = write_file(&d, &mut a, &vec![2u8; 4096]).unwrap();
+        assert_eq!(read_file(&d, &f2, 0, 4096).unwrap(), vec![2u8; 4096]);
+    }
+}

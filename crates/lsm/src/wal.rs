@@ -1,0 +1,131 @@
+//! Write-ahead log.
+//!
+//! Every mutation is appended to the log before entering the memtable, as
+//! LevelDB does. The log is written through the FTL path in page-sized
+//! chunks and discarded (TRIMmed) whenever the memtable flushes, so its
+//! traffic contributes to the baseline's device write load exactly as a
+//! real log file would.
+//!
+//! The baseline engine is not required to *replay* the log (the paper
+//! never measures LevelDB recovery), so the log stores raw record bytes
+//! without framing.
+
+use crate::pagefile::ExtentAllocator;
+use crate::Result;
+use ssdsim::{Device, Lpa};
+
+/// The write-ahead log: a chain of logical-page segments.
+#[derive(Debug, Default)]
+pub struct Wal {
+    segments: Vec<(Lpa, u64)>,
+    /// Pages already written in the last segment.
+    used_in_last: u64,
+    buf: Vec<u8>,
+    /// Total bytes appended since the last reset (diagnostics).
+    pub appended_bytes: u64,
+}
+
+/// Pages per WAL segment allocation.
+const SEGMENT_PAGES: u64 = 64;
+
+impl Wal {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes, writing out any full pages.
+    pub fn append(
+        &mut self,
+        dev: &Device,
+        alloc: &mut ExtentAllocator,
+        data: &[u8],
+    ) -> Result<()> {
+        self.buf.extend_from_slice(data);
+        self.appended_bytes += data.len() as u64;
+        let page = dev.geometry().page_size;
+        while self.buf.len() >= page {
+            let lpa = self.next_lpa(alloc)?;
+            let chunk: Vec<u8> = self.buf.drain(..page).collect();
+            dev.ftl_write(lpa, &chunk)?;
+            self.used_in_last += 1;
+        }
+        Ok(())
+    }
+
+    fn next_lpa(&mut self, alloc: &mut ExtentAllocator) -> Result<Lpa> {
+        let need_segment = match self.segments.last() {
+            Some(&(_, pages)) => self.used_in_last >= pages,
+            None => true,
+        };
+        if need_segment {
+            let start = alloc.alloc(SEGMENT_PAGES)?;
+            self.segments.push((start, SEGMENT_PAGES));
+            self.used_in_last = 0;
+        }
+        let &(start, _) = self.segments.last().expect("just ensured");
+        Ok(start + self.used_in_last)
+    }
+
+    /// Discards the log after a memtable flush: TRIMs every written page
+    /// and frees the extents.
+    pub fn reset(&mut self, dev: &Device, alloc: &mut ExtentAllocator) {
+        for (i, &(start, pages)) in self.segments.iter().enumerate() {
+            let written = if i + 1 == self.segments.len() {
+                self.used_in_last
+            } else {
+                pages
+            };
+            if written > 0 {
+                dev.ftl_trim(start, written);
+            }
+            alloc.release(start, pages);
+        }
+        self.segments.clear();
+        self.used_in_last = 0;
+        self.buf.clear();
+        self.appended_bytes = 0;
+    }
+
+    /// Pages currently held by the log.
+    pub fn pages_held(&self) -> u64 {
+        self.segments.iter().map(|&(_, p)| p).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::SimClock;
+    use ssdsim::DeviceConfig;
+
+    #[test]
+    fn append_writes_pages_and_reset_frees() {
+        let dev = Device::new(DeviceConfig::small(), SimClock::new());
+        let mut alloc = ExtentAllocator::new(DeviceConfig::small().logical_pages());
+        let total = alloc.free_pages();
+        let mut wal = Wal::new();
+        // Less than a page: nothing written yet.
+        wal.append(&dev, &mut alloc, &[1u8; 100]).unwrap();
+        assert_eq!(dev.counters().host_write_bytes, 0);
+        // Cross several pages.
+        wal.append(&dev, &mut alloc, &vec![2u8; 4096 * 3]).unwrap();
+        assert!(dev.counters().host_write_bytes >= 3 * 4096);
+        assert_eq!(wal.pages_held(), SEGMENT_PAGES);
+        wal.reset(&dev, &mut alloc);
+        assert_eq!(alloc.free_pages(), total);
+        assert_eq!(wal.appended_bytes, 0);
+    }
+
+    #[test]
+    fn grows_across_segments() {
+        let dev = Device::new(DeviceConfig::small(), SimClock::new());
+        let mut alloc = ExtentAllocator::new(DeviceConfig::small().logical_pages());
+        let mut wal = Wal::new();
+        let bytes = (SEGMENT_PAGES as usize + 10) * 4096;
+        wal.append(&dev, &mut alloc, &vec![3u8; bytes]).unwrap();
+        assert_eq!(wal.pages_held(), 2 * SEGMENT_PAGES);
+        wal.reset(&dev, &mut alloc);
+        assert_eq!(wal.pages_held(), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Model-based property test: the LSM engine must agree with a `BTreeMap`
+//! on every observable behaviour, across arbitrary interleavings of
+//! writes, deletes, reads, scans, flushes, and compactions.
+
+use bytes::Bytes;
+use lsmtree::{LsmConfig, LsmTree};
+use proptest::prelude::*;
+use simclock::SimClock;
+use ssdsim::{Device, DeviceConfig};
+use std::collections::BTreeMap;
+
+fn engine() -> LsmTree {
+    let dev = Device::new(DeviceConfig::sized(32 * 1024 * 1024), SimClock::new());
+    LsmTree::new(dev, LsmConfig::tiny())
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    Get(u8),
+    Scan(u8, u8),
+    Flush,
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0u8..40;
+    prop_oneof![
+        5 => (key.clone(), proptest::collection::vec(any::<u8>(), 0..120))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => key.clone().prop_map(Op::Delete),
+        4 => key.clone().prop_map(Op::Get),
+        2 => (key.clone(), key).prop_map(|(a, b)| Op::Scan(a.min(b), a.max(b))),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+    ]
+}
+
+fn keybytes(k: u8) -> Vec<u8> {
+    format!("key-{k:03}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lsm_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        let mut db = engine();
+        let mut model: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(&keybytes(k), &v).unwrap();
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    db.delete(&keybytes(k)).unwrap();
+                    model.remove(&k);
+                }
+                Op::Get(k) => {
+                    let got = db.get(&keybytes(k)).unwrap().map(|b| b.to_vec());
+                    prop_assert_eq!(got, model.get(&k).cloned(), "GET key-{:03}", k);
+                }
+                Op::Scan(lo, hi) => {
+                    let got: Vec<(Bytes, Bytes)> =
+                        db.scan(&keybytes(lo), &keybytes(hi)).unwrap();
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range(lo..hi)
+                        .map(|(k, v)| (keybytes(*k), v.clone()))
+                        .collect();
+                    let got: Vec<(Vec<u8>, Vec<u8>)> = got
+                        .into_iter()
+                        .map(|(k, v)| (k.to_vec(), v.to_vec()))
+                        .collect();
+                    prop_assert_eq!(got, want, "SCAN [{}, {})", lo, hi);
+                }
+                Op::Flush => db.flush_memtable().unwrap(),
+                Op::Compact => db.maybe_compact().unwrap(),
+            }
+        }
+        // Final full sweep.
+        for k in 0u8..40 {
+            let got = db.get(&keybytes(k)).unwrap().map(|b| b.to_vec());
+            prop_assert_eq!(got, model.get(&k).cloned(), "final GET key-{:03}", k);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The memory-resident table ("memtable") at the heart of QinDB.
+//!
+//! DirectLoad's storage engine keeps *all* keys sorted in main memory and
+//! only values on flash (§2.1 of the paper): "The key-value pairs are
+//! appended to the AOFs and the keys are sorted in a memory-resident skip
+//! list." This crate provides:
+//!
+//! * [`SkipList`] — a from-scratch, deterministic, arena-backed skip list
+//!   ([Pugh 1990], the paper's reference \[8\]);
+//! * the versioned-entry vocabulary ([`VersionedKey`], [`IndexEntry`],
+//!   [`ValueLocation`]) that QinDB stores in it, including the paper's `r`
+//!   (deduplicated) and `d` (deleted) flags;
+//! * [`Memtable`] — the typed wrapper with the version-aggregation
+//!   queries the mutated GET/DEL operations need (same user keys sort
+//!   adjacent in increasing version order);
+//! * a checkpoint codec so an engine can persist and reload the table
+//!   without replaying every AOF.
+//!
+//! [Pugh 1990]: https://doi.org/10.1145/78973.78977
+
+mod checkpoint;
+mod entry;
+mod skiplist;
+mod table;
+
+pub use checkpoint::{decode_checkpoint, encode_checkpoint, CheckpointError};
+pub use entry::{IndexEntry, ValueLocation, VersionedKey};
+pub use skiplist::SkipList;
+pub use table::Memtable;

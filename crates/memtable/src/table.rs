@@ -1,0 +1,325 @@
+//! The typed memtable: a skip list of [`VersionedKey`] → [`IndexEntry`]
+//! plus the version-chain queries QinDB's mutated operations need.
+
+use crate::entry::{IndexEntry, ValueLocation, VersionedKey};
+use crate::skiplist::SkipList;
+use bytes::Bytes;
+
+/// QinDB's memory-resident index.
+///
+/// Same-key entries sort adjacently in increasing version order, so the
+/// version-chain queries below are short sequential scans from a skip-list
+/// lower bound.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    list: SkipList<VersionedKey, IndexEntry>,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Memtable {
+            list: SkipList::new(),
+        }
+    }
+
+    /// Number of items (one per key/version pair).
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True when the table holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Inserts (or replaces) the item for `k/t`.
+    pub fn insert(&mut self, key: VersionedKey, entry: IndexEntry) -> Option<IndexEntry> {
+        self.list.insert(key, entry)
+    }
+
+    /// Point lookup of `k/t`.
+    pub fn get(&self, key: &VersionedKey) -> Option<&IndexEntry> {
+        self.list.get(key)
+    }
+
+    /// Mutable point lookup of `k/t`.
+    pub fn get_mut(&mut self, key: &VersionedKey) -> Option<&mut IndexEntry> {
+        self.list.get_mut(key)
+    }
+
+    /// Removes the item for `k/t`.
+    pub fn remove(&mut self, key: &VersionedKey) -> Option<IndexEntry> {
+        self.list.remove(key)
+    }
+
+    /// All versions of `key`, ascending.
+    pub fn versions_of<'a>(
+        &'a self,
+        key: &'a [u8],
+    ) -> impl Iterator<Item = (u64, &'a IndexEntry)> + 'a {
+        self.list
+            .iter_from(&VersionedKey::first_version(Bytes::copy_from_slice(key)))
+            .take_while(move |(k, _)| k.key.as_ref() == key)
+            .map(|(k, e)| (k.version, e))
+    }
+
+    /// GET's traceback: starting from version `t` of `key`, walk to older
+    /// versions and return the newest version `≤ t` that carries a value
+    /// (is not deduplicated).
+    ///
+    /// A *deleted* ancestor does **not** end the chain: the engine's lazy
+    /// GC keeps a deleted record's bytes on flash for as long as a later
+    /// deduplicated version references them (§2.3, "invalid key-value
+    /// pairs that are referred by later version keys" survive GC). Whether
+    /// the queried version `t` itself is deleted is the caller's check.
+    ///
+    /// Returns `(version, location, steps)` where `steps` is the number of
+    /// older versions visited after `t` itself (0 = direct hit), which the
+    /// traceback-depth ablation reports.
+    pub fn trace_back_value(&self, key: &[u8], t: u64) -> Option<(u64, ValueLocation, u32)> {
+        let mut chain: Vec<(u64, &IndexEntry)> =
+            self.versions_of(key).take_while(|(v, _)| *v <= t).collect();
+        // Walk from the newest candidate backwards.
+        let mut steps = 0u32;
+        while let Some((v, e)) = chain.pop() {
+            if !e.deduplicated {
+                return Some((v, e.location, steps));
+            }
+            steps += 1;
+        }
+        None
+    }
+
+    /// True when some *live* later version of `key` resolves its value by
+    /// tracing back to version `t` — i.e. the versions after `t` form an
+    /// unbroken run of deduplicated entries, at least one of which is not
+    /// deleted. The lazy GC must keep such a record on flash even after
+    /// `k/t` itself is deleted.
+    pub fn is_referenced_by_later(&self, key: &[u8], t: u64) -> bool {
+        for (v, e) in self.versions_of(key) {
+            if v <= t {
+                continue;
+            }
+            if !e.deduplicated {
+                return false; // chain broken: later versions self-resolve
+            }
+            if !e.deleted {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The newest version of `key` at or below `t`, with its entry — what
+    /// a reader pinned to index version `t` sees for this key.
+    pub fn visible_at<'a>(&'a self, key: &'a [u8], t: u64) -> Option<(u64, &'a IndexEntry)> {
+        self.versions_of(key)
+            .take_while(|(v, _)| *v <= t)
+            .last()
+    }
+
+    /// Iterates distinct user keys starting with `prefix`, in order,
+    /// yielding each key once (scans are resolved per key via
+    /// [`Memtable::visible_at`]).
+    pub fn keys_with_prefix<'a>(
+        &'a self,
+        prefix: &'a [u8],
+    ) -> impl Iterator<Item = Bytes> + 'a {
+        let mut last: Option<Bytes> = None;
+        self.list
+            .iter_from(&VersionedKey::first_version(Bytes::copy_from_slice(prefix)))
+            .take_while(move |(k, _)| k.key.starts_with(prefix))
+            .filter_map(move |(k, _)| {
+                if last.as_ref() == Some(&k.key) {
+                    None
+                } else {
+                    last = Some(k.key.clone());
+                    Some(k.key.clone())
+                }
+            })
+    }
+
+    /// Oldest version of `key`, if any.
+    pub fn oldest_version(&self, key: &[u8]) -> Option<u64> {
+        self.versions_of(key).next().map(|(v, _)| v)
+    }
+
+    /// Iterates every item in `(key, version)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VersionedKey, &IndexEntry)> {
+        self.list.iter()
+    }
+
+    /// Approximate bytes of memory held by the table (keys + structure).
+    pub fn approx_bytes(&self) -> usize {
+        let key_bytes: usize = self.list.iter().map(|(k, _)| k.key.len() + 8).sum();
+        key_bytes + self.list.approx_overhead_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(file: u64) -> ValueLocation {
+        ValueLocation {
+            file,
+            offset: 0,
+            len: 10,
+        }
+    }
+
+    fn table_with(entries: &[(&str, u64, IndexEntry)]) -> Memtable {
+        let mut t = Memtable::new();
+        for (k, v, e) in entries {
+            t.insert(VersionedKey::new(k.to_string(), *v), *e);
+        }
+        t
+    }
+
+    #[test]
+    fn versions_scan_is_per_key_ascending() {
+        let t = table_with(&[
+            ("a", 3, IndexEntry::full(loc(3))),
+            ("a", 1, IndexEntry::full(loc(1))),
+            ("b", 2, IndexEntry::full(loc(2))),
+            ("ab", 5, IndexEntry::full(loc(5))),
+        ]);
+        let versions: Vec<u64> = t.versions_of(b"a").map(|(v, _)| v).collect();
+        assert_eq!(versions, vec![1, 3]);
+        // Prefix "a" must not leak into key "ab".
+        let versions: Vec<u64> = t.versions_of(b"ab").map(|(v, _)| v).collect();
+        assert_eq!(versions, vec![5]);
+        assert!(t.versions_of(b"zz").next().is_none());
+    }
+
+    #[test]
+    fn traceback_direct_hit() {
+        let t = table_with(&[("k", 4, IndexEntry::full(loc(4)))]);
+        assert_eq!(t.trace_back_value(b"k", 4), Some((4, loc(4), 0)));
+    }
+
+    #[test]
+    fn traceback_walks_dedup_chain() {
+        // v1 full, v2..v4 deduplicated: GET(k/4) resolves to v1's value
+        // after 3 steps.
+        let t = table_with(&[
+            ("k", 1, IndexEntry::full(loc(1))),
+            ("k", 2, IndexEntry::deduplicated(loc(2))),
+            ("k", 3, IndexEntry::deduplicated(loc(3))),
+            ("k", 4, IndexEntry::deduplicated(loc(4))),
+        ]);
+        assert_eq!(t.trace_back_value(b"k", 4), Some((1, loc(1), 3)));
+        assert_eq!(t.trace_back_value(b"k", 2), Some((1, loc(1), 1)));
+        assert_eq!(t.trace_back_value(b"k", 1), Some((1, loc(1), 0)));
+    }
+
+    #[test]
+    fn traceback_ignores_newer_versions() {
+        let t = table_with(&[
+            ("k", 1, IndexEntry::full(loc(1))),
+            ("k", 5, IndexEntry::full(loc(5))),
+        ]);
+        assert_eq!(t.trace_back_value(b"k", 3), Some((1, loc(1), 0)));
+    }
+
+    #[test]
+    fn traceback_resolves_through_deleted_ancestor() {
+        // v1 is deleted but v2 (deduplicated, live) still references its
+        // value; GET(k/2) must resolve to v1's bytes — GC keeps them.
+        let mut deleted = IndexEntry::full(loc(1));
+        deleted.deleted = true;
+        let t = table_with(&[
+            ("k", 1, deleted),
+            ("k", 2, IndexEntry::deduplicated(loc(2))),
+        ]);
+        assert_eq!(t.trace_back_value(b"k", 2), Some((1, loc(1), 1)));
+    }
+
+    #[test]
+    fn traceback_missing_key_is_none() {
+        let t = Memtable::new();
+        assert_eq!(t.trace_back_value(b"nope", 9), None);
+    }
+
+    #[test]
+    fn reference_detection() {
+        // v1 full; v2 dedup (live) → v1 is referenced.
+        let t = table_with(&[
+            ("k", 1, IndexEntry::full(loc(1))),
+            ("k", 2, IndexEntry::deduplicated(loc(2))),
+        ]);
+        assert!(t.is_referenced_by_later(b"k", 1));
+        assert!(!t.is_referenced_by_later(b"k", 2));
+
+        // Chain broken by a full v2: v1 not referenced.
+        let t = table_with(&[
+            ("k", 1, IndexEntry::full(loc(1))),
+            ("k", 2, IndexEntry::full(loc(2))),
+            ("k", 3, IndexEntry::deduplicated(loc(3))),
+        ]);
+        assert!(!t.is_referenced_by_later(b"k", 1));
+        assert!(t.is_referenced_by_later(b"k", 2));
+
+        // Dedup chain entirely deleted: not referenced.
+        let mut dd = IndexEntry::deduplicated(loc(2));
+        dd.deleted = true;
+        let t = table_with(&[("k", 1, IndexEntry::full(loc(1))), ("k", 2, dd)]);
+        assert!(!t.is_referenced_by_later(b"k", 1));
+    }
+
+    #[test]
+    fn oldest_version_and_len() {
+        let t = table_with(&[
+            ("k", 7, IndexEntry::full(loc(7))),
+            ("k", 2, IndexEntry::full(loc(2))),
+        ]);
+        assert_eq!(t.oldest_version(b"k"), Some(2));
+        assert_eq!(t.oldest_version(b"x"), None);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn visible_at_picks_newest_at_or_below() {
+        let t = table_with(&[
+            ("k", 2, IndexEntry::full(loc(2))),
+            ("k", 5, IndexEntry::full(loc(5))),
+        ]);
+        assert_eq!(t.visible_at(b"k", 1), None);
+        assert_eq!(t.visible_at(b"k", 2).unwrap().0, 2);
+        assert_eq!(t.visible_at(b"k", 4).unwrap().0, 2);
+        assert_eq!(t.visible_at(b"k", 9).unwrap().0, 5);
+    }
+
+    #[test]
+    fn prefix_key_iteration_is_distinct_and_ordered() {
+        let t = table_with(&[
+            ("app/a", 1, IndexEntry::full(loc(1))),
+            ("app/a", 2, IndexEntry::full(loc(2))),
+            ("app/b", 1, IndexEntry::full(loc(3))),
+            ("apz", 1, IndexEntry::full(loc(4))),
+            ("aaa", 1, IndexEntry::full(loc(5))),
+        ]);
+        let keys: Vec<String> = t
+            .keys_with_prefix(b"app/")
+            .map(|k| String::from_utf8_lossy(&k).into_owned())
+            .collect();
+        assert_eq!(keys, vec!["app/a", "app/b"]);
+        assert_eq!(t.keys_with_prefix(b"zz").count(), 0);
+        assert_eq!(t.keys_with_prefix(b"").count(), 4);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let mut t = Memtable::new();
+        let empty = t.approx_bytes();
+        for i in 0..100u64 {
+            t.insert(
+                VersionedKey::new(format!("key-{i:04}"), 1),
+                IndexEntry::full(loc(i)),
+            );
+        }
+        assert!(t.approx_bytes() > empty);
+    }
+}

@@ -1,0 +1,86 @@
+//! Model-based property tests: the skip list must agree with `BTreeMap`
+//! on every observable behaviour, under arbitrary op interleavings.
+
+use memtable::SkipList;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    IterFrom(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Remove(k % 512)),
+        2 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => any::<u16>().prop_map(|k| Op::IterFrom(k % 512)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn skiplist_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 1..600)) {
+        let mut sl: SkipList<u16, u32> = SkipList::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(sl.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(sl.remove(&k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(sl.get(&k), model.get(&k));
+                }
+                Op::IterFrom(k) => {
+                    let got: Vec<(u16, u32)> = sl.iter_from(&k).map(|(a, b)| (*a, *b)).collect();
+                    let want: Vec<(u16, u32)> = model.range(k..).map(|(a, b)| (*a, *b)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(sl.len(), model.len());
+        }
+        // Final full-iteration equivalence.
+        let got: Vec<(u16, u32)> = sl.iter().map(|(a, b)| (*a, *b)).collect();
+        let want: Vec<(u16, u32)> = model.iter().map(|(a, b)| (*a, *b)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Checkpoint images round-trip arbitrary memtable contents.
+    #[test]
+    fn checkpoint_roundtrip(
+        entries in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..24), any::<u64>(),
+             any::<u64>(), any::<u32>(), any::<u32>(), any::<bool>(), any::<bool>()),
+            0..64,
+        )
+    ) {
+        use memtable::{decode_checkpoint, encode_checkpoint, IndexEntry, Memtable,
+                       ValueLocation, VersionedKey};
+        let mut t = Memtable::new();
+        for (key, version, file, offset, len, dedup, deleted) in entries {
+            t.insert(
+                VersionedKey::new(key, version),
+                IndexEntry {
+                    location: ValueLocation { file, offset, len },
+                    deduplicated: dedup,
+                    deleted,
+                    dead_accounted: false,
+                    copies: 1,
+                },
+            );
+        }
+        let back = decode_checkpoint(&encode_checkpoint(&t)).unwrap();
+        let a: Vec<_> = t.iter().map(|(k, e)| (k.clone(), *e)).collect();
+        let b: Vec<_> = back.iter().map(|(k, e)| (k.clone(), *e)).collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,15 @@
+use bytes::Bytes;
+use mint::{Mint, MintConfig, NodeId, WriteOp};
+fn main() {
+    let mut c = Mint::new(MintConfig::tiny());
+    let key = vec![b'k', 9u8];
+    c.apply(&[WriteOp { key: Bytes::from(key.clone()), version: 3, value: Some(Bytes::from(vec![10u8; 73])) }]).unwrap();
+    c.fail_node(NodeId(3)).unwrap();
+    println!("del -> {:?}", c.delete(&key, 3));
+    // check state on nodes 4,5 directly via get BEFORE recovery
+    let (v, _) = c.get(&key, 3).unwrap();
+    println!("GET during outage -> {:?}", v.map(|b| b.len()));
+    c.recover_node(NodeId(3)).unwrap();
+    let (v, _) = c.get(&key, 3).unwrap();
+    println!("GET after recovery -> {:?}", v.map(|b| b.len()));
+}

@@ -1,0 +1,736 @@
+//! The cluster: nodes, groups, replication, parallel reads, failure and
+//! recovery.
+
+use crate::hash::{group_of, rendezvous_rank};
+use crate::{MintError, Result};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use qindb::{EngineStats, KeyStatus, QinDb, QinDbConfig};
+use simclock::{SimClock, SimTime};
+use ssdsim::{Device, DeviceConfig};
+
+/// Identifier of a storage node (dense, cluster-wide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// One write as routed by Mint (the wire shape Bifrost delivers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOp {
+    /// The key.
+    pub key: Bytes,
+    /// Version `t`.
+    pub version: u64,
+    /// The value, or `None` for a deduplicated pair.
+    pub value: Option<Bytes>,
+}
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MintConfig {
+    /// Number of groups (`H(k)` maps keys onto these).
+    pub groups: usize,
+    /// Storage nodes per group.
+    pub nodes_per_group: usize,
+    /// Replicas per pair (the paper deploys three).
+    pub replicas: usize,
+    /// Per-node simulated SSD.
+    pub device: DeviceConfig,
+    /// Per-node engine configuration.
+    pub engine: QinDbConfig,
+    /// Apply batches on worker threads (one per node touched). Turn off
+    /// for strictly deterministic single-threaded debugging; results are
+    /// identical either way because nodes share no state.
+    pub parallel_apply: bool,
+}
+
+impl MintConfig {
+    /// A small 2-group × 3-node cluster for tests.
+    pub fn tiny() -> Self {
+        MintConfig {
+            groups: 2,
+            nodes_per_group: 3,
+            replicas: 3,
+            device: DeviceConfig::small(),
+            engine: QinDbConfig::small_files(2 * 1024 * 1024),
+            parallel_apply: false,
+        }
+    }
+}
+
+struct NodeState {
+    id: NodeId,
+    clock: SimClock,
+    device: Device,
+    /// `None` while the node is failed (host memory lost).
+    engine: Mutex<Option<QinDb>>,
+}
+
+/// Outcome of applying a batch of writes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ApplyReport {
+    /// Write operations routed (each lands on `replicas` nodes).
+    pub ops: u64,
+    /// Payload bytes routed (pre-replication).
+    pub bytes: u64,
+    /// Cluster wall time for the batch: the maximum busy time across
+    /// nodes, since nodes work in parallel.
+    pub wall: SimTime,
+    /// Writes skipped because a replica was failed at the time.
+    pub skipped_replicas: u64,
+}
+
+impl ApplyReport {
+    /// Keys per second for this batch (the Figure 10a metric).
+    pub fn keys_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+}
+
+/// A Mint cluster for one data center.
+pub struct Mint {
+    cfg: MintConfig,
+    nodes: Vec<NodeState>,
+    /// Node ids per group.
+    groups: Vec<Vec<u32>>,
+    /// Alive flags, indexed by node id.
+    alive: Vec<bool>,
+}
+
+impl Mint {
+    /// Builds the cluster: `groups × nodes_per_group` nodes, each with a
+    /// fresh device and engine.
+    pub fn new(cfg: MintConfig) -> Self {
+        assert!(cfg.groups > 0 && cfg.nodes_per_group > 0);
+        assert!(
+            cfg.replicas >= 1 && cfg.replicas <= cfg.nodes_per_group,
+            "replicas must fit in a group"
+        );
+        let mut nodes = Vec::new();
+        let mut groups = Vec::new();
+        for g in 0..cfg.groups {
+            let mut members = Vec::new();
+            for _ in 0..cfg.nodes_per_group {
+                let id = NodeId(nodes.len() as u32);
+                let clock = SimClock::new();
+                let device = Device::new(cfg.device, clock.clone());
+                let engine = QinDb::new(device.clone(), cfg.engine);
+                nodes.push(NodeState {
+                    id,
+                    clock,
+                    device,
+                    engine: Mutex::new(Some(engine)),
+                });
+                members.push(id.0);
+            }
+            let _ = g;
+            groups.push(members);
+        }
+        let alive = vec![true; nodes.len()];
+        Mint {
+            cfg,
+            nodes,
+            groups,
+            alive,
+        }
+    }
+
+    /// Total nodes in the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The replica set for `key` among currently alive group members.
+    pub fn replicas_of(&self, key: &[u8]) -> Vec<NodeId> {
+        let group = group_of(key, self.groups.len());
+        let alive: Vec<u32> = self.groups[group]
+            .iter()
+            .copied()
+            .filter(|&n| self.alive[n as usize])
+            .collect();
+        rendezvous_rank(key, &alive)
+            .into_iter()
+            .take(self.cfg.replicas)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Applies a batch of writes, replicating each op. Returns the batch
+    /// report; wall time is max per-node busy time.
+    pub fn apply(&mut self, ops: &[WriteOp]) -> Result<ApplyReport> {
+        // Route ops to per-node work lists.
+        let mut per_node: Vec<Vec<&WriteOp>> = (0..self.nodes.len()).map(|_| Vec::new()).collect();
+        let mut report = ApplyReport::default();
+        for op in ops {
+            report.ops += 1;
+            report.bytes += (op.key.len() + op.value.as_ref().map_or(0, |v| v.len())) as u64;
+            let replicas = self.replicas_of(&op.key);
+            report.skipped_replicas += (self.cfg.replicas - replicas.len()) as u64;
+            for r in replicas {
+                per_node[r.0 as usize].push(op);
+            }
+        }
+        let before: Vec<SimTime> = self.nodes.iter().map(|n| n.clock.now()).collect();
+        let apply_node = |node: &NodeState, work: &[&WriteOp]| -> Result<()> {
+            let mut guard = node.engine.lock();
+            let engine = guard.as_mut().ok_or(MintError::BadNodeState(node.id.0))?;
+            for op in work {
+                engine
+                    .put(&op.key, op.version, op.value.as_deref())
+                    .map_err(|error| MintError::Node {
+                        node: node.id.0,
+                        error,
+                    })?;
+            }
+            // Batch commit: the tail must be durable before the version is
+            // acknowledged to the delivery layer.
+            engine.flush().map_err(|error| MintError::Node {
+                node: node.id.0,
+                error,
+            })?;
+            Ok(())
+        };
+        if self.cfg.parallel_apply {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .nodes
+                    .iter()
+                    .zip(per_node.iter())
+                    .filter(|(_, work)| !work.is_empty())
+                    .map(|(node, work)| scope.spawn(move || apply_node(node, work)))
+                    .collect();
+                for h in handles {
+                    h.join().expect("apply worker panicked")?;
+                }
+                Ok::<(), MintError>(())
+            })?;
+        } else {
+            for (node, work) in self.nodes.iter().zip(per_node.iter()) {
+                if !work.is_empty() {
+                    apply_node(node, work)?;
+                }
+            }
+        }
+        report.wall = self
+            .nodes
+            .iter()
+            .zip(before)
+            .map(|(n, b)| n.clock.now().saturating_sub(b))
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        Ok(report)
+    }
+
+    /// Deletes `key/version` on its replicas (used to retire old index
+    /// versions; at most four stay on disk in production).
+    pub fn delete(&mut self, key: &[u8], version: u64) -> Result<()> {
+        for r in self.replicas_of(key) {
+            let node = &self.nodes[r.0 as usize];
+            let mut guard = node.engine.lock();
+            if let Some(engine) = guard.as_mut() {
+                engine
+                    .del(key, version)
+                    .map_err(|error| MintError::Node {
+                        node: r.0,
+                        error,
+                    })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All alive members of `key`'s group — the read fan-out set. Writes
+    /// go to the top-R replicas, but membership changes re-rank without
+    /// moving data ("without redistributing the stored key-value pairs"),
+    /// so a read must consult the whole (small) group to be sure of
+    /// finding the nodes that held the key when it was written.
+    fn group_readers(&self, key: &[u8]) -> Vec<NodeId> {
+        let group = group_of(key, self.groups.len());
+        self.groups[group]
+            .iter()
+            .copied()
+            .filter(|&n| self.alive[n as usize])
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Reads `key/version` by fanning out to every alive node of the
+    /// key's group in parallel and reconciling:
+    ///
+    /// * any node reporting **deleted** is authoritative — a version is
+    ///   deleted at most once and never rewritten afterwards, so a stale
+    ///   replica cannot resurrect retired data;
+    /// * otherwise the live response resolved through the **highest**
+    ///   version wins: version chains are append-only, so a replica whose
+    ///   deduplication traceback landed on a newer ancestor is strictly
+    ///   better informed than one with a partial chain (ties are
+    ///   byte-identical by immutability and break by latency);
+    /// * all-missing is a miss.
+    ///
+    /// The reported latency is the winning live response's, or the
+    /// slowest responder's when absence had to be confirmed.
+    pub fn get(&self, key: &[u8], version: u64) -> Result<(Option<Bytes>, SimTime)> {
+        let readers = self.group_readers(key);
+        let mut best_live: Option<(Bytes, u64, SimTime)> = None;
+        let mut deleted = false;
+        let mut slowest = SimTime::ZERO;
+        let mut responders = 0usize;
+        for r in readers {
+            let node = &self.nodes[r.0 as usize];
+            let mut guard = node.engine.lock();
+            let Some(engine) = guard.as_mut() else { continue };
+            let t0 = node.clock.now();
+            let status = engine
+                .status(key, version)
+                .map_err(|error| MintError::Node {
+                    node: r.0,
+                    error,
+                })?;
+            let latency = node.clock.now().saturating_sub(t0);
+            slowest = slowest.max(latency);
+            responders += 1;
+            match status {
+                KeyStatus::Deleted => deleted = true,
+                KeyStatus::Live {
+                    value,
+                    resolved_version,
+                } => {
+                    let better = match &best_live {
+                        None => true,
+                        Some((_, best_v, best_l)) => {
+                            resolved_version > *best_v
+                                || (resolved_version == *best_v && latency < *best_l)
+                        }
+                    };
+                    if better {
+                        best_live = Some((value, resolved_version, latency));
+                    }
+                }
+                KeyStatus::Missing => {}
+            }
+        }
+        if responders == 0 {
+            return Err(MintError::NoReplicaAvailable);
+        }
+        if deleted {
+            return Ok((None, slowest));
+        }
+        match best_live {
+            Some((value, _, latency)) => Ok((Some(value), latency)),
+            None => Ok((None, slowest)),
+        }
+    }
+
+    /// Simulates a node crash: host memory (memtable, GC table) is lost;
+    /// the device contents survive. Reads fail over to other replicas and
+    /// writes skip the node until [`Mint::recover_node`].
+    pub fn fail_node(&mut self, node: NodeId) -> Result<()> {
+        let state = self
+            .nodes
+            .get(node.0 as usize)
+            .ok_or(MintError::NoSuchNode(node.0))?;
+        let mut guard = state.engine.lock();
+        if guard.take().is_none() || !self.alive[node.0 as usize] {
+            return Err(MintError::BadNodeState(node.0));
+        }
+        self.alive[node.0 as usize] = false;
+        Ok(())
+    }
+
+    /// Recovers a failed node: it rebuilds from its own AOFs (the paper's
+    /// recovery path), then catches up on everything it missed from its
+    /// group peers (anti-entropy) **before** serving — this is what lets
+    /// "parallel requests to the replicas hide the node recovery" without
+    /// the recovered node ever serving stale chains. Returns how long the
+    /// local scan plus catch-up kept the node busy.
+    pub fn recover_node(&mut self, node: NodeId) -> Result<SimTime> {
+        let state = self
+            .nodes
+            .get(node.0 as usize)
+            .ok_or(MintError::NoSuchNode(node.0))?;
+        let mut guard = state.engine.lock();
+        if guard.is_some() || self.alive[node.0 as usize] {
+            return Err(MintError::BadNodeState(node.0));
+        }
+        let t0 = state.clock.now();
+        let engine = QinDb::recover(state.device.clone(), self.cfg.engine)
+            .map_err(|error| MintError::Node {
+                node: node.0,
+                error,
+            })?;
+        *guard = Some(engine);
+        drop(guard);
+        self.alive[node.0 as usize] = true;
+        self.sync_node(node)?;
+        let state = &self.nodes[node.0 as usize];
+        Ok(state.clock.now().saturating_sub(t0))
+    }
+
+    /// Anti-entropy: copies every `(key, version)` the node is missing
+    /// from its group peers. Live items materialize as full values (the
+    /// peer resolves deduplication locally); deletions replicate as
+    /// put-then-delete so the node's deletion knowledge is authoritative.
+    fn sync_node(&mut self, node: NodeId) -> Result<()> {
+        let group = self
+            .groups
+            .iter()
+            .position(|g| g.contains(&node.0))
+            .expect("node belongs to a group");
+        // Gather the union of peer items (key, version, deleted) plus the
+        // resolved value for live ones.
+        let mut wanted: std::collections::BTreeMap<(Bytes, u64), (bool, Option<Bytes>)> =
+            Default::default();
+        for &peer in &self.groups[group] {
+            if peer == node.0 || !self.alive[peer as usize] {
+                continue;
+            }
+            let peer_node = &self.nodes[peer as usize];
+            let mut guard = peer_node.engine.lock();
+            let Some(engine) = guard.as_mut() else { continue };
+            let items: Vec<(Bytes, u64, bool, bool)> = engine.iter_items().collect();
+            for (key, version, _dedup, deleted) in items {
+                let slot = wanted.entry((key.clone(), version)).or_insert((false, None));
+                if deleted {
+                    slot.0 = true;
+                } else if slot.1.is_none() {
+                    slot.1 = engine.get(&key, version).map_err(|error| MintError::Node {
+                        node: peer,
+                        error,
+                    })?;
+                }
+            }
+        }
+        let state = &self.nodes[node.0 as usize];
+        let mut guard = state.engine.lock();
+        let engine = guard.as_mut().ok_or(MintError::BadNodeState(node.0))?;
+        for ((key, version), (deleted, value)) in wanted {
+            let known = engine
+                .versions_of(&key)
+                .iter()
+                .any(|&(v, _, d)| v == version && (d || !deleted));
+            if known {
+                continue;
+            }
+            let map_err = |error| MintError::Node {
+                node: node.0,
+                error,
+            };
+            if let Some(value) = &value {
+                engine.put(&key, version, Some(value)).map_err(map_err)?;
+            } else if engine.versions_of(&key).iter().all(|&(v, _, _)| v != version) {
+                // Deleted with no resolvable value: store a placeholder so
+                // the deletion mark has an item to guard.
+                engine.put(&key, version, Some(b"")).map_err(map_err)?;
+            }
+            if deleted {
+                engine.del(&key, version).map_err(map_err)?;
+            }
+        }
+        engine.flush().map_err(|error| MintError::Node {
+            node: node.0,
+            error,
+        })?;
+        Ok(())
+    }
+
+    /// Adds a fresh node to `group`. Existing data is not bulk-moved off
+    /// other nodes ("without redistributing the stored key-value pairs"),
+    /// but the newcomer anti-entropies the group's current items before
+    /// serving, so every serving replica holds complete version chains.
+    /// Returns its id.
+    pub fn add_node(&mut self, group: usize) -> NodeId {
+        assert!(group < self.groups.len());
+        let id = NodeId(self.nodes.len() as u32);
+        let clock = SimClock::new();
+        let device = Device::new(self.cfg.device, clock.clone());
+        let engine = QinDb::new(device.clone(), self.cfg.engine);
+        self.nodes.push(NodeState {
+            id,
+            clock,
+            device,
+            engine: Mutex::new(Some(engine)),
+        });
+        self.alive.push(true);
+        self.groups[group].push(id.0);
+        self.sync_node(id).expect("sync of a fresh node cannot fail");
+        id
+    }
+
+    /// Checkpoints every alive node's engine (the paper's periodic
+    /// checkpointing, fleet-wide), so subsequent node recoveries replay
+    /// only post-checkpoint AOF suffixes. Returns how many nodes were
+    /// checkpointed.
+    pub fn checkpoint_all(&mut self) -> Result<usize> {
+        let mut done = 0;
+        for node in &self.nodes {
+            let mut guard = node.engine.lock();
+            if let Some(engine) = guard.as_mut() {
+                engine.checkpoint().map_err(|error| MintError::Node {
+                    node: node.id.0,
+                    error,
+                })?;
+                done += 1;
+            }
+        }
+        Ok(done)
+    }
+
+    /// Aggregated engine stats across alive nodes.
+    pub fn aggregate_stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for node in &self.nodes {
+            let guard = node.engine.lock();
+            if let Some(engine) = guard.as_ref() {
+                let s = engine.stats();
+                total.puts += s.puts;
+                total.gets += s.gets;
+                total.dels += s.dels;
+                total.user_write_bytes += s.user_write_bytes;
+                total.user_read_bytes += s.user_read_bytes;
+                total.gets_not_found += s.gets_not_found;
+                total.gets_traced += s.gets_traced;
+                total.traceback_steps += s.traceback_steps;
+                total.gc_runs += s.gc_runs;
+                total.gc_files_reclaimed += s.gc_files_reclaimed;
+                total.gc_bytes_rewritten += s.gc_bytes_rewritten;
+                total.gc_records_rewritten += s.gc_records_rewritten;
+                total.gc_items_dropped += s.gc_items_dropped;
+            }
+        }
+        total
+    }
+
+    /// Total flash bytes occupied across alive nodes.
+    pub fn total_disk_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.engine.lock().as_ref().map(QinDb::disk_bytes))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(key: &str, version: u64, value: &str) -> WriteOp {
+        WriteOp {
+            key: Bytes::copy_from_slice(key.as_bytes()),
+            version,
+            value: Some(Bytes::copy_from_slice(value.as_bytes())),
+        }
+    }
+
+    fn ops(n: u32, version: u64) -> Vec<WriteOp> {
+        (0..n)
+            .map(|i| write(&format!("key-{i:04}"), version, &format!("value-{i}-{version}")))
+            .collect()
+    }
+
+    #[test]
+    fn apply_and_get_roundtrip() {
+        let mut m = Mint::new(MintConfig::tiny());
+        let report = m.apply(&ops(50, 1)).unwrap();
+        assert_eq!(report.ops, 50);
+        assert!(report.wall > SimTime::ZERO);
+        assert!(report.keys_per_sec() > 0.0);
+        for i in 0..50u32 {
+            let (v, lat) = m.get(format!("key-{i:04}").as_bytes(), 1).unwrap();
+            assert_eq!(v.unwrap().as_ref(), format!("value-{i}-1").as_bytes());
+            assert!(lat > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn dedup_writes_resolve_across_versions() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(20, 1)).unwrap();
+        let dedup: Vec<WriteOp> = (0..20u32)
+            .map(|i| WriteOp {
+                key: Bytes::from(format!("key-{i:04}")),
+                version: 2,
+                value: None,
+            })
+            .collect();
+        m.apply(&dedup).unwrap();
+        for i in 0..20u32 {
+            let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 2).unwrap();
+            assert_eq!(v.unwrap().as_ref(), format!("value-{i}-1").as_bytes());
+        }
+    }
+
+    #[test]
+    fn replicas_land_in_one_group() {
+        let m = Mint::new(MintConfig::tiny());
+        for i in 0..40u32 {
+            let key = format!("key-{i}");
+            let reps = m.replicas_of(key.as_bytes());
+            assert_eq!(reps.len(), 3);
+            let group = crate::hash::group_of(key.as_bytes(), 2);
+            for r in reps {
+                assert!(m.groups[group].contains(&r.0), "replica outside group");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_node_is_masked_by_other_replicas() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        m.fail_node(NodeId(0)).unwrap();
+        // Every key still readable (3 replicas, 1 lost).
+        for i in 0..40u32 {
+            let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 1).unwrap();
+            assert!(v.is_some());
+        }
+        // Double-fail is rejected.
+        assert_eq!(
+            m.fail_node(NodeId(0)).unwrap_err(),
+            MintError::BadNodeState(0)
+        );
+    }
+
+    #[test]
+    fn recovery_restores_node_and_takes_time() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(60, 1)).unwrap();
+        m.fail_node(NodeId(1)).unwrap();
+        let recovery_time = m.recover_node(NodeId(1)).unwrap();
+        assert!(recovery_time > SimTime::ZERO, "AOF scan takes time");
+        for i in 0..60u32 {
+            let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 1).unwrap();
+            assert!(v.is_some());
+        }
+        // Recovering an alive node is rejected.
+        assert_eq!(
+            m.recover_node(NodeId(1)).unwrap_err(),
+            MintError::BadNodeState(1)
+        );
+    }
+
+    #[test]
+    fn writes_during_failure_skip_dead_replica_then_resume() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.fail_node(NodeId(2)).unwrap();
+        let report = m.apply(&ops(30, 1)).unwrap();
+        // Some keys lost one replica (those whose top-3 included node 2
+        // before it died get re-ranked among alive nodes, so skipped can
+        // be zero when the group still has >= 3 alive members).
+        assert!(report.skipped_replicas <= 30 * 3);
+        for i in 0..30u32 {
+            let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 1).unwrap();
+            assert!(v.is_some());
+        }
+    }
+
+    #[test]
+    fn add_node_requires_no_redistribution() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        let snapshot: Vec<Vec<NodeId>> = (0..40u32)
+            .map(|i| m.replicas_of(format!("key-{i:04}").as_bytes()))
+            .collect();
+        let new_node = m.add_node(0);
+        assert_eq!(m.num_nodes(), 7);
+        // Old data stays readable (replica sets may gain the new node for
+        // *future* writes, but group membership keeps old replicas valid).
+        for i in 0..40u32 {
+            let key = format!("key-{i:04}");
+            let (v, _) = m.get(key.as_bytes(), 1).unwrap();
+            // Keys whose new top-3 includes the (empty) new node may still
+            // be served by the other two original replicas.
+            assert!(v.is_some(), "key {key} lost after add_node");
+        }
+        // Only keys that now rank the new node move; others are untouched.
+        let mut changed = 0;
+        for (i, before) in snapshot.iter().enumerate() {
+            let after = m.replicas_of(format!("key-{i:04}").as_bytes());
+            if *before != after {
+                changed += 1;
+                assert!(after.contains(&new_node));
+            }
+        }
+        assert!(changed < 40, "every key moved — that is a reshard");
+    }
+
+    #[test]
+    fn checkpointing_accelerates_node_recovery() {
+        // Identical cluster + workload; one copy checkpoints before the
+        // crash. The checkpointed node recovers strictly faster (suffix
+        // replay instead of a full AOF scan).
+        // Values must dwarf the checkpoint image (which holds only keys
+        // and metadata) for the fast path to pay off — as in production,
+        // where values are ~20 KB against 20-byte keys.
+        let big_ops = |n: u32, version: u64| -> Vec<WriteOp> {
+            (0..n)
+                .map(|i| WriteOp {
+                    key: Bytes::from(format!("key-{i:04}")),
+                    version,
+                    value: Some(Bytes::from(vec![(i % 251) as u8; 4096])),
+                })
+                .collect()
+        };
+        let run = |checkpoint: bool| {
+            let mut m = Mint::new(MintConfig::tiny());
+            m.apply(&big_ops(400, 1)).unwrap();
+            if checkpoint {
+                assert_eq!(m.checkpoint_all().unwrap(), 6);
+            }
+            m.apply(&big_ops(20, 2)).unwrap(); // small post-checkpoint suffix
+            m.fail_node(NodeId(0)).unwrap();
+            let took = m.recover_node(NodeId(0)).unwrap();
+            // The recovered node still serves everything.
+            for i in 0..20u32 {
+                let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 2).unwrap();
+                assert!(v.is_some());
+            }
+            took
+        };
+        let full = run(false);
+        let fast = run(true);
+        assert!(
+            fast < full,
+            "checkpointed recovery not faster: {fast} vs {full}"
+        );
+    }
+
+    #[test]
+    fn parallel_apply_matches_serial() {
+        let serial = {
+            let mut m = Mint::new(MintConfig::tiny());
+            m.apply(&ops(80, 1)).unwrap();
+            let mut out = Vec::new();
+            for i in 0..80u32 {
+                out.push(m.get(format!("key-{i:04}").as_bytes(), 1).unwrap().0);
+            }
+            out
+        };
+        let parallel = {
+            let mut m = Mint::new(MintConfig {
+                parallel_apply: true,
+                ..MintConfig::tiny()
+            });
+            m.apply(&ops(80, 1)).unwrap();
+            let mut out = Vec::new();
+            for i in 0..80u32 {
+                out.push(m.get(format!("key-{i:04}").as_bytes(), 1).unwrap().0);
+            }
+            out
+        };
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn stats_aggregate_across_nodes() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(25, 1)).unwrap();
+        let s = m.aggregate_stats();
+        assert_eq!(s.puts, 25 * 3); // replicas
+        assert!(s.user_write_bytes > 0);
+        assert!(m.total_disk_bytes() > 0 || s.user_write_bytes < 8192);
+    }
+}

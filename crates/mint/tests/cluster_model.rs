@@ -1,0 +1,167 @@
+//! Model-based property test: a Mint cluster must behave as a replicated
+//! versioned map under arbitrary interleavings of writes, deletes, reads,
+//! node failures, recoveries, and scale-out — with at most one node down
+//! at a time (the replication factor covers it).
+//!
+//! The cluster's contract is the index pipeline's: a `(key, version)` is
+//! written (possibly redelivered), later deleted by retention at most
+//! once, and never rewritten after its deletion — deletion reports are
+//! therefore authoritative during read reconciliation. The generator
+//! respects that contract (it never re-puts a deleted version).
+
+use bytes::Bytes;
+use mint::{Mint, MintConfig, NodeId, WriteOp};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write a batch of (key, version, dedup?) ops.
+    Apply(Vec<(u8, u8, bool)>),
+    Del(u8, u8),
+    Get(u8, u8),
+    FailNode(u8),
+    RecoverNode,
+    AddNode,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0u8..16;
+    let ver = 1u8..6;
+    prop_oneof![
+        4 => proptest::collection::vec((key.clone(), ver.clone(), any::<bool>()), 1..10)
+            .prop_map(Op::Apply),
+        2 => (key.clone(), ver.clone()).prop_map(|(k, t)| Op::Del(k, t)),
+        4 => (key, ver).prop_map(|(k, t)| Op::Get(k, t)),
+        1 => (0u8..6).prop_map(Op::FailNode),
+        1 => Just(Op::RecoverNode),
+        1 => Just(Op::AddNode),
+    ]
+}
+
+/// The model mirrors the engine-model semantics per key/version.
+#[derive(Default)]
+struct Model {
+    entries: BTreeMap<(u8, u8), (bool /*dedup*/, bool /*deleted*/)>,
+}
+
+impl Model {
+    fn value_of(k: u8, t: u8) -> Vec<u8> {
+        vec![k ^ t; 64 + k as usize]
+    }
+
+    fn can_dedup(&self, k: u8, t: u8) -> bool {
+        match self.entries.range((k, 0)..=(k, u8::MAX)).next_back() {
+            Some((&(_, vmax), &(_, deleted))) => {
+                vmax < t && !deleted && self.get(k, vmax).is_some()
+            }
+            None => false,
+        }
+    }
+
+    fn get(&self, k: u8, t: u8) -> Option<Vec<u8>> {
+        let &(_, deleted) = self.entries.get(&(k, t))?;
+        if deleted {
+            return None;
+        }
+        self.entries
+            .range((k, 0)..=(k, t))
+            .rev()
+            .find(|(_, &(dedup, _))| !dedup)
+            .map(|(&(_, v), _)| Self::value_of(k, v))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cluster_matches_replicated_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut cluster = Mint::new(MintConfig::tiny());
+        let mut model = Model::default();
+        let mut down: Option<NodeId> = None;
+        let mut nodes = cluster.num_nodes() as u8;
+        let mut ever_deleted: std::collections::HashSet<(u8, u8)> = Default::default();
+        // Redelivery is idempotent in the pipeline: a (key, version) is
+        // always reshipped with the same bytes and the same dedup
+        // decision. Pin each pair's first-written form. Versions also
+        // arrive in order (Bifrost ships whole versions sequentially), so
+        // a new version for a key must exceed everything written so far.
+        let mut written_form: BTreeMap<(u8, u8), bool> = BTreeMap::new();
+        let mut max_version: BTreeMap<u8, u8> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Apply(batch) => {
+                    let mut writes = Vec::new();
+                    for (k, t, dedup) in batch {
+                        if ever_deleted.contains(&(k, t)) {
+                            continue; // versions are never rewritten after deletion
+                        }
+                        let dedup = match written_form.get(&(k, t)) {
+                            Some(&form) => form, // idempotent redelivery
+                            None => {
+                                if max_version.get(&k).is_some_and(|&m| t <= m) {
+                                    continue; // versions ship in order
+                                }
+                                max_version.insert(k, t);
+                                let form = dedup && model.can_dedup(k, t);
+                                written_form.insert((k, t), form);
+                                form
+                            }
+                        };
+                        writes.push(WriteOp {
+                            key: Bytes::from(vec![b'k', k]),
+                            version: t as u64,
+                            value: if dedup {
+                                None
+                            } else {
+                                Some(Bytes::from(Model::value_of(k, t)))
+                            },
+                        });
+                        model.entries.insert((k, t), (dedup, false));
+                    }
+                    cluster.apply(&writes).unwrap();
+                }
+                Op::Del(k, t) => {
+                    cluster.delete(&[b'k', k], t as u64).unwrap();
+                    if let Some(e) = model.entries.get_mut(&(k, t)) {
+                        e.1 = true;
+                        ever_deleted.insert((k, t));
+                    }
+                }
+                Op::Get(k, t) => {
+                    let (got, _) = cluster.get(&[b'k', k], t as u64).unwrap();
+                    prop_assert_eq!(
+                        got.map(|b| b.to_vec()),
+                        model.get(k, t),
+                        "GET({}/{})", k, t
+                    );
+                }
+                Op::FailNode(n) => {
+                    if down.is_none() {
+                        let id = NodeId((n % nodes) as u32);
+                        if cluster.fail_node(id).is_ok() {
+                            down = Some(id);
+                        }
+                    }
+                }
+                Op::RecoverNode => {
+                    if let Some(id) = down.take() {
+                        cluster.recover_node(id).unwrap();
+                    }
+                }
+                Op::AddNode => {
+                    if nodes < 10 {
+                        cluster.add_node((nodes % 2) as usize);
+                        nodes += 1;
+                    }
+                }
+            }
+        }
+        // Whatever state the cluster ended in, every model entry agrees.
+        for (&(k, t), _) in model.entries.iter() {
+            let (got, _) = cluster.get(&[b'k', k], t as u64).unwrap();
+            prop_assert_eq!(got.map(|b| b.to_vec()), model.get(k, t), "final GET({}/{})", k, t);
+        }
+    }
+}

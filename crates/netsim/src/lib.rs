@@ -1,0 +1,42 @@
+//! A flow-level discrete-event WAN simulator.
+//!
+//! Bifrost ships index slices from the building data center through
+//! regional relay groups over backbone links whose spare capacity varies
+//! with background traffic (§2.2). The quantities the paper evaluates —
+//! update time per version (Figure 9) and the fraction of slices missing a
+//! one-hour deadline (Figure 10b) — are flow-completion-time questions, so
+//! the simulator models transfers at flow granularity:
+//!
+//! * a [`Topology`] is a set of directed links with byte/second capacities;
+//! * a *flow* is a transfer of N bytes along a path of links;
+//! * active flows share each link **max-min fairly** (progressive
+//!   filling), the standard fluid model of TCP fair sharing;
+//! * capacities can change at scheduled times, modelling diurnal
+//!   background traffic and the revocation of idle reservations.
+//!
+//! The simulation is event-driven: between events (flow start, flow
+//! completion, capacity change) all rates are constant, so the next event
+//! time is exact — no time-stepping error, fully deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::{NetSim, Topology};
+//! use simclock::{SimClock, SimTime};
+//!
+//! let mut topo = Topology::new();
+//! let link = topo.add_link(1_000_000.0); // 1 MB/s
+//! let mut sim = NetSim::new(topo, SimClock::new());
+//! // Two 1 MB transfers share the link fairly: each takes 2 s.
+//! let a = sim.schedule_flow(SimTime::ZERO, vec![link], 1_000_000);
+//! let b = sim.schedule_flow(SimTime::ZERO, vec![link], 1_000_000);
+//! sim.run_until_idle();
+//! assert_eq!(sim.transfer_time(a).unwrap().as_millis(), 2000);
+//! assert_eq!(sim.transfer_time(b).unwrap().as_millis(), 2000);
+//! ```
+
+mod sim;
+mod topology;
+
+pub use sim::{FlowId, FlowStatus, NetSim};
+pub use topology::{LinkId, Topology};

@@ -1,0 +1,77 @@
+//! Links and capacities.
+
+/// Identifier of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// A set of directed links. Node identity is left to the caller — a path
+/// is simply the sequence of links a transfer crosses.
+#[derive(Debug, Default, Clone)]
+pub struct Topology {
+    capacities: Vec<f64>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a link with `bytes_per_sec` capacity.
+    pub fn add_link(&mut self, bytes_per_sec: f64) -> LinkId {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "capacity must be positive"
+        );
+        self.capacities.push(bytes_per_sec);
+        LinkId(self.capacities.len() as u32 - 1)
+    }
+
+    /// Current capacity of `link` in bytes/second.
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        self.capacities[link.0 as usize]
+    }
+
+    /// Replaces the capacity of `link` (e.g. background-traffic change).
+    pub fn set_capacity(&mut self, link: LinkId, bytes_per_sec: f64) {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "capacity must be positive"
+        );
+        self.capacities[link.0 as usize] = bytes_per_sec;
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// True when no links exist.
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_update_links() {
+        let mut t = Topology::new();
+        assert!(t.is_empty());
+        let a = t.add_link(100.0);
+        let b = t.add_link(200.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.capacity(a), 100.0);
+        t.set_capacity(a, 50.0);
+        assert_eq!(t.capacity(a), 50.0);
+        assert_eq!(t.capacity(b), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Topology::new().add_link(0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the WAN simulator: conservation (every scheduled
+//! flow completes, taking at least its ideal transfer time) and capacity
+//! (no link moves more bytes per second than it has).
+
+use netsim::{NetSim, Topology};
+use proptest::prelude::*;
+use simclock::{SimClock, SimTime};
+
+#[derive(Debug, Clone)]
+struct FlowSpec {
+    start_ms: u64,
+    bytes: u64,
+    links: Vec<u8>,
+}
+
+fn flow_strategy(nlinks: u8) -> impl Strategy<Value = FlowSpec> {
+    (
+        0u64..10_000,
+        1u64..5_000_000,
+        proptest::collection::btree_set(0..nlinks, 1..4),
+    )
+        .prop_map(|(start_ms, bytes, links)| FlowSpec {
+            start_ms,
+            bytes,
+            links: links.into_iter().collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_flows_complete_and_respect_physics(
+        caps in proptest::collection::vec(1_000.0f64..2_000_000.0, 2..6),
+        specs in proptest::collection::vec(flow_strategy(2), 1..30),
+    ) {
+        let nlinks = caps.len() as u8;
+        let mut topo = Topology::new();
+        let links: Vec<_> = caps.iter().map(|&c| topo.add_link(c)).collect();
+        let mut sim = NetSim::new(topo, SimClock::new());
+        let mut flows = Vec::new();
+        for spec in &specs {
+            let path: Vec<_> = spec
+                .links
+                .iter()
+                .map(|&l| links[(l % nlinks) as usize])
+                .collect();
+            let start = SimTime::from_millis(spec.start_ms);
+            flows.push((sim.schedule_flow(start, path.clone(), spec.bytes), spec, path));
+        }
+        sim.run_until_idle();
+        for (id, spec, path) in &flows {
+            let done = sim.completion(*id);
+            prop_assert!(done.is_some(), "flow never completed");
+            let took = sim.transfer_time(*id).unwrap();
+            // Physics: a flow cannot beat its bottleneck link running at
+            // full capacity, alone.
+            let bottleneck = path
+                .iter()
+                .map(|&l| sim.topology().capacity(l))
+                .fold(f64::INFINITY, f64::min);
+            let ideal_secs = spec.bytes as f64 / bottleneck;
+            prop_assert!(
+                took.as_secs_f64() >= ideal_secs * 0.999,
+                "flow of {} B finished in {:.4}s, faster than ideal {:.4}s",
+                spec.bytes,
+                took.as_secs_f64(),
+                ideal_secs
+            );
+        }
+        // Completion order sanity: the simulation ends at the last
+        // completion, not after.
+        let last = flows
+            .iter()
+            .map(|(id, _, _)| sim.completion(*id).unwrap())
+            .max()
+            .unwrap();
+        prop_assert_eq!(sim.clock().now(), last);
+    }
+
+    /// With one shared link, aggregate throughput equals capacity while
+    /// more than one flow is active: N equal flows started together finish
+    /// together, in N times the solo duration.
+    #[test]
+    fn fair_share_is_exact_for_symmetric_flows(
+        n in 2usize..8,
+        bytes in 10_000u64..1_000_000,
+    ) {
+        let mut topo = Topology::new();
+        let link = topo.add_link(1_000_000.0);
+        let mut sim = NetSim::new(topo, SimClock::new());
+        let flows: Vec<_> = (0..n)
+            .map(|_| sim.schedule_flow(SimTime::ZERO, vec![link], bytes))
+            .collect();
+        sim.run_until_idle();
+        let solo = bytes as f64 / 1_000_000.0;
+        for f in &flows {
+            let took = sim.transfer_time(*f).unwrap().as_secs_f64();
+            let expect = solo * n as f64;
+            prop_assert!(
+                (took - expect).abs() / expect < 0.01,
+                "expected ~{expect:.4}s, got {took:.4}s"
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Engine configuration.
+
+use aof::AofConfig;
+
+/// QinDB tunables. Defaults follow the paper's deployment: 64 MiB AOFs,
+/// a 25 % occupancy threshold for reclamation, and GC deferred while the
+/// device still has ample free space.
+#[derive(Debug, Clone, Copy)]
+pub struct QinDbConfig {
+    /// Appending-only file parameters.
+    pub aof: AofConfig,
+    /// A sealed file becomes a GC candidate when its live-byte ratio drops
+    /// to or below this (paper: "an AOF is recycled if its occupancy ratio
+    /// has lowered to 25%").
+    pub gc_occupancy_threshold: f64,
+    /// The lazy part: GC runs only once the device's free-block fraction
+    /// falls below this (paper: "the GC will be deferred if there are
+    /// ongoing reads and free disk space").
+    pub gc_defer_free_fraction: f64,
+}
+
+impl Default for QinDbConfig {
+    fn default() -> Self {
+        QinDbConfig {
+            aof: AofConfig::default(),
+            gc_occupancy_threshold: 0.25,
+            gc_defer_free_fraction: 0.25,
+        }
+    }
+}
+
+impl QinDbConfig {
+    /// A configuration with small files, convenient for tests that need to
+    /// exercise rollover and GC with little data.
+    pub fn small_files(file_size: usize) -> Self {
+        QinDbConfig {
+            aof: AofConfig { file_size },
+            ..Default::default()
+        }
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.gc_occupancy_threshold),
+            "occupancy threshold must be a ratio"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.gc_defer_free_fraction),
+            "defer fraction must be a ratio"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = QinDbConfig::default();
+        assert_eq!(cfg.aof.file_size, 64 * 1024 * 1024);
+        assert_eq!(cfg.gc_occupancy_threshold, 0.25);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy threshold")]
+    fn bad_threshold_rejected() {
+        let cfg = QinDbConfig {
+            gc_occupancy_threshold: 1.5,
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+}

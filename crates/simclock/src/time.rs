@@ -1,0 +1,207 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in (or span of) virtual time, in integer nanoseconds.
+///
+/// `SimTime` doubles as both an instant and a duration, mirroring how the
+/// simulators use it: the difference of two instants is a span and an
+/// instant plus a span is an instant. All arithmetic is saturating-free and
+/// will panic on overflow in debug builds, which in a simulation indicates a
+/// modelling bug rather than a runtime condition to recover from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant / empty span.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "infinitely far" sentinel
+    /// by event queues.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Constructs from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Constructs from minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimTime(m * 60 * 1_000_000_000)
+    }
+
+    /// Constructs from hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimTime(h * 3_600 * 1_000_000_000)
+    }
+
+    /// Constructs from days.
+    pub const fn from_days(d: u64) -> Self {
+        SimTime(d * 86_400 * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds as a float, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Minutes as a float, for the paper's per-minute series.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60e9
+    }
+
+    /// Saturating subtraction: returns `ZERO` instead of underflowing.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_sub(rhs.0).map(SimTime)
+    }
+
+    /// Scales the span by a float factor, rounding to the nearest nanosecond.
+    ///
+    /// Used by bandwidth models (`bytes / rate`). Negative or non-finite
+    /// factors are a modelling bug and panic.
+    pub fn mul_f64(self, factor: f64) -> SimTime {
+        assert!(factor.is_finite() && factor >= 0.0, "bad time factor {factor}");
+        SimTime((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 60_000_000_000 {
+            write!(f, "{:.2}min", self.as_mins_f64())
+        } else if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{}ms", ns / 1_000_000)
+        } else if ns >= 1_000 {
+            write!(f, "{}us", ns / 1_000)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_mins(1), SimTime::from_secs(60));
+        assert_eq!(SimTime::from_hours(1), SimTime::from_mins(60));
+        assert_eq!(SimTime::from_days(1), SimTime::from_hours(24));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(1);
+        assert_eq!(a + b, SimTime::from_secs(4));
+        assert_eq!(a - b, SimTime::from_secs(2));
+        assert_eq!(a * 2, SimTime::from_secs(6));
+        assert_eq!(a / 3, SimTime::from_secs(1));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.checked_sub(b), Some(SimTime::from_secs(2)));
+        assert_eq!(b.checked_sub(a), None);
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let t = SimTime::from_nanos(10);
+        assert_eq!(t.mul_f64(0.25), SimTime::from_nanos(3)); // 2.5 rounds to 3
+        assert_eq!(t.mul_f64(1.5), SimTime::from_nanos(15));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_micros(12).to_string(), "12us");
+        assert_eq!(SimTime::from_millis(12).to_string(), "12ms");
+        assert_eq!(SimTime::from_secs(12).to_string(), "12.000s");
+        assert_eq!(SimTime::from_mins(90).to_string(), "90.00min");
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: SimTime = (1..=4).map(SimTime::from_secs).sum();
+        assert_eq!(total, SimTime::from_secs(10));
+    }
+}

@@ -1,0 +1,147 @@
+//! Firmware-style I/O accounting.
+//!
+//! The paper's Figure 5 plots three quantities: `User Write` (bytes the
+//! application believes it wrote — tracked by the storage engines, not
+//! here), `Sys Write` (bytes the NAND actually programmed, including pages
+//! migrated by the device GC), and `Sys Read` (bytes the NAND read,
+//! including GC migration reads). [`Counters`] tracks the device-side pair
+//! plus a breakdown that the ablation benches use to attribute
+//! amplification to host traffic vs. device GC.
+
+/// Mutable device counters. Lives inside the device lock.
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    /// Bytes written by the host through either interface.
+    pub host_write_bytes: u64,
+    /// Bytes read by the host through either interface.
+    pub host_read_bytes: u64,
+    /// Bytes programmed to NAND by device GC migrations.
+    pub gc_write_bytes: u64,
+    /// Bytes read from NAND by device GC migrations.
+    pub gc_read_bytes: u64,
+    /// Blocks erased (both GC-driven and raw-interface erases).
+    pub blocks_erased: u64,
+    /// Device GC invocations.
+    pub gc_runs: u64,
+    /// Pages migrated by device GC.
+    pub gc_pages_moved: u64,
+    /// Blocks retired after exhausting their erase endurance.
+    pub blocks_retired: u64,
+}
+
+impl Counters {
+    /// Takes an immutable snapshot.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            host_write_bytes: self.host_write_bytes,
+            host_read_bytes: self.host_read_bytes,
+            gc_write_bytes: self.gc_write_bytes,
+            gc_read_bytes: self.gc_read_bytes,
+            blocks_erased: self.blocks_erased,
+            gc_runs: self.gc_runs,
+            gc_pages_moved: self.gc_pages_moved,
+            blocks_retired: self.blocks_retired,
+        }
+    }
+}
+
+/// A point-in-time copy of the device counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Bytes written by the host through either interface.
+    pub host_write_bytes: u64,
+    /// Bytes read by the host through either interface.
+    pub host_read_bytes: u64,
+    /// Bytes programmed by device GC migrations.
+    pub gc_write_bytes: u64,
+    /// Bytes read by device GC migrations.
+    pub gc_read_bytes: u64,
+    /// Blocks erased.
+    pub blocks_erased: u64,
+    /// Device GC invocations.
+    pub gc_runs: u64,
+    /// Pages migrated by device GC.
+    pub gc_pages_moved: u64,
+    /// Blocks retired after exhausting their erase endurance.
+    pub blocks_retired: u64,
+}
+
+impl CounterSnapshot {
+    /// `Sys Write` in the paper's terms: everything the NAND programmed.
+    pub fn sys_write_bytes(&self) -> u64 {
+        self.host_write_bytes + self.gc_write_bytes
+    }
+
+    /// `Sys Read` in the paper's terms: everything the NAND read.
+    pub fn sys_read_bytes(&self) -> u64 {
+        self.host_read_bytes + self.gc_read_bytes
+    }
+
+    /// Hardware write amplification: NAND programs / host writes.
+    /// Returns 1.0 when nothing has been written.
+    pub fn hardware_waf(&self) -> f64 {
+        if self.host_write_bytes == 0 {
+            1.0
+        } else {
+            self.sys_write_bytes() as f64 / self.host_write_bytes as f64
+        }
+    }
+
+    /// Per-field difference `self - earlier`; used to turn periodic
+    /// snapshots into per-interval series.
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            host_write_bytes: self.host_write_bytes - earlier.host_write_bytes,
+            host_read_bytes: self.host_read_bytes - earlier.host_read_bytes,
+            gc_write_bytes: self.gc_write_bytes - earlier.gc_write_bytes,
+            gc_read_bytes: self.gc_read_bytes - earlier.gc_read_bytes,
+            blocks_erased: self.blocks_erased - earlier.blocks_erased,
+            gc_runs: self.gc_runs - earlier.gc_runs,
+            gc_pages_moved: self.gc_pages_moved - earlier.gc_pages_moved,
+            blocks_retired: self.blocks_retired - earlier.blocks_retired,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sys_totals_combine_host_and_gc() {
+        let snap = CounterSnapshot {
+            host_write_bytes: 100,
+            gc_write_bytes: 50,
+            host_read_bytes: 10,
+            gc_read_bytes: 40,
+            ..Default::default()
+        };
+        assert_eq!(snap.sys_write_bytes(), 150);
+        assert_eq!(snap.sys_read_bytes(), 50);
+        assert!((snap.hardware_waf() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waf_of_idle_device_is_one() {
+        assert_eq!(CounterSnapshot::default().hardware_waf(), 1.0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = CounterSnapshot {
+            host_write_bytes: 10,
+            blocks_erased: 2,
+            ..Default::default()
+        };
+        let b = CounterSnapshot {
+            host_write_bytes: 25,
+            blocks_erased: 5,
+            gc_runs: 1,
+            ..Default::default()
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.host_write_bytes, 15);
+        assert_eq!(d.blocks_erased, 3);
+        assert_eq!(d.gc_runs, 1);
+    }
+}

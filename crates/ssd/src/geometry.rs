@@ -1,0 +1,144 @@
+use std::fmt;
+
+/// Index of an erase block on the device.
+pub type BlockId = u32;
+
+/// A physical page address: a block and a page index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageAddr {
+    /// Erase block.
+    pub block: BlockId,
+    /// Page within the block, `0..pages_per_block`.
+    pub page: u32,
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.block, self.page)
+    }
+}
+
+/// Physical layout of the device.
+///
+/// The paper's example geometry — 4 KiB pages, 64 pages per 256 KiB block —
+/// is the default. The page-validity bitmap is a `u128`, so
+/// `pages_per_block` is capped at 128.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Bytes per programmable page.
+    pub page_size: usize,
+    /// Pages per erase block (≤ 128).
+    pub pages_per_block: u32,
+    /// Total erase blocks on the device.
+    pub blocks: u32,
+}
+
+impl Geometry {
+    /// The paper's geometry at a given device size.
+    ///
+    /// # Panics
+    /// Panics if `total_bytes` is not a whole number of 256 KiB blocks.
+    pub fn paper_default(total_bytes: u64) -> Self {
+        let g = Geometry {
+            page_size: 4096,
+            pages_per_block: 64,
+            blocks: (total_bytes / (4096 * 64)) as u32,
+        };
+        assert_eq!(
+            g.total_bytes(),
+            total_bytes,
+            "device size must be a whole number of blocks"
+        );
+        g
+    }
+
+    /// Validates invariants; called by the device at construction.
+    pub fn validate(&self) {
+        assert!(self.page_size > 0, "page size must be positive");
+        assert!(
+            (1..=128).contains(&self.pages_per_block),
+            "pages_per_block must be in 1..=128"
+        );
+        assert!(self.blocks > 0, "device must have at least one block");
+    }
+
+    /// Bytes per erase block.
+    pub fn block_bytes(&self) -> usize {
+        self.page_size * self.pages_per_block as usize
+    }
+
+    /// Total raw capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.block_bytes() as u64 * self.blocks as u64
+    }
+
+    /// Total pages on the device.
+    pub fn total_pages(&self) -> u64 {
+        self.pages_per_block as u64 * self.blocks as u64
+    }
+
+    /// Number of whole pages needed to hold `len` bytes.
+    pub fn pages_for(&self, len: usize) -> u32 {
+        len.div_ceil(self.page_size) as u32
+    }
+
+    /// Flattens a page address into a dense index (for map keys).
+    pub fn flat(&self, addr: PageAddr) -> u64 {
+        addr.block as u64 * self.pages_per_block as u64 + addr.page as u64
+    }
+
+    /// Inverse of [`Geometry::flat`].
+    pub fn unflat(&self, idx: u64) -> PageAddr {
+        PageAddr {
+            block: (idx / self.pages_per_block as u64) as BlockId,
+            page: (idx % self.pages_per_block as u64) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_geometry() {
+        let g = Geometry::paper_default(256 * 1024 * 100);
+        assert_eq!(g.page_size, 4096);
+        assert_eq!(g.pages_per_block, 64);
+        assert_eq!(g.blocks, 100);
+        assert_eq!(g.block_bytes(), 256 * 1024);
+        assert_eq!(g.total_bytes(), 256 * 1024 * 100);
+        assert_eq!(g.total_pages(), 6400);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of blocks")]
+    fn paper_default_rejects_ragged_size() {
+        let _ = Geometry::paper_default(256 * 1024 + 1);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        let g = Geometry::paper_default(256 * 1024);
+        assert_eq!(g.pages_for(1), 1);
+        assert_eq!(g.pages_for(4096), 1);
+        assert_eq!(g.pages_for(4097), 2);
+        assert_eq!(g.pages_for(0), 0);
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let g = Geometry::paper_default(256 * 1024 * 10);
+        for block in 0..10u32 {
+            for page in [0u32, 1, 63] {
+                let addr = PageAddr { block, page };
+                assert_eq!(g.unflat(g.flat(addr)), addr);
+            }
+        }
+    }
+
+    #[test]
+    fn page_addr_display() {
+        assert_eq!(PageAddr { block: 3, page: 17 }.to_string(), "3:17");
+    }
+}

@@ -1,0 +1,407 @@
+//! The WiscKey engine: a pointer LSM over a value log.
+
+use crate::vlog::{ValueLog, VlogConfig, VlogLoc};
+use crate::{Result, WiscKeyError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lsmtree::{LsmConfig, LsmTree};
+use ssdsim::Device;
+
+const TAG_INLINE: u8 = 0;
+const TAG_VLOG: u8 = 1;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WiscKeyConfig {
+    /// The pointer LSM (small values: it only ever stores pointers and
+    /// short inline values).
+    pub lsm: LsmConfig,
+    /// The value log.
+    pub vlog: VlogConfig,
+    /// Values below this many bytes are stored inline in the LSM, as
+    /// WiscKey does — a pointer would not pay for itself.
+    pub value_threshold: usize,
+    /// The value log garbage-collects its oldest segment whenever more
+    /// than this many segments are live (space-pressure trigger).
+    pub max_segments: usize,
+    /// Fraction of the device's logical space given to the pointer LSM;
+    /// the rest holds the value log.
+    pub lsm_fraction: f64,
+}
+
+impl Default for WiscKeyConfig {
+    fn default() -> Self {
+        WiscKeyConfig {
+            lsm: LsmConfig::default(),
+            vlog: VlogConfig::default(),
+            value_threshold: 256,
+            max_segments: 64,
+            lsm_fraction: 0.25,
+        }
+    }
+}
+
+impl WiscKeyConfig {
+    /// A small configuration for tests.
+    pub fn tiny() -> Self {
+        WiscKeyConfig {
+            lsm: LsmConfig::tiny(),
+            vlog: VlogConfig { segment_pages: 8 },
+            value_threshold: 64,
+            max_segments: 8,
+            lsm_fraction: 0.25,
+        }
+    }
+}
+
+/// Engine counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WiscKeyStats {
+    /// PUT operations.
+    pub puts: u64,
+    /// DELETE operations.
+    pub dels: u64,
+    /// GET operations.
+    pub gets: u64,
+    /// Application payload bytes written.
+    pub user_write_bytes: u64,
+    /// Values small enough to inline in the LSM.
+    pub inline_puts: u64,
+    /// Value-log GC passes.
+    pub gc_passes: u64,
+    /// Live bytes the value-log GC re-appended.
+    pub gc_bytes_rewritten: u64,
+    /// Entries the GC found dead.
+    pub gc_entries_dropped: u64,
+}
+
+/// The key-value-separated engine.
+pub struct WiscKey {
+    lsm: LsmTree,
+    vlog: ValueLog,
+    cfg: WiscKeyConfig,
+    stats: WiscKeyStats,
+    dev: Device,
+}
+
+fn encode_pointer(loc: VlogLoc) -> Bytes {
+    let mut out = BytesMut::with_capacity(21);
+    out.put_u8(TAG_VLOG);
+    out.put_u64_le(loc.segment);
+    out.put_u64_le(loc.offset);
+    out.put_u32_le(loc.len);
+    out.freeze()
+}
+
+fn encode_inline(value: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(value.len() + 1);
+    out.put_u8(TAG_INLINE);
+    out.put_slice(value);
+    out.freeze()
+}
+
+enum Stored {
+    Inline(Bytes),
+    Pointer(VlogLoc),
+}
+
+fn decode_stored(mut data: &[u8]) -> Result<Stored> {
+    if data.is_empty() {
+        return Err(WiscKeyError::CorruptPointer);
+    }
+    match data.get_u8() {
+        TAG_INLINE => Ok(Stored::Inline(Bytes::copy_from_slice(data))),
+        TAG_VLOG => {
+            if data.remaining() != 20 {
+                return Err(WiscKeyError::CorruptPointer);
+            }
+            Ok(Stored::Pointer(VlogLoc {
+                segment: data.get_u64_le(),
+                offset: data.get_u64_le(),
+                len: data.get_u32_le(),
+            }))
+        }
+        _ => Err(WiscKeyError::CorruptPointer),
+    }
+}
+
+impl WiscKey {
+    /// Creates an engine on `dev`, partitioning its logical space between
+    /// the pointer LSM and the value log.
+    pub fn new(dev: Device, mut cfg: WiscKeyConfig) -> Self {
+        assert!((0.05..0.95).contains(&cfg.lsm_fraction));
+        let logical = dev.logical_pages();
+        let lsm_pages = ((logical as f64 * cfg.lsm_fraction) as u64).max(1);
+        let vlog_pages = logical - lsm_pages;
+        // The segment budget must leave headroom inside the partition for
+        // GC to relocate into; clamp a too-ambitious configuration rather
+        // than letting the log run its allocator dry.
+        let capacity_segments = (vlog_pages / cfg.vlog.segment_pages) as usize;
+        cfg.max_segments = cfg
+            .max_segments
+            .min((capacity_segments * 3 / 4).max(1));
+        let lsm = LsmTree::with_page_range(dev.clone(), cfg.lsm, 0, lsm_pages);
+        let vlog = ValueLog::new(dev.clone(), cfg.vlog, lsm_pages, vlog_pages);
+        WiscKey {
+            lsm,
+            vlog,
+            cfg,
+            stats: WiscKeyStats::default(),
+            dev,
+        }
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.stats.puts += 1;
+        self.stats.user_write_bytes += (key.len() + value.len()) as u64;
+        if value.len() < self.cfg.value_threshold {
+            self.stats.inline_puts += 1;
+            self.lsm.put(key, &encode_inline(value))?;
+        } else {
+            let loc = self.vlog.append(key, value)?;
+            self.lsm.put(key, &encode_pointer(loc))?;
+        }
+        self.maybe_gc()
+    }
+
+    /// Deletes `key`. The value-log entry becomes garbage for the next GC
+    /// pass over its segment.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.stats.dels += 1;
+        self.lsm.delete(key)?;
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Bytes>> {
+        self.stats.gets += 1;
+        let Some(stored) = self.lsm.get(key)? else {
+            return Ok(None);
+        };
+        match decode_stored(&stored)? {
+            Stored::Inline(v) => Ok(Some(v)),
+            Stored::Pointer(loc) => {
+                let (stored_key, value) = self.vlog.read(loc)?;
+                if stored_key.as_ref() != key {
+                    return Err(WiscKeyError::CorruptVlogEntry {
+                        segment: loc.segment,
+                        offset: loc.offset,
+                    });
+                }
+                Ok(Some(value))
+            }
+        }
+    }
+
+    /// Range scan over `[lo, hi)`, resolving pointers.
+    pub fn scan(&mut self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Bytes, Bytes)>> {
+        let pairs = self.lsm.scan(lo, hi)?;
+        let mut out = Vec::with_capacity(pairs.len());
+        for (key, stored) in pairs {
+            match decode_stored(&stored)? {
+                Stored::Inline(v) => out.push((key, v)),
+                Stored::Pointer(loc) => {
+                    let (_, value) = self.vlog.read(loc)?;
+                    out.push((key, value));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Makes buffered value-log appends durable.
+    pub fn flush(&mut self) -> Result<()> {
+        self.vlog.flush()
+    }
+
+    /// Space-pressure GC: reclaim oldest segments while the log exceeds
+    /// its budget. Stops when a pass makes no net progress (a fully-live
+    /// segment rewrites into as much space as it frees — more GC would
+    /// spin without reclaiming anything).
+    fn maybe_gc(&mut self) -> Result<()> {
+        while self.vlog.num_segments() > self.cfg.max_segments {
+            let before = self.vlog.num_segments();
+            if !self.gc_one_segment()? || self.vlog.num_segments() >= before {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reclaims the oldest sealed segment: re-appends entries whose LSM
+    /// pointer still references them, drops the rest. Returns false when
+    /// there is nothing to collect.
+    pub fn gc_one_segment(&mut self) -> Result<bool> {
+        let Some(victim) = self.vlog.oldest_sealed() else {
+            return Ok(false);
+        };
+        let entries = self.vlog.scan_segment(victim)?;
+        for (loc, key, value) in entries {
+            // Liveness check, WiscKey-style: is the LSM still pointing at
+            // this exact location?
+            let live = match self.lsm.get(&key)? {
+                Some(stored) => matches!(
+                    decode_stored(&stored)?,
+                    Stored::Pointer(p) if p == loc
+                ),
+                None => false,
+            };
+            if live {
+                let new_loc = self.vlog.append(&key, &value)?;
+                self.lsm.put(&key, &encode_pointer(new_loc))?;
+                self.stats.gc_bytes_rewritten += loc.len as u64;
+            } else {
+                self.stats.gc_entries_dropped += 1;
+            }
+        }
+        self.vlog.delete_segment(victim)?;
+        self.stats.gc_passes += 1;
+        Ok(true)
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> WiscKeyStats {
+        self.stats
+    }
+
+    /// The device underneath.
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// Bytes occupied on the device (pointer LSM + value log).
+    pub fn disk_bytes(&self) -> u64 {
+        self.lsm.disk_bytes() + self.vlog.disk_bytes()
+    }
+
+    /// Live value-log segments (diagnostics).
+    pub fn vlog_segments(&self) -> usize {
+        self.vlog.num_segments()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::SimClock;
+    use ssdsim::DeviceConfig;
+
+    fn engine() -> WiscKey {
+        let dev = Device::new(DeviceConfig::sized(32 * 1024 * 1024), SimClock::new());
+        WiscKey::new(dev, WiscKeyConfig::tiny())
+    }
+
+    #[test]
+    fn put_get_roundtrip_large_and_small() {
+        let mut db = engine();
+        db.put(b"small", b"tiny").unwrap(); // inline
+        db.put(b"large", &vec![9u8; 8000]).unwrap(); // vlog
+        assert_eq!(db.get(b"small").unwrap().unwrap().as_ref(), b"tiny");
+        assert_eq!(db.get(b"large").unwrap().unwrap().len(), 8000);
+        assert_eq!(db.get(b"missing").unwrap(), None);
+        assert_eq!(db.stats().inline_puts, 1);
+    }
+
+    #[test]
+    fn overwrite_and_delete() {
+        let mut db = engine();
+        db.put(b"k", &vec![1u8; 1000]).unwrap();
+        db.put(b"k", &vec![2u8; 1000]).unwrap();
+        assert_eq!(db.get(b"k").unwrap().unwrap().as_ref(), &vec![2u8; 1000][..]);
+        db.delete(b"k").unwrap();
+        assert_eq!(db.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn vlog_gc_preserves_live_values() {
+        let mut db = engine();
+        let value = |k: u32| vec![(k % 251) as u8; 3000];
+        for k in 0..60u32 {
+            db.put(format!("key-{k:04}").as_bytes(), &value(k)).unwrap();
+        }
+        // Overwrite half (their old vlog entries become garbage) and
+        // delete a quarter.
+        for k in (0..60u32).step_by(2) {
+            db.put(format!("key-{k:04}").as_bytes(), &value(k + 100)).unwrap();
+        }
+        for k in (0..60u32).step_by(4) {
+            db.delete(format!("key-{k:04}").as_bytes()).unwrap();
+        }
+        // Drive GC over every segment that existed before we started; a
+        // while-it-returns-true loop would chase its own relocations
+        // forever once only live data remains.
+        for _ in 0..db.vlog_segments() {
+            db.gc_one_segment().unwrap();
+        }
+        let s = db.stats();
+        assert!(s.gc_passes > 0);
+        assert!(s.gc_entries_dropped > 0, "garbage must be found");
+        for k in 0..60u32 {
+            let got = db.get(format!("key-{k:04}").as_bytes()).unwrap();
+            if k % 4 == 0 {
+                assert_eq!(got, None, "key-{k:04} should be deleted");
+            } else if k % 2 == 0 {
+                assert_eq!(got.unwrap().as_ref(), &value(k + 100)[..], "key-{k:04}");
+            } else {
+                assert_eq!(got.unwrap().as_ref(), &value(k)[..], "key-{k:04}");
+            }
+        }
+    }
+
+    #[test]
+    fn gc_triggers_automatically_under_segment_pressure() {
+        let mut db = engine();
+        // tiny(): 8-page (32 KiB) segments, max 8. Write ~40 segments of
+        // churn on one hot key set.
+        for round in 0..20u32 {
+            for k in 0..20u32 {
+                db.put(format!("key-{k:02}").as_bytes(), &vec![round as u8; 3000])
+                    .unwrap();
+            }
+        }
+        assert!(
+            db.vlog_segments() <= WiscKeyConfig::tiny().max_segments + 1,
+            "segment budget blown: {}",
+            db.vlog_segments()
+        );
+        assert!(db.stats().gc_passes > 0);
+        for k in 0..20u32 {
+            let got = db.get(format!("key-{k:02}").as_bytes()).unwrap().unwrap();
+            assert_eq!(got.as_ref(), &vec![19u8; 3000][..]);
+        }
+    }
+
+    #[test]
+    fn scan_resolves_pointers() {
+        let mut db = engine();
+        db.put(b"a", &vec![1u8; 2000]).unwrap();
+        db.put(b"b", b"ib").unwrap();
+        db.put(b"c", &vec![3u8; 2000]).unwrap();
+        db.delete(b"b").unwrap();
+        let hits = db.scan(b"a", b"z").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0.as_ref(), b"a");
+        assert_eq!(hits[1].1.len(), 2000);
+    }
+
+    #[test]
+    fn write_amplification_sits_between_lsm_and_qindb_shape() {
+        // Large values: the pointer LSM compacts 21-byte pointers, not
+        // payloads, so device writes stay close to payload size plus the
+        // vlog's own GC — far below a value-carrying LSM's. The live set
+        // (50 × 2 KB) fits the vlog budget (8 × 32 KiB segments) so GC
+        // reclaims garbage rather than thrashing live data.
+        let mut db = engine();
+        let value = vec![7u8; 2000];
+        for _round in 0..6u32 {
+            for k in 0..50u32 {
+                db.put(format!("key-{k:04}").as_bytes(), &value).unwrap();
+            }
+        }
+        db.flush().unwrap();
+        let user = db.stats().user_write_bytes;
+        let host = db.device().counters().host_write_bytes;
+        let waf = host as f64 / user as f64;
+        assert!(waf < 4.0, "WiscKey WAF unexpectedly high: {waf:.2}");
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end integration: the full DirectLoad pipeline across crates.
+
+use bifrost::DataCenterId;
+use directload::{DirectLoad, DirectLoadConfig, GrayRelease};
+use indexgen::{CrawlSimulator, QueryWorkload, QueryWorkloadConfig};
+
+fn system() -> DirectLoad {
+    DirectLoad::new(DirectLoadConfig::small())
+}
+
+#[test]
+fn multi_version_cycle_preserves_queryability() {
+    let mut s = system();
+    let changes = [1.0, 0.3, 0.5, 0.2];
+    let mut dedup_ratios = Vec::new();
+    for change in changes {
+        let report = s.run_version(change).unwrap();
+        dedup_ratios.push(report.delivery.dedup.pair_ratio());
+    }
+    // The first version ships full; later versions dedup roughly in
+    // proportion to the unchanged fraction.
+    assert_eq!(dedup_ratios[0], 0.0);
+    assert!(dedup_ratios[1] > 0.4, "day 2 dedup {dedup_ratios:?}");
+    // Every version of every summary resolves at a summary host,
+    // including deduplicated ones via traceback.
+    let dc = DataCenterId::summary_hosts()[1];
+    for version in 1..=4u64 {
+        for url in s.urls().iter().take(15) {
+            let (v, latency) = s.get_summary(dc, url, version).unwrap();
+            assert!(v.is_some(), "summary {url:?}@{version} missing");
+            assert!(latency.as_micros() > 0);
+        }
+    }
+    // Inverted indices resolve at every data center.
+    for dc in DataCenterId::all() {
+        let mut found = 0;
+        for t in 0..64u32 {
+            let key = format!("term:{t:08}");
+            if s.get_inverted(dc, key.as_bytes(), 4).unwrap().0.is_some() {
+                found += 1;
+            }
+        }
+        assert!(found > 0, "no inverted entries at {dc:?}");
+    }
+}
+
+#[test]
+fn dedup_reduces_update_time() {
+    let mut s = system();
+    let full = s.run_version(1.0).unwrap();
+    let dup = s.run_version(0.05).unwrap();
+    assert!(
+        dup.delivery.update_time < full.delivery.update_time,
+        "dedup'd version should deliver faster: {} vs {}",
+        dup.delivery.update_time,
+        full.delivery.update_time
+    );
+    assert!(dup.delivery.dedup.byte_ratio() > 0.5);
+}
+
+#[test]
+fn gray_release_lifecycle_with_real_content() {
+    let mut s = system();
+    s.run_version(1.0).unwrap();
+    s.run_version(0.4).unwrap();
+    let mut gray = GrayRelease::new();
+    gray.begin(DataCenterId::all()[0], 1);
+    gray.promote();
+    let gray_dc = DataCenterId::all()[2];
+    gray.begin(gray_dc, 2);
+    assert_eq!(gray.active_version(gray_dc), 2);
+    assert_eq!(gray.active_version(DataCenterId::all()[0]), 1);
+    // Content-level inconsistency is bounded by the change fraction.
+    let urls = s.urls();
+    let host = DataCenterId::summary_hosts()[0];
+    let ratio = gray.inconsistency(&urls, |url, a, b| {
+        s.get_summary(host, url, a).unwrap().0 != s.get_summary(host, url, b).unwrap().0
+    });
+    assert!(ratio < 0.35, "inconsistency too high: {ratio}");
+    gray.rollback();
+    assert_eq!(gray.active_version(gray_dc), 1);
+}
+
+#[test]
+fn retention_window_is_enforced_everywhere() {
+    let mut s = system();
+    for _ in 0..6 {
+        s.run_version(0.4).unwrap();
+    }
+    let url = s.urls()[0].clone();
+    let dc = DataCenterId::summary_hosts()[0];
+    // Versions 1 and 2 retired (retain 4 of 6); recent versions resolve.
+    assert_eq!(s.get_summary(dc, &url, 1).unwrap().0, None);
+    assert_eq!(s.get_summary(dc, &url, 2).unwrap().0, None);
+    for version in 3..=6u64 {
+        assert!(
+            s.get_summary(dc, &url, version).unwrap().0.is_some(),
+            "version {version} should be retained"
+        );
+    }
+}
+
+#[test]
+fn serves_a_realistic_query_stream() {
+    // A VIP-skewed, Zipf-distributed query stream (the paper's ">80% of
+    // user queries hit VIP data") against the freshly updated indices:
+    // every query must complete, hit documents must actually contain the
+    // matched terms, and results must agree across data centers.
+    let mut s = system();
+    s.run_version(1.0).unwrap();
+    s.run_version(0.3).unwrap();
+    // Rebuild a matching corpus for workload generation (same config and
+    // seed ⇒ same term sets as the system's crawler after two rounds).
+    let mut twin = CrawlSimulator::new(DirectLoadConfig::small().corpus);
+    twin.advance_round(1.0);
+    twin.advance_round(0.3);
+    let mut workload = QueryWorkload::new(&twin, QueryWorkloadConfig::default());
+    let dc_a = DataCenterId::all()[0];
+    let dc_b = DataCenterId::all()[3];
+    let mut answered = 0;
+    for query in workload.take(40) {
+        let term_refs: Vec<&[u8]> = query.terms.iter().map(|t| t.as_ref()).collect();
+        let ra = s.search(dc_a, &term_refs, 2, 5).unwrap();
+        let rb = s.search(dc_b, &term_refs, 2, 5).unwrap();
+        let flat = |r: &directload::SearchResponse| -> Vec<(bytes::Bytes, usize)> {
+            r.hits.iter().map(|h| (h.url.clone(), h.matched_terms)).collect()
+        };
+        assert_eq!(flat(&ra), flat(&rb), "cross-DC result divergence");
+        if !ra.hits.is_empty() {
+            answered += 1;
+            // The top hit's forward index must contain every matched term.
+            let top = &ra.hits[0];
+            assert!(top.matched_terms >= 1 && top.matched_terms <= term_refs.len());
+            assert!(top.summary.is_some(), "hit without an abstract");
+        }
+    }
+    assert!(answered > 20, "too few queries answered: {answered}/40");
+}
+
+#[test]
+fn corruption_injection_still_delivers_everything() {
+    let mut cfg = DirectLoadConfig::small();
+    cfg.bifrost.corruption_rate = 0.3;
+    let mut s = DirectLoad::new(cfg);
+    let report = s.run_version(1.0).unwrap();
+    assert!(report.delivery.retransmissions > 0, "fault injection inert");
+    // Retransmitted slices still land: every summary resolves.
+    let dc = DataCenterId::summary_hosts()[0];
+    for url in s.urls().iter().take(20) {
+        assert!(s.get_summary(dc, url, 1).unwrap().0.is_some());
+    }
+}

@@ -1,0 +1,145 @@
+//! Crash-recovery integration: engine state must be equivalent before and
+//! after a crash, across every combination of dedup, deletion, GC, and
+//! unflushed tails.
+
+use qindb::{QinDb, QinDbConfig};
+use simclock::SimClock;
+use ssdsim::{Device, DeviceConfig};
+
+const FILE: usize = 512 * 1024;
+
+fn engine() -> (Device, QinDb) {
+    let dev = Device::new(DeviceConfig::sized(32 * 1024 * 1024), SimClock::new());
+    let db = QinDb::new(dev.clone(), QinDbConfig::small_files(FILE));
+    (dev, db)
+}
+
+fn reopen(dev: Device) -> QinDb {
+    QinDb::recover(dev, QinDbConfig::small_files(FILE)).unwrap()
+}
+
+/// Snapshot of the observable state: (key, version) → value.
+fn observe(db: &mut QinDb, keys: u32, versions: u64) -> Vec<Option<Vec<u8>>> {
+    let mut out = Vec::new();
+    for k in 0..keys {
+        for v in 1..=versions {
+            out.push(
+                db.get(format!("key-{k:04}").as_bytes(), v)
+                    .unwrap()
+                    .map(|b| b.to_vec()),
+            );
+        }
+    }
+    out
+}
+
+#[test]
+fn recovery_equivalence_after_mixed_workload() {
+    let (dev, mut db) = engine();
+    let value = |k: u32, v: u64| vec![(k as u8) ^ (v as u8); 700];
+    for v in 1..=5u64 {
+        for k in 0..60u32 {
+            let key = format!("key-{k:04}");
+            if v > 1 && (k + v as u32).is_multiple_of(3) {
+                db.put(key.as_bytes(), v, None).unwrap(); // deduplicated
+            } else {
+                db.put(key.as_bytes(), v, Some(&value(k, v))).unwrap();
+            }
+        }
+        if v > 3 {
+            for k in 0..60u32 {
+                db.del(format!("key-{k:04}").as_bytes(), v - 3).unwrap();
+            }
+        }
+    }
+    db.force_gc().unwrap();
+    db.flush().unwrap();
+    let before = observe(&mut db, 60, 5);
+    drop(db);
+    let mut back = reopen(dev);
+    let after = observe(&mut back, 60, 5);
+    assert_eq!(before, after, "recovery changed observable state");
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let (dev, mut db) = engine();
+    for k in 0..40u32 {
+        db.put(format!("key-{k:04}").as_bytes(), 1, Some(b"payload")).unwrap();
+        if k % 2 == 0 {
+            db.del(format!("key-{k:04}").as_bytes(), 1).unwrap();
+        }
+    }
+    db.flush().unwrap();
+    let before = observe(&mut db, 40, 1);
+    drop(db);
+    // Crash, recover, crash again without writing, recover again.
+    let db1 = reopen(dev.clone());
+    drop(db1);
+    let mut db2 = reopen(dev);
+    assert_eq!(observe(&mut db2, 40, 1), before);
+}
+
+#[test]
+fn writes_after_recovery_continue_the_sequence() {
+    let (dev, mut db) = engine();
+    db.put(b"key-0001", 1, Some(b"first life")).unwrap();
+    db.flush().unwrap();
+    drop(db);
+
+    let mut db = reopen(dev.clone());
+    db.put(b"key-0001", 2, None).unwrap(); // dedup against pre-crash value
+    db.put(b"key-0002", 1, Some(b"second life")).unwrap();
+    db.del(b"key-0001", 1).unwrap();
+    db.flush().unwrap();
+    drop(db);
+
+    let mut db = reopen(dev);
+    // v2 still traces back to the (deleted but referenced) v1 value.
+    assert_eq!(db.get(b"key-0001", 2).unwrap().unwrap().as_ref(), b"first life");
+    assert_eq!(db.get(b"key-0001", 1).unwrap(), None);
+    assert_eq!(db.get(b"key-0002", 1).unwrap().unwrap().as_ref(), b"second life");
+}
+
+#[test]
+fn unflushed_tail_is_lost_cleanly() {
+    let (dev, mut db) = engine();
+    // A record is durable only once every page it spans is programmed:
+    // the first record fits in page 0, which the second record's bytes
+    // push out to flash; the second record itself straddles the durable
+    // boundary and is torn by the crash.
+    db.put(b"durable", 1, Some(&vec![1u8; 3000])).unwrap();
+    db.put(b"tail", 1, Some(&vec![2u8; 3000])).unwrap();
+    drop(db); // crash without flush
+    let mut db = reopen(dev);
+    assert!(db.get(b"durable", 1).unwrap().is_some());
+    assert_eq!(db.get(b"tail", 1).unwrap(), None);
+    // The engine keeps working after dropping the torn tail.
+    db.put(b"tail", 1, Some(b"rewritten")).unwrap();
+    assert_eq!(db.get(b"tail", 1).unwrap().unwrap().as_ref(), b"rewritten");
+}
+
+#[test]
+fn crash_mid_gc_cycle_loses_nothing() {
+    // GC re-appends survivors and then erases the source file; a crash in
+    // between leaves two copies whose seq ordering must resolve cleanly.
+    let (dev, mut db) = engine();
+    let value = vec![9u8; 700];
+    for v in 1..=2u64 {
+        for k in 0..80u32 {
+            db.put(format!("key-{k:04}").as_bytes(), v, Some(&value)).unwrap();
+        }
+    }
+    for k in 0..80u32 {
+        db.del(format!("key-{k:04}").as_bytes(), 1).unwrap();
+    }
+    db.force_gc().unwrap();
+    db.flush().unwrap();
+    let before = observe(&mut db, 80, 2);
+    drop(db);
+    let mut back = reopen(dev.clone());
+    assert_eq!(observe(&mut back, 80, 2), before);
+    // And the recovered engine can GC again.
+    back.force_gc().unwrap();
+    assert_eq!(observe(&mut back, 80, 2), before);
+}
