@@ -55,7 +55,11 @@ pub enum AofError {
     /// A read referenced an unknown file.
     NoSuchFile(FileId),
     /// A read extended past the end of a file's data.
-    OutOfBounds { file: FileId, offset: u64, len: usize },
+    OutOfBounds {
+        file: FileId,
+        offset: u64,
+        len: usize,
+    },
     /// A block header was unreadable or inconsistent during recovery.
     CorruptHeader(ssdsim::BlockId),
 }

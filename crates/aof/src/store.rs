@@ -151,7 +151,9 @@ impl Aof {
     fn drain_full_pages(&mut self) -> Result<()> {
         let page = self.page_size;
         loop {
-            let Some(active) = &self.active else { return Ok(()) };
+            let Some(active) = &self.active else {
+                return Ok(());
+            };
             if active.buf.len() < page {
                 return Ok(());
             }
@@ -212,10 +214,7 @@ impl Aof {
     /// boundary). After `flush`, every appended record is durable.
     pub fn flush(&mut self) -> Result<()> {
         self.drain_full_pages()?;
-        let has_tail = self
-            .active
-            .as_ref()
-            .is_some_and(|a| !a.buf.is_empty());
+        let has_tail = self.active.as_ref().is_some_and(|a| !a.buf.is_empty());
         if has_tail {
             self.program_chunk(true)?;
         }
@@ -302,7 +301,9 @@ impl Aof {
             }
             let block_idx = (pos / dpb) as usize;
             let within = pos % dpb;
-            let chunk = remaining.min((dpb - within) as usize).min((durable - pos) as usize);
+            let chunk = remaining
+                .min((dpb - within) as usize)
+                .min((durable - pos) as usize);
             let dev_off = self.page_size + within as usize;
             let (data, _) = self.dev.raw_read(blocks[block_idx], dev_off, chunk)?;
             out.put_slice(&data);
@@ -446,7 +447,10 @@ mod tests {
         // One block's data is 7*64 = 448 bytes; write a 600-byte record.
         let loc = aof.append(&pattern(600, 7)).unwrap();
         aof.flush().unwrap();
-        assert_eq!(aof.read(loc.file, loc.offset, 600).unwrap(), pattern(600, 7));
+        assert_eq!(
+            aof.read(loc.file, loc.offset, 600).unwrap(),
+            pattern(600, 7)
+        );
     }
 
     #[test]
@@ -483,10 +487,7 @@ mod tests {
             aof.read(loc.file, 5, 10),
             Err(AofError::OutOfBounds { .. })
         ));
-        assert!(matches!(
-            aof.read(99, 0, 1),
-            Err(AofError::NoSuchFile(99))
-        ));
+        assert!(matches!(aof.read(99, 0, 1), Err(AofError::NoSuchFile(99))));
     }
 
     #[test]
@@ -552,8 +553,14 @@ mod tests {
 
         let recovered = Aof::recover(dev, AofConfig { file_size: cap }).unwrap();
         assert_eq!(recovered.sealed_files(), vec![a.file, b.file]);
-        assert_eq!(recovered.read(a.file, a.offset, cap).unwrap(), pattern(cap, 1));
-        assert_eq!(recovered.read(b.file, b.offset, 500).unwrap(), pattern(500, 2));
+        assert_eq!(
+            recovered.read(a.file, a.offset, cap).unwrap(),
+            pattern(cap, 1)
+        );
+        assert_eq!(
+            recovered.read(b.file, b.offset, 500).unwrap(),
+            pattern(500, 2)
+        );
         // Recovered files are sealed: new appends go to a fresh file.
         assert_eq!(recovered.active_file(), None);
         assert_eq!(recovered.file_len(a.file), Some(cap as u64));

@@ -64,10 +64,7 @@ fn bench_netsim(c: &mut Criterion) {
             let links: Vec<_> = (0..24).map(|_| topo.add_link(1e6)).collect();
             let mut sim = NetSim::new(topo, SimClock::new());
             for i in 0..200u64 {
-                let path = vec![
-                    links[(i % 8) as usize],
-                    links[8 + (i % 16) as usize],
-                ];
+                let path = vec![links[(i % 8) as usize], links[8 + (i % 16) as usize]];
                 sim.schedule_flow(SimTime::from_millis(i), path, 100_000 + i * 1000);
             }
             sim.run_until_idle();
@@ -90,5 +87,11 @@ fn bench_crawl(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dedup, bench_slices, bench_netsim, bench_crawl);
+criterion_group!(
+    benches,
+    bench_dedup,
+    bench_slices,
+    bench_netsim,
+    bench_crawl
+);
 criterion_main!(benches);

@@ -48,8 +48,12 @@ fn bench_put(c: &mut Criterion) {
         let mut db = qindb();
         let mut i = 0u64;
         b.iter(|| {
-            db.put(format!("key-{:012}", i % KEYSPACE).as_bytes(), 1, Some(&value))
-                .unwrap();
+            db.put(
+                format!("key-{:012}", i % KEYSPACE).as_bytes(),
+                1,
+                Some(&value),
+            )
+            .unwrap();
             i += 1;
         })
     });
@@ -57,7 +61,8 @@ fn bench_put(c: &mut Criterion) {
         let mut db = lsm();
         let mut i = 0u64;
         b.iter(|| {
-            db.put(format!("key-{:012}", i % KEYSPACE).as_bytes(), &value).unwrap();
+            db.put(format!("key-{:012}", i % KEYSPACE).as_bytes(), &value)
+                .unwrap();
             i += 1;
         })
     });
@@ -65,7 +70,8 @@ fn bench_put(c: &mut Criterion) {
         let mut db = wkey();
         let mut i = 0u64;
         b.iter(|| {
-            db.put(format!("key-{:012}", i % KEYSPACE).as_bytes(), &value).unwrap();
+            db.put(format!("key-{:012}", i % KEYSPACE).as_bytes(), &value)
+                .unwrap();
             i += 1;
         })
     });
@@ -80,7 +86,8 @@ fn bench_get(c: &mut Criterion) {
 
     let mut qdb = qindb();
     for i in 0..n {
-        qdb.put(format!("key-{i:012}").as_bytes(), 1, Some(&value)).unwrap();
+        qdb.put(format!("key-{i:012}").as_bytes(), 1, Some(&value))
+            .unwrap();
     }
     group.bench_function("qindb", |b| {
         let mut i = 0u64;
@@ -112,7 +119,8 @@ fn bench_traceback(c: &mut Criterion) {
     let n = 2_000u64;
     let mut db = qindb();
     for i in 0..n {
-        db.put(format!("key-{i:012}").as_bytes(), 1, Some(&value)).unwrap();
+        db.put(format!("key-{i:012}").as_bytes(), 1, Some(&value))
+            .unwrap();
         for v in 2..=8u64 {
             db.put(format!("key-{i:012}").as_bytes(), v, None).unwrap();
         }

@@ -10,7 +10,9 @@ use std::collections::BTreeMap;
 
 fn keys(n: u64) -> Vec<u64> {
     // Scrambled insertion order.
-    (0..n).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()
+    (0..n)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
 }
 
 fn bench_skiplist(c: &mut Criterion) {

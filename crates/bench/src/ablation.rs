@@ -33,9 +33,7 @@ pub fn ftl_vs_raw(files: u32, live_files: u32) -> FtlAblation {
             DeviceConfig {
                 // Tight device (~70+% utilized) so reclamation pressure
                 // is continuous and victims carry live pages.
-                geometry: ssdsim::Geometry::paper_default(
-                    (live_files as u64 + 2) * 64 * 4096,
-                ),
+                geometry: ssdsim::Geometry::paper_default((live_files as u64 + 2) * 64 * 4096),
                 ftl_overprovision: 0.1,
                 gc_low_watermark_blocks: 2,
                 latency: Default::default(),
@@ -57,7 +55,8 @@ pub fn ftl_vs_raw(files: u32, live_files: u32) -> FtlAblation {
         }
         owned.push_back(b);
         while owned.len() > live_files as usize {
-            raw.raw_erase(owned.pop_front().expect("nonempty")).expect("raw erase");
+            raw.raw_erase(owned.pop_front().expect("nonempty"))
+                .expect("raw erase");
         }
     }
     let raw_snap = raw.counters();
@@ -121,10 +120,7 @@ pub fn gc_threshold_sweep(thresholds: &[f64]) -> Vec<ThresholdSample> {
     thresholds
         .iter()
         .map(|&threshold| {
-            let dev = Device::new(
-                DeviceConfig::sized(12 * 1024 * 1024),
-                SimClock::new(),
-            );
+            let dev = Device::new(DeviceConfig::sized(12 * 1024 * 1024), SimClock::new());
             let mut db = QinDb::new(
                 dev,
                 QinDbConfig {
@@ -225,7 +221,8 @@ pub fn gc_laziness_sweep(defer_fractions: &[f64]) -> Vec<LazinessSample> {
                     db.put(format!("key-{k:05}").as_bytes(), v, Some(&value))
                         .expect("put");
                     if v > 2 {
-                        db.del(format!("key-{k:05}").as_bytes(), v - 2).expect("del");
+                        db.del(format!("key-{k:05}").as_bytes(), v - 2)
+                            .expect("del");
                     }
                     let now = clock.now().as_nanos() / tick.as_nanos();
                     if now > last.0 {
@@ -236,8 +233,7 @@ pub fn gc_laziness_sweep(defer_fractions: &[f64]) -> Vec<LazinessSample> {
                 }
                 peak = peak.max(db.disk_bytes());
             }
-            let write_stddev =
-                simclock::SeriesStats::compute(&intervals).map_or(0.0, |s| s.stddev);
+            let write_stddev = simclock::SeriesStats::compute(&intervals).map_or(0.0, |s| s.stddev);
             LazinessSample {
                 defer_free_fraction: defer,
                 write_stddev,
@@ -390,11 +386,7 @@ mod tests {
     fn raw_path_eliminates_hardware_waf() {
         let r = ftl_vs_raw(60, 8);
         assert_eq!(r.raw_waf, 1.0);
-        assert!(
-            r.ftl_waf > 1.0,
-            "FTL path should amplify: {:.3}",
-            r.ftl_waf
-        );
+        assert!(r.ftl_waf > 1.0, "FTL path should amplify: {:.3}", r.ftl_waf);
         assert!(r.ftl_pages_migrated > 0);
     }
 

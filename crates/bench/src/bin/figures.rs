@@ -66,11 +66,13 @@ fn fig5(ctx: &mut Ctx) {
     let w = fig5::run_wisckey(&ctx.fig5_cfg());
     dump_json("fig5_wisckey", &w);
     hr("Figure 5 — write amplification: LevelDB-like vs WiscKey-like vs QinDB");
-    println!("{:<14} {:>10} {:>10} {:>10} {:>8} {:>9}",
-        "engine", "user MB/s", "sys MB/s", "sysrd MB/s", "WAF", "run sec");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "engine", "user MB/s", "sys MB/s", "sysrd MB/s", "WAF", "run sec"
+    );
     for r in [&l, &w, &q] {
-        let sys_read: f64 = r.samples.iter().map(|m| m.sys_read_mb).sum::<f64>()
-            / r.elapsed_sec.max(1e-9);
+        let sys_read: f64 =
+            r.samples.iter().map(|m| m.sys_read_mb).sum::<f64>() / r.elapsed_sec.max(1e-9);
         println!(
             "{:<14} {:>10.3} {:>10.3} {:>10.3} {:>8.2} {:>9.1}",
             r.engine, r.user_write_mbps, r.sys_write_mbps, sys_read, r.total_waf, r.elapsed_sec
@@ -102,7 +104,10 @@ fn fig7(ctx: &mut Ctx) {
     let ls = fig7::summarize(&l);
     dump_json("fig7", &vec![qs.clone(), ls.clone()]);
     hr("Figure 7 — storage occupation during data processing");
-    println!("{:<14} {:>10} {:>10} {:>12}", "engine", "peak MB", "final MB", "GC knee sec");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12}",
+        "engine", "peak MB", "final MB", "GC knee sec"
+    );
     for s in [&ls, &qs] {
         println!(
             "{:<14} {:>10.1} {:>10.1} {:>12}",
@@ -133,7 +138,10 @@ fn fig8(ctx: &Ctx, with_updates: bool) {
         if with_updates { "b" } else { "a" },
         if with_updates { "with" } else { "without" }
     ));
-    println!("{:<14} {:>10} {:>10} {:>10}", "engine", "avg us", "p99 us", "p99.9 us");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "engine", "avg us", "p99 us", "p99.9 us"
+    );
     for r in [&l, &w, &q] {
         println!(
             "{:<14} {:>10.0} {:>10} {:>10}",
@@ -150,7 +158,10 @@ fn fig8(ctx: &Ctx, with_updates: bool) {
 fn fig9(ctx: &mut Ctx) {
     let m = ctx.month().clone();
     hr("Figure 9 — dedup ratio and update time within one month");
-    println!("{:<5} {:>8} {:>10} {:>12}", "day", "dedup %", "update min", "(legacy min)");
+    println!(
+        "{:<5} {:>8} {:>10} {:>12}",
+        "day", "dedup %", "update min", "(legacy min)"
+    );
     for d in &m.days {
         println!(
             "{:<5} {:>8.1} {:>10.1} {:>12.1}",
@@ -166,7 +177,10 @@ fn fig9(ctx: &mut Ctx) {
 fn fig10a(ctx: &mut Ctx) {
     let m = ctx.month().clone();
     hr("Figure 10a — updating throughput with vs without DirectLoad");
-    println!("{:<5} {:>16} {:>14} {:>8}", "day", "DirectLoad key/s", "legacy key/s", "ratio");
+    println!(
+        "{:<5} {:>16} {:>14} {:>8}",
+        "day", "DirectLoad key/s", "legacy key/s", "ratio"
+    );
     for d in &m.days {
         println!(
             "{:<5} {:>16.2} {:>14.2} {:>8.2}",
@@ -259,7 +273,10 @@ fn lifetime(ctx: &mut Ctx) {
     // (the whole device), so erases-per-byte compares like for like.
     let (q, l) = ctx.fig5_runs().clone();
     hr("Device lifetime — erase cycles consumed per user GB (§2.1)");
-    println!("{:<14} {:>12} {:>16}", "engine", "blocks erased", "erases / user GB");
+    println!(
+        "{:<14} {:>12} {:>16}",
+        "engine", "blocks erased", "erases / user GB"
+    );
     for r in [&l, &q] {
         let user_gb = r.user_write_mbps * r.elapsed_sec / 1e3;
         println!(
@@ -283,8 +300,18 @@ fn p2p(ctx: &Ctx) {
     dump_json("p2p", &r);
     hr("Relay vs P2P delivery (§6.3's considered-and-rejected alternative)");
     println!("{:<10} {:>14} {:>10}", "mode", "uplink MB", "miss %");
-    println!("{:<10} {:>14.1} {:>10.3}", "relay", r.relay_uplink_mb, r.relay_miss * 100.0);
-    println!("{:<10} {:>14.1} {:>10.3}", "p2p", r.p2p_uplink_mb, r.p2p_miss * 100.0);
+    println!(
+        "{:<10} {:>14.1} {:>10.3}",
+        "relay",
+        r.relay_uplink_mb,
+        r.relay_miss * 100.0
+    );
+    println!(
+        "{:<10} {:>14.1} {:>10.3}",
+        "p2p",
+        r.p2p_uplink_mb,
+        r.p2p_miss * 100.0
+    );
     println!(
         "P2P saves {:.0}% of the uplink bandwidth (paper: \"saves 50% ... but it is not reliable\")",
         r.bandwidth_saved * 100.0
@@ -304,7 +331,10 @@ fn ablations(ctx: &Ctx) {
     dump_json("ablation_ftl", &a);
 
     hr("Ablation — lazy-GC occupancy threshold sweep");
-    println!("{:<10} {:>12} {:>14} {:>10}", "threshold", "peak MB", "rewritten MB", "reclaimed");
+    println!(
+        "{:<10} {:>12} {:>14} {:>10}",
+        "threshold", "peak MB", "rewritten MB", "reclaimed"
+    );
     let sweep = ablation::gc_threshold_sweep(&[0.1, 0.25, 0.5, 0.75]);
     for s in &sweep {
         println!(
@@ -323,8 +353,15 @@ fn ablations(ctx: &Ctx) {
     for s in &sweep {
         println!(
             "{:<18} {:>14.4} {:>10.1} {:>10}",
-            format!("{:.2} ({})", s.defer_free_fraction,
-                if s.defer_free_fraction > 0.9 { "eager" } else { "lazy" }),
+            format!(
+                "{:.2} ({})",
+                s.defer_free_fraction,
+                if s.defer_free_fraction > 0.9 {
+                    "eager"
+                } else {
+                    "lazy"
+                }
+            ),
             s.write_stddev,
             s.peak_disk_mb,
             s.files_reclaimed
@@ -336,16 +373,29 @@ fn ablations(ctx: &Ctx) {
     println!("{:<10} {:>12} {:>12}", "dup", "mean depth", "mean GET us");
     let sweep = ablation::traceback_sweep(&[0.0, 0.3, 0.5, 0.7, 0.9], 8);
     for s in &sweep {
-        println!("{:<10.1} {:>12.2} {:>12.0}", s.dup_ratio, s.mean_depth, s.mean_get_us);
+        println!(
+            "{:<10.1} {:>12.2} {:>12.0}",
+            s.dup_ratio, s.mean_depth, s.mean_get_us
+        );
     }
     dump_json("ablation_traceback", &sweep);
 
     hr("Ablation — recovery time vs stored bytes (full scan vs checkpoint)");
-    println!("{:<12} {:>14} {:>14}", "stored MB", "full-scan ms", "checkpoint ms");
-    let sizes: &[u32] = if ctx.quick { &[200, 800] } else { &[500, 2000, 8000] };
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "stored MB", "full-scan ms", "checkpoint ms"
+    );
+    let sizes: &[u32] = if ctx.quick {
+        &[200, 800]
+    } else {
+        &[500, 2000, 8000]
+    };
     let sweep = ablation::recovery_sweep(sizes);
     for s in &sweep {
-        println!("{:<12.1} {:>14.1} {:>14.1}", s.stored_mb, s.recovery_ms, s.ckpt_recovery_ms);
+        println!(
+            "{:<12.1} {:>14.1} {:>14.1}",
+            s.stored_mb, s.recovery_ms, s.ckpt_recovery_ms
+        );
     }
     dump_json("ablation_recovery", &sweep);
 }
@@ -360,8 +410,19 @@ fn main() {
         .collect();
     let selected: Vec<&str> = if selected.is_empty() || selected.contains(&"all") {
         vec![
-            "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10a", "fig10b",
-            "headline", "rum", "lifetime", "p2p", "ablations",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8a",
+            "fig8b",
+            "fig9",
+            "fig10a",
+            "fig10b",
+            "headline",
+            "rum",
+            "lifetime",
+            "p2p",
+            "ablations",
         ]
     } else {
         selected
@@ -386,7 +447,9 @@ fn main() {
             "lifetime" => lifetime(&mut ctx),
             "p2p" => p2p(&ctx),
             "ablations" | "ablation-ftl" => ablations(&ctx),
-            other => eprintln!("unknown figure '{other}' (try: all, fig5..fig10b, headline, rum, ablations)"),
+            other => eprintln!(
+                "unknown figure '{other}' (try: all, fig5..fig10b, headline, rum, ablations)"
+            ),
         }
     }
 }

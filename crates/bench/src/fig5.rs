@@ -11,10 +11,10 @@
 use indexgen::{CorpusConfig, CrawlSimulator};
 use lsmtree::{LsmConfig, LsmTree};
 use qindb::{QinDb, QinDbConfig};
-use wisckey::{WiscKey, WiscKeyConfig};
 use serde::Serialize;
 use simclock::{SeriesStats, SimClock, SimTime};
 use ssdsim::{Device, DeviceConfig};
+use wisckey::{WiscKey, WiscKeyConfig};
 
 /// Scaled-down Figure 5 workload parameters.
 #[derive(Debug, Clone, Copy)]
@@ -136,10 +136,14 @@ struct WiscKeyTarget(WiscKey);
 
 impl WorkloadTarget for WiscKeyTarget {
     fn put(&mut self, key: &[u8], version: u64, value: &[u8]) {
-        self.0.put(&composite(key, version), value).expect("wisckey put");
+        self.0
+            .put(&composite(key, version), value)
+            .expect("wisckey put");
     }
     fn del(&mut self, key: &[u8], version: u64) {
-        self.0.delete(&composite(key, version)).expect("wisckey del");
+        self.0
+            .delete(&composite(key, version))
+            .expect("wisckey del");
     }
     fn user_write_bytes(&self) -> u64 {
         self.0.stats().user_write_bytes
@@ -164,7 +168,9 @@ fn composite(key: &[u8], version: u64) -> Vec<u8> {
 
 impl WorkloadTarget for LsmTarget {
     fn put(&mut self, key: &[u8], version: u64, value: &[u8]) {
-        self.0.put(&composite(key, version), value).expect("lsm put");
+        self.0
+            .put(&composite(key, version), value)
+            .expect("lsm put");
     }
     fn del(&mut self, key: &[u8], version: u64) {
         self.0.delete(&composite(key, version)).expect("lsm del");
@@ -261,9 +267,13 @@ fn run<T: WorkloadTarget>(
     let mut last_second = 0u64;
     let mut last_user = 0u64;
     let mut last_counters = dev.counters();
-    let sample = |target: &T, dev: &Device, now: SimTime, last_second: &mut u64,
-                      last_user: &mut u64, last_counters: &mut ssdsim::CounterSnapshot,
-                      samples: &mut Vec<TimeSample>| {
+    let sample = |target: &T,
+                  dev: &Device,
+                  now: SimTime,
+                  last_second: &mut u64,
+                  last_user: &mut u64,
+                  last_counters: &mut ssdsim::CounterSnapshot,
+                  samples: &mut Vec<TimeSample>| {
         let second = now.as_nanos() / SimTime::from_secs(1).as_nanos();
         while *last_second < second {
             let user = target.user_write_bytes();
@@ -286,7 +296,15 @@ fn run<T: WorkloadTarget>(
         // Insert threads: stream the version's pairs.
         for pair in &index.summary {
             target.put(&pair.key, v, &pair.value);
-            sample(&target, &dev, clock.now(), &mut last_second, &mut last_user, &mut last_counters, &mut samples);
+            sample(
+                &target,
+                &dev,
+                clock.now(),
+                &mut last_second,
+                &mut last_user,
+                &mut last_counters,
+                &mut samples,
+            );
         }
         // Deletion thread: retire the oldest version once `retain` are on
         // disk.
@@ -294,7 +312,15 @@ fn run<T: WorkloadTarget>(
             let old = v - cfg.retain;
             for pair in &index.summary {
                 target.del(&pair.key, old);
-                sample(&target, &dev, clock.now(), &mut last_second, &mut last_user, &mut last_counters, &mut samples);
+                sample(
+                    &target,
+                    &dev,
+                    clock.now(),
+                    &mut last_second,
+                    &mut last_user,
+                    &mut last_counters,
+                    &mut samples,
+                );
             }
         }
     }

@@ -25,11 +25,7 @@ pub struct OccupationSummary {
 
 /// Derives the occupation summary from a Figure 5 run.
 pub fn summarize(run: &EngineRun) -> OccupationSummary {
-    let peak = run
-        .samples
-        .iter()
-        .map(|m| m.disk_mb)
-        .fold(0.0f64, f64::max);
+    let peak = run.samples.iter().map(|m| m.disk_mb).fold(0.0f64, f64::max);
     let final_mb = run.samples.last().map_or(0.0, |m| m.disk_mb);
     // Knee: first sample where occupation is within 2% of the eventual
     // peak, i.e. reclamation keeps pace with intake from then on.

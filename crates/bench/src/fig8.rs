@@ -10,11 +10,12 @@ use indexgen::{CorpusConfig, CrawlSimulator, IndexVersion};
 use lsmtree::{LsmConfig, LsmTree};
 use qindb::{QinDb, QinDbConfig};
 use rand::rngs::StdRng;
-use wisckey::{WiscKey, WiscKeyConfig};
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
-use simclock::{percentile, SimClock, SimTime};
+use serve::LatencyHistogram;
+use simclock::{SimClock, SimTime};
 use ssdsim::{Device, DeviceConfig};
+use wisckey::{WiscKey, WiscKeyConfig};
 
 /// Read-latency experiment parameters.
 #[derive(Debug, Clone, Copy)]
@@ -99,14 +100,19 @@ pub struct LatencyReport {
 }
 
 fn report(engine: &str, lats: &[SimTime]) -> LatencyReport {
-    let avg =
-        lats.iter().map(|t| t.as_micros() as f64).sum::<f64>() / lats.len().max(1) as f64;
+    // The serving front-end's mergeable log-bucketed histogram replaces
+    // the old sort-the-samples percentile pass (same figures, ~3%
+    // bucket-edge quantization on the tails).
+    let mut hist = LatencyHistogram::new();
+    for t in lats {
+        hist.record(t.as_micros());
+    }
     LatencyReport {
         engine: engine.to_string(),
-        avg_us: avg,
-        p99_us: percentile(lats, 0.99).map_or(0, SimTime::as_micros),
-        p999_us: percentile(lats, 0.999).map_or(0, SimTime::as_micros),
-        reads: lats.len(),
+        avg_us: hist.mean(),
+        p99_us: hist.p99(),
+        p999_us: hist.p999(),
+        reads: hist.count() as usize,
     }
 }
 
@@ -141,7 +147,7 @@ pub fn run_qindb(cfg: &Fig8Config) -> LatencyReport {
         versions.push(index);
     }
     db.flush().expect("flush preload"); // reads must hit flash, not the tail buffer
-    // The concurrent update stream, interleaved one put per read.
+                                        // The concurrent update stream, interleaved one put per read.
     let update_stream: Vec<_> = if cfg.with_updates {
         crawler.advance_round(1.0).summary
     } else {
@@ -198,7 +204,8 @@ pub fn run_leveldb(cfg: &Fig8Config) -> LatencyReport {
     for v in 1..=cfg.preload_versions {
         let index = crawler.advance_round(1.0);
         for pair in &index.summary {
-            db.put(&composite(&pair.key, v), &pair.value).expect("preload");
+            db.put(&composite(&pair.key, v), &pair.value)
+                .expect("preload");
         }
         versions.push(index);
     }
@@ -262,7 +269,8 @@ pub fn run_wisckey(cfg: &Fig8Config) -> LatencyReport {
     for v in 1..=cfg.preload_versions {
         let index = crawler.advance_round(1.0);
         for pair in &index.summary {
-            db.put(&composite(&pair.key, v), &pair.value).expect("preload");
+            db.put(&composite(&pair.key, v), &pair.value)
+                .expect("preload");
         }
         versions.push(index);
     }

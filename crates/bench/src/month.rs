@@ -528,7 +528,10 @@ mod tests {
             .iter()
             .map(|d| (d.dedup_ratio - mean_d) * (d.update_min - mean_u))
             .sum();
-        let var_d: f64 = steady.iter().map(|d| (d.dedup_ratio - mean_d).powi(2)).sum();
+        let var_d: f64 = steady
+            .iter()
+            .map(|d| (d.dedup_ratio - mean_d).powi(2))
+            .sum();
         let var_u: f64 = steady.iter().map(|d| (d.update_min - mean_u).powi(2)).sum();
         let r = cov / (var_d * var_u).sqrt().max(f64::MIN_POSITIVE);
         assert!(

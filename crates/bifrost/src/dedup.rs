@@ -156,8 +156,11 @@ mod tests {
         // overhead on stripped entries caps the ratio below the pair ratio.
         let ratio = stats.byte_ratio();
         assert!((0.35..0.75).contains(&ratio), "byte dedup ratio {ratio:.2}");
-        assert!((0.55..0.9).contains(&stats.pair_ratio()),
-            "pair dedup ratio {:.2}", stats.pair_ratio());
+        assert!(
+            (0.55..0.9).contains(&stats.pair_ratio()),
+            "pair dedup ratio {:.2}",
+            stats.pair_ratio()
+        );
     }
 
     #[test]

@@ -281,10 +281,7 @@ impl Bifrost {
         // transfer is discovered at the destination and refetched whole.
         if self.cfg.mode == DeliveryMode::P2p {
             for (flow, region, bytes, ship_at) in peer_sources {
-                let arrived = self
-                    .sim
-                    .completion(flow)
-                    .expect("phase-one flows complete");
+                let arrived = self.sim.completion(flow).expect("phase-one flows complete");
                 let p_corrupt =
                     (self.cfg.corruption_rate * self.cfg.p2p_corruption_multiplier).min(1.0);
                 let corrupted = p_corrupt > 0.0 && self.next_rand() < p_corrupt;
@@ -299,14 +296,7 @@ impl Bifrost {
                 self.monitor
                     .on_scheduled(link, peer_bytes, self.base_capacity[link.0 as usize]);
                 let id = self.sim.schedule_flow(start, vec![link], peer_bytes.max(1));
-                flows.push((
-                    id,
-                    DataCenterId {
-                        region,
-                        slot: 1,
-                    },
-                    ship_at,
-                ));
+                flows.push((id, DataCenterId { region, slot: 1 }, ship_at));
             }
             self.sim.run_until_idle();
         }
@@ -406,7 +396,11 @@ mod tests {
         let v2 = sim.advance_round(0.2);
         let start2 = bifrost.clock().now();
         let (r2, entries2) = bifrost.deliver_version(&v2, start2);
-        assert!(r2.dedup.byte_ratio() > 0.5, "ratio {}", r2.dedup.byte_ratio());
+        assert!(
+            r2.dedup.byte_ratio() > 0.5,
+            "ratio {}",
+            r2.dedup.byte_ratio()
+        );
         assert!(r2.update_time < r1.update_time);
         // Stripped entries still travel (key + version) for the r-flag.
         assert!(entries2.iter().any(|e| e.value.is_none()));

@@ -186,16 +186,19 @@ mod tests {
     fn verify_rejects_corruption() {
         let mut s = Slice::new(3, vec![entry("a", 10)]);
         s.corrupt_in_transit();
-        assert_eq!(
-            s.verify(),
-            Err(SliceError::ChecksumMismatch { slice: 3 })
-        );
+        assert_eq!(s.verify(), Err(SliceError::ChecksumMismatch { slice: 3 }));
     }
 
     #[test]
     fn dedup_stripped_entries_checksum_too() {
         let full = Slice::new(0, vec![entry("a", 10)]);
-        let stripped = Slice::new(0, vec![UpdateEntry { value: None, ..entry("a", 10) }]);
+        let stripped = Slice::new(
+            0,
+            vec![UpdateEntry {
+                value: None,
+                ..entry("a", 10)
+            }],
+        );
         // Different content → different checksums (they are not
         // interchangeable on the wire).
         assert!(full.verify().is_ok() && stripped.verify().is_ok());

@@ -48,7 +48,10 @@ impl GrayRelease {
     pub fn begin(&mut self, dc: DataCenterId, version: u64) {
         assert!(self.staged.is_none(), "a gray release is already staged");
         let prev = self.active[&dc];
-        assert!(version > prev, "gray version must advance ({version} <= {prev})");
+        assert!(
+            version > prev,
+            "gray version must advance ({version} <= {prev})"
+        );
         self.staged = Some((dc, prev));
         self.active.insert(dc, version);
     }

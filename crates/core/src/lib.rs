@@ -40,7 +40,7 @@ pub use baseline::{LegacyCluster, LegacyClusterConfig};
 pub use gray::GrayRelease;
 pub use pipeline::{DirectLoad, DirectLoadConfig, VersionReport};
 pub use rum::RumReport;
-pub use search::{SearchHit, SearchResponse};
+pub use search::{summary_host_for, RankedQuery, SearchHit, SearchResponse};
 
 use std::fmt;
 

@@ -136,6 +136,21 @@ impl DirectLoad {
         self.crawler.version()
     }
 
+    /// The oldest version still retained (0 before any version runs).
+    ///
+    /// Versions below this have been retired by retention deletes; any
+    /// cache keyed by `(url, version)` must drop entries older than this
+    /// after a publish (see the `serve` crate's summary cache).
+    pub fn min_live_version(&self) -> u64 {
+        self.history.front().map(|(v, _)| *v).unwrap_or(0)
+    }
+
+    /// The crawl simulator backing the corpus, e.g. for deriving query
+    /// workloads from its term distribution.
+    pub fn crawler(&self) -> &CrawlSimulator {
+        &self.crawler
+    }
+
     /// Runs one full update cycle: crawl a round (`change_fraction` of
     /// pages modified), build the indices, deliver them through Bifrost,
     /// apply them at every data center, and retire the oldest retained
@@ -312,7 +327,10 @@ mod tests {
         let mut s = system();
         s.run_version(1.0).unwrap();
         let r2 = s.run_version(0.0).unwrap(); // nothing changed
-        assert_eq!(r2.delivery.dedup.pairs_deduped, r2.delivery.dedup.pairs_total);
+        assert_eq!(
+            r2.delivery.dedup.pairs_deduped,
+            r2.delivery.dedup.pairs_total
+        );
         let dc = DataCenterId::summary_hosts()[0];
         for url in s.urls().iter().take(10) {
             let (v1, _) = s.get_summary(dc, url, 1).unwrap();
@@ -376,7 +394,10 @@ mod tests {
         let mut s = system();
         s.run_version(1.0).unwrap();
         let dc = DataCenterId::summary_hosts()[0];
-        s.cluster_mut(dc).unwrap().fail_node(mint::NodeId(0)).unwrap();
+        s.cluster_mut(dc)
+            .unwrap()
+            .fail_node(mint::NodeId(0))
+            .unwrap();
         for url in s.urls().iter().take(20) {
             let (v, _) = s.get_summary(dc, url, 1).unwrap();
             assert!(v.is_some(), "read not masked for {url:?}");

@@ -49,8 +49,11 @@ impl RumReport {
         storage_bytes: u64,
     ) -> Self {
         let n = read_latencies.len().max(1) as f64;
-        let read_avg_us =
-            read_latencies.iter().map(|t| t.as_micros() as f64).sum::<f64>() / n;
+        let read_avg_us = read_latencies
+            .iter()
+            .map(|t| t.as_micros() as f64)
+            .sum::<f64>()
+            / n;
         let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
         RumReport {
             read_avg_us,

@@ -44,18 +44,40 @@ pub struct SearchResponse {
 /// are plain concatenations.
 const URL_BYTES: usize = 20;
 
+/// The ranking stage of a query: URLs ordered best-first, before any
+/// abstracts are materialized.
+///
+/// A serving front-end splits the query here so it can satisfy the summary
+/// stage from a cache (abstracts dominate read bytes) and only fall through
+/// to the summary host on a miss.
+#[derive(Debug, Clone)]
+pub struct RankedQuery {
+    /// `(url, matched_terms)`, best match count first, URL order breaking
+    /// ties deterministically.
+    pub ranked: Vec<(Bytes, usize)>,
+    /// Simulated storage latency spent fetching posting lists.
+    pub latency: SimTime,
+}
+
+/// The summary host serving `dc`'s region (slot 0 hosts abstracts).
+pub fn summary_host_for(dc: DataCenterId) -> DataCenterId {
+    DataCenterId {
+        region: dc.region,
+        slot: 0,
+    }
+}
+
 impl DirectLoad {
-    /// Serves a search query at `dc`: fetches each term's posting list
-    /// from `dc`'s inverted index at `version`, ranks URLs by how many
-    /// query terms they match, and returns the top `top_k` with abstracts
-    /// from the same region's summary host.
-    pub fn search(
+    /// The ranking stage: fetches each term's posting list from `dc`'s
+    /// inverted index at `version` and ranks URLs by how many query terms
+    /// they match, keeping the top `top_k`.
+    pub fn rank(
         &self,
         dc: DataCenterId,
         terms: &[&[u8]],
         version: u64,
         top_k: usize,
-    ) -> Result<SearchResponse> {
+    ) -> Result<RankedQuery> {
         let mut matches: HashMap<Bytes, usize> = HashMap::new();
         let mut latency = SimTime::ZERO;
         for term in terms {
@@ -72,11 +94,25 @@ impl DirectLoad {
         // Best match count first; URL order breaks ties deterministically.
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(top_k);
+        Ok(RankedQuery { ranked, latency })
+    }
+
+    /// Serves a search query at `dc`: ranks via [`DirectLoad::rank`] and
+    /// returns the top hits with abstracts from the same region's summary
+    /// host.
+    pub fn search(
+        &self,
+        dc: DataCenterId,
+        terms: &[&[u8]],
+        version: u64,
+        top_k: usize,
+    ) -> Result<SearchResponse> {
+        let RankedQuery {
+            ranked,
+            mut latency,
+        } = self.rank(dc, terms, version, top_k)?;
         // Abstracts come from the summary host in the same region.
-        let summary_dc = DataCenterId {
-            region: dc.region,
-            slot: 0,
-        };
+        let summary_dc = summary_host_for(dc);
         let mut hits = Vec::with_capacity(ranked.len());
         for (url, matched_terms) in ranked {
             let (summary, lat) = self.get_summary(summary_dc, &url, version)?;
@@ -127,7 +163,11 @@ mod tests {
         assert!(response.latency > SimTime::ZERO);
         // The document matching *all* query terms ranks first.
         let top = &response.hits[0];
-        assert_eq!(top.url.as_ref(), url.as_ref(), "own terms must find the doc");
+        assert_eq!(
+            top.url.as_ref(),
+            url.as_ref(),
+            "own terms must find the doc"
+        );
         assert_eq!(top.matched_terms, term_refs.len());
         // Its abstract matches the summary index.
         let summary_dc = DataCenterId {
@@ -185,6 +225,10 @@ mod tests {
                 .map(|h| (h.url.clone(), h.matched_terms, h.summary.clone()))
                 .collect()
         };
-        assert_eq!(flat(&v1), flat(&v2), "identical content must rank identically");
+        assert_eq!(
+            flat(&v1),
+            flat(&v2),
+            "identical content must rank identically"
+        );
     }
 }

@@ -275,8 +275,7 @@ mod tests {
         let mut sim = CrawlSimulator::new(cfg);
         let v1 = sim.advance_round(1.0);
         let v2 = sim.advance_round(0.3);
-        let prev: HashMap<&Bytes, &Bytes> =
-            v1.summary.iter().map(|p| (&p.key, &p.value)).collect();
+        let prev: HashMap<&Bytes, &Bytes> = v1.summary.iter().map(|p| (&p.key, &p.value)).collect();
         let same = v2
             .summary
             .iter()
@@ -294,8 +293,10 @@ mod tests {
         let mut sim = CrawlSimulator::new(CorpusConfig::tiny());
         let v1 = sim.advance_round(1.0);
         let v2 = sim.advance_round(0.0);
-        assert_eq!(v1.summary.iter().map(|p| &p.value).collect::<Vec<_>>(),
-                   v2.summary.iter().map(|p| &p.value).collect::<Vec<_>>());
+        assert_eq!(
+            v1.summary.iter().map(|p| &p.value).collect::<Vec<_>>(),
+            v2.summary.iter().map(|p| &p.value).collect::<Vec<_>>()
+        );
         assert_eq!(v2.version, 2);
     }
 
@@ -334,8 +335,8 @@ mod tests {
         };
         let mut sim = CrawlSimulator::new(cfg);
         let v = sim.advance_round(1.0);
-        let mean: f64 = v.summary.iter().map(|p| p.value.len() as f64).sum::<f64>()
-            / v.summary.len() as f64;
+        let mean: f64 =
+            v.summary.iter().map(|p| p.value.len() as f64).sum::<f64>() / v.summary.len() as f64;
         assert!((700.0..1400.0).contains(&mean), "mean {mean}");
         // Lengths vary between 0.5x and 1.5x the mean.
         for p in &v.summary {

@@ -301,8 +301,16 @@ impl LsmTree {
         if l0.is_empty() {
             return Ok(());
         }
-        let lo = l0.iter().map(|t| t.smallest.clone()).min().expect("non-empty");
-        let hi = l0.iter().map(|t| t.largest.clone()).max().expect("non-empty");
+        let lo = l0
+            .iter()
+            .map(|t| t.smallest.clone())
+            .min()
+            .expect("non-empty");
+        let hi = l0
+            .iter()
+            .map(|t| t.largest.clone())
+            .max()
+            .expect("non-empty");
         let (overlap, keep): (Vec<SsTable>, Vec<SsTable>) = std::mem::take(&mut self.levels[1])
             .into_iter()
             .partition(|t| t.overlaps(&lo, &hi));
@@ -475,7 +483,8 @@ mod tests {
         for round in 0..6u32 {
             for i in 0..500u32 {
                 let v = format!("value-{round}-{i}");
-                t.put(format!("key-{i:04}").as_bytes(), v.as_bytes()).unwrap();
+                t.put(format!("key-{i:04}").as_bytes(), v.as_bytes())
+                    .unwrap();
             }
         }
         for i in (0..500u32).step_by(41) {

@@ -71,13 +71,12 @@ impl SsTable {
             return Ok(None);
         }
         // First block whose last key is >= key.
-        let idx = self
-            .index
-            .partition_point(|h| h.last_key.as_ref() < key);
+        let idx = self.index.partition_point(|h| h.last_key.as_ref() < key);
         let Some(handle) = self.index.get(idx) else {
             return Ok(None);
         };
-        let block = pagefile::read_file(dev, &self.file, handle.offset as usize, handle.len as usize)?;
+        let block =
+            pagefile::read_file(dev, &self.file, handle.offset as usize, handle.len as usize)?;
         let records = decode_block(&block).map_err(|_| LsmError::CorruptTable(self.id))?;
         for (k, v) in records {
             if k.as_ref() == key {
@@ -247,12 +246,7 @@ impl TableBuilder {
             id: self.id,
             file,
             smallest: self.smallest.clone().expect("non-empty"),
-            largest: self
-                .index
-                .last()
-                .expect("non-empty")
-                .last_key
-                .clone(),
+            largest: self.index.last().expect("non-empty").last_key.clone(),
             index: self.index,
             bloom,
             entries: self.entries,
@@ -327,7 +321,10 @@ mod tests {
         assert_eq!(got[0].0.as_ref(), b"key-00100");
         assert_eq!(got[9].0.as_ref(), b"key-00109");
         // Empty and out-of-range windows.
-        assert!(t.load_range(&dev, b"key-00110", b"key-00110").unwrap().is_empty());
+        assert!(t
+            .load_range(&dev, b"key-00110", b"key-00110")
+            .unwrap()
+            .is_empty());
         assert!(t.load_range(&dev, b"zzz", b"zzzz").unwrap().is_empty());
         // Full-range equals load_all.
         let all = t.load_range(&dev, b"", b"\xff").unwrap();

@@ -35,12 +35,7 @@ impl Wal {
     }
 
     /// Appends raw bytes, writing out any full pages.
-    pub fn append(
-        &mut self,
-        dev: &Device,
-        alloc: &mut ExtentAllocator,
-        data: &[u8],
-    ) -> Result<()> {
+    pub fn append(&mut self, dev: &Device, alloc: &mut ExtentAllocator, data: &[u8]) -> Result<()> {
         self.buf.extend_from_slice(data);
         self.appended_bytes += data.len() as u64;
         let page = dev.geometry().page_size;

@@ -199,7 +199,10 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bad = encode_checkpoint(&sample()).to_vec();
         bad[0] ^= 0x01;
-        assert_eq!(decode_checkpoint(&bad).unwrap_err(), CheckpointError::BadMagic);
+        assert_eq!(
+            decode_checkpoint(&bad).unwrap_err(),
+            CheckpointError::BadMagic
+        );
     }
 
     #[test]

@@ -118,10 +118,12 @@ mod tests {
 
     #[test]
     fn ordering_groups_versions_under_key() {
-        let mut keys = [VersionedKey::new("b", 2),
+        let mut keys = [
+            VersionedKey::new("b", 2),
             VersionedKey::new("a", 9),
             VersionedKey::new("b", 1),
-            VersionedKey::new("a", 1)];
+            VersionedKey::new("a", 1),
+        ];
         keys.sort();
         let rendered: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
         assert_eq!(rendered, vec!["a/1", "a/9", "b/1", "b/2"]);

@@ -147,7 +147,10 @@ impl<K: Ord, V> SkipList<K, V> {
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         let (mut update, candidate) = self.find_path(&key);
         if candidate != NIL && self.node(candidate).key == key {
-            return Some(std::mem::replace(&mut self.node_mut(candidate).value, value));
+            return Some(std::mem::replace(
+                &mut self.node_mut(candidate).value,
+                value,
+            ));
         }
         let height = self.random_height();
         if height > self.level {
@@ -285,8 +288,8 @@ impl<K: Ord, V> SkipList<K, V> {
     /// Approximate heap footprint of the structure itself (excluding what
     /// keys/values own), for memory-budget accounting.
     pub fn approx_overhead_bytes(&self) -> usize {
-        self.arena.len() * std::mem::size_of::<Option<Node<K, V>>>()
-            + self.len * 4 * 2 // average tower height ≈ 4/3, round up generously
+        self.arena.len() * std::mem::size_of::<Option<Node<K, V>>>() + self.len * 4 * 2
+        // average tower height ≈ 4/3, round up generously
     }
 }
 

@@ -114,18 +114,13 @@ impl Memtable {
     /// The newest version of `key` at or below `t`, with its entry — what
     /// a reader pinned to index version `t` sees for this key.
     pub fn visible_at<'a>(&'a self, key: &'a [u8], t: u64) -> Option<(u64, &'a IndexEntry)> {
-        self.versions_of(key)
-            .take_while(|(v, _)| *v <= t)
-            .last()
+        self.versions_of(key).take_while(|(v, _)| *v <= t).last()
     }
 
     /// Iterates distinct user keys starting with `prefix`, in order,
     /// yielding each key once (scans are resolved per key via
     /// [`Memtable::visible_at`]).
-    pub fn keys_with_prefix<'a>(
-        &'a self,
-        prefix: &'a [u8],
-    ) -> impl Iterator<Item = Bytes> + 'a {
+    pub fn keys_with_prefix<'a>(&'a self, prefix: &'a [u8]) -> impl Iterator<Item = Bytes> + 'a {
         let mut last: Option<Bytes> = None;
         self.list
             .iter_from(&VersionedKey::first_version(Bytes::copy_from_slice(prefix)))

@@ -3,7 +3,12 @@ use mint::{Mint, MintConfig, NodeId, WriteOp};
 fn main() {
     let mut c = Mint::new(MintConfig::tiny());
     let key = vec![b'k', 9u8];
-    c.apply(&[WriteOp { key: Bytes::from(key.clone()), version: 3, value: Some(Bytes::from(vec![10u8; 73])) }]).unwrap();
+    c.apply(&[WriteOp {
+        key: Bytes::from(key.clone()),
+        version: 3,
+        value: Some(Bytes::from(vec![10u8; 73])),
+    }])
+    .unwrap();
     c.fail_node(NodeId(3)).unwrap();
     println!("del -> {:?}", c.delete(&key, 3));
     // check state on nodes 4,5 directly via get BEFORE recovery

@@ -4,7 +4,7 @@
 use crate::hash::{group_of, rendezvous_rank};
 use crate::{MintError, Result};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use qindb::{EngineStats, KeyStatus, QinDb, QinDbConfig};
 use simclock::{SimClock, SimTime};
 use ssdsim::{Device, DeviceConfig};
@@ -61,8 +61,11 @@ struct NodeState {
     id: NodeId,
     clock: SimClock,
     device: Device,
-    /// `None` while the node is failed (host memory lost).
-    engine: Mutex<Option<QinDb>>,
+    /// `None` while the node is failed (host memory lost). Reads take the
+    /// shared lock (the engine read path is `&self`), so concurrent GETs
+    /// against one node proceed in parallel; writes/recovery take the
+    /// exclusive lock.
+    engine: RwLock<Option<QinDb>>,
 }
 
 /// Outcome of applying a batch of writes.
@@ -123,7 +126,7 @@ impl Mint {
                     id,
                     clock,
                     device,
-                    engine: Mutex::new(Some(engine)),
+                    engine: RwLock::new(Some(engine)),
                 });
                 members.push(id.0);
             }
@@ -176,7 +179,7 @@ impl Mint {
         }
         let before: Vec<SimTime> = self.nodes.iter().map(|n| n.clock.now()).collect();
         let apply_node = |node: &NodeState, work: &[&WriteOp]| -> Result<()> {
-            let mut guard = node.engine.lock();
+            let mut guard = node.engine.write();
             let engine = guard.as_mut().ok_or(MintError::BadNodeState(node.id.0))?;
             for op in work {
                 engine
@@ -230,14 +233,11 @@ impl Mint {
     pub fn delete(&mut self, key: &[u8], version: u64) -> Result<()> {
         for r in self.replicas_of(key) {
             let node = &self.nodes[r.0 as usize];
-            let mut guard = node.engine.lock();
+            let mut guard = node.engine.write();
             if let Some(engine) = guard.as_mut() {
                 engine
                     .del(key, version)
-                    .map_err(|error| MintError::Node {
-                        node: r.0,
-                        error,
-                    })?;
+                    .map_err(|error| MintError::Node { node: r.0, error })?;
             }
         }
         Ok(())
@@ -281,15 +281,14 @@ impl Mint {
         let mut responders = 0usize;
         for r in readers {
             let node = &self.nodes[r.0 as usize];
-            let mut guard = node.engine.lock();
-            let Some(engine) = guard.as_mut() else { continue };
+            let guard = node.engine.read();
+            let Some(engine) = guard.as_ref() else {
+                continue;
+            };
             let t0 = node.clock.now();
             let status = engine
                 .status(key, version)
-                .map_err(|error| MintError::Node {
-                    node: r.0,
-                    error,
-                })?;
+                .map_err(|error| MintError::Node { node: r.0, error })?;
             let latency = node.clock.now().saturating_sub(t0);
             slowest = slowest.max(latency);
             responders += 1;
@@ -333,7 +332,7 @@ impl Mint {
             .nodes
             .get(node.0 as usize)
             .ok_or(MintError::NoSuchNode(node.0))?;
-        let mut guard = state.engine.lock();
+        let mut guard = state.engine.write();
         if guard.take().is_none() || !self.alive[node.0 as usize] {
             return Err(MintError::BadNodeState(node.0));
         }
@@ -352,16 +351,17 @@ impl Mint {
             .nodes
             .get(node.0 as usize)
             .ok_or(MintError::NoSuchNode(node.0))?;
-        let mut guard = state.engine.lock();
+        let mut guard = state.engine.write();
         if guard.is_some() || self.alive[node.0 as usize] {
             return Err(MintError::BadNodeState(node.0));
         }
         let t0 = state.clock.now();
-        let engine = QinDb::recover(state.device.clone(), self.cfg.engine)
-            .map_err(|error| MintError::Node {
+        let engine = QinDb::recover(state.device.clone(), self.cfg.engine).map_err(|error| {
+            MintError::Node {
                 node: node.0,
                 error,
-            })?;
+            }
+        })?;
         *guard = Some(engine);
         drop(guard);
         self.alive[node.0 as usize] = true;
@@ -389,23 +389,26 @@ impl Mint {
                 continue;
             }
             let peer_node = &self.nodes[peer as usize];
-            let mut guard = peer_node.engine.lock();
-            let Some(engine) = guard.as_mut() else { continue };
+            let guard = peer_node.engine.read();
+            let Some(engine) = guard.as_ref() else {
+                continue;
+            };
             let items: Vec<(Bytes, u64, bool, bool)> = engine.iter_items().collect();
             for (key, version, _dedup, deleted) in items {
-                let slot = wanted.entry((key.clone(), version)).or_insert((false, None));
+                let slot = wanted
+                    .entry((key.clone(), version))
+                    .or_insert((false, None));
                 if deleted {
                     slot.0 = true;
                 } else if slot.1.is_none() {
-                    slot.1 = engine.get(&key, version).map_err(|error| MintError::Node {
-                        node: peer,
-                        error,
-                    })?;
+                    slot.1 = engine
+                        .get(&key, version)
+                        .map_err(|error| MintError::Node { node: peer, error })?;
                 }
             }
         }
         let state = &self.nodes[node.0 as usize];
-        let mut guard = state.engine.lock();
+        let mut guard = state.engine.write();
         let engine = guard.as_mut().ok_or(MintError::BadNodeState(node.0))?;
         for ((key, version), (deleted, value)) in wanted {
             let known = engine
@@ -421,7 +424,11 @@ impl Mint {
             };
             if let Some(value) = &value {
                 engine.put(&key, version, Some(value)).map_err(map_err)?;
-            } else if engine.versions_of(&key).iter().all(|&(v, _, _)| v != version) {
+            } else if engine
+                .versions_of(&key)
+                .iter()
+                .all(|&(v, _, _)| v != version)
+            {
                 // Deleted with no resolvable value: store a placeholder so
                 // the deletion mark has an item to guard.
                 engine.put(&key, version, Some(b"")).map_err(map_err)?;
@@ -452,11 +459,12 @@ impl Mint {
             id,
             clock,
             device,
-            engine: Mutex::new(Some(engine)),
+            engine: RwLock::new(Some(engine)),
         });
         self.alive.push(true);
         self.groups[group].push(id.0);
-        self.sync_node(id).expect("sync of a fresh node cannot fail");
+        self.sync_node(id)
+            .expect("sync of a fresh node cannot fail");
         id
     }
 
@@ -467,7 +475,7 @@ impl Mint {
     pub fn checkpoint_all(&mut self) -> Result<usize> {
         let mut done = 0;
         for node in &self.nodes {
-            let mut guard = node.engine.lock();
+            let mut guard = node.engine.write();
             if let Some(engine) = guard.as_mut() {
                 engine.checkpoint().map_err(|error| MintError::Node {
                     node: node.id.0,
@@ -483,7 +491,7 @@ impl Mint {
     pub fn aggregate_stats(&self) -> EngineStats {
         let mut total = EngineStats::default();
         for node in &self.nodes {
-            let guard = node.engine.lock();
+            let guard = node.engine.read();
             if let Some(engine) = guard.as_ref() {
                 let s = engine.stats();
                 total.puts += s.puts;
@@ -508,7 +516,7 @@ impl Mint {
     pub fn total_disk_bytes(&self) -> u64 {
         self.nodes
             .iter()
-            .filter_map(|n| n.engine.lock().as_ref().map(QinDb::disk_bytes))
+            .filter_map(|n| n.engine.read().as_ref().map(QinDb::disk_bytes))
             .sum()
     }
 }
@@ -527,7 +535,13 @@ mod tests {
 
     fn ops(n: u32, version: u64) -> Vec<WriteOp> {
         (0..n)
-            .map(|i| write(&format!("key-{i:04}"), version, &format!("value-{i}-{version}")))
+            .map(|i| {
+                write(
+                    &format!("key-{i:04}"),
+                    version,
+                    &format!("value-{i}-{version}"),
+                )
+            })
             .collect()
     }
 

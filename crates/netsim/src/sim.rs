@@ -246,7 +246,11 @@ impl NetSim {
                 if frozen[ai] {
                     continue;
                 }
-                if !self.flows[idx].path.iter().any(|&LinkId(l)| l as usize == bl) {
+                if !self.flows[idx]
+                    .path
+                    .iter()
+                    .any(|&LinkId(l)| l as usize == bl)
+                {
                     continue;
                 }
                 frozen[ai] = true;

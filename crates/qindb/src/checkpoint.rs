@@ -51,12 +51,7 @@ fn fnv32(data: &[u8]) -> u32 {
 }
 
 /// Serializes the engine state into a checkpoint payload.
-fn encode(
-    table: &Memtable,
-    gct: &GcTable,
-    next_seq: u64,
-    covered: &[(FileId, u64)],
-) -> Bytes {
+fn encode(table: &Memtable, gct: &GcTable, next_seq: u64, covered: &[(FileId, u64)]) -> Bytes {
     let image = memtable::encode_checkpoint(table);
     let mut body = BytesMut::with_capacity(image.len() + 64);
     body.put_u64(next_seq);
@@ -161,13 +156,15 @@ pub fn write(
         // the image bounds.
         header.put_u64(payload.len() as u64);
         header.resize(geo.page_size, 0);
-        dev.raw_program(block, &header).map_err(aof::AofError::from)?;
+        dev.raw_program(block, &header)
+            .map_err(aof::AofError::from)?;
         let end = (off + data_per_block).min(payload.len());
         if end > off {
             let mut chunk = payload[off..end].to_vec();
             let padded = chunk.len().div_ceil(geo.page_size) * geo.page_size;
             chunk.resize(padded, 0);
-            dev.raw_program(block, &chunk).map_err(aof::AofError::from)?;
+            dev.raw_program(block, &chunk)
+                .map_err(aof::AofError::from)?;
         }
         blocks.push(block);
         off = end;
@@ -210,9 +207,10 @@ pub fn load_latest(dev: &Device) -> Result<Option<CheckpointState>> {
         let expected_blocks = total.div_ceil(data_per_block).max(1);
         let complete = result.is_none()
             && blocks.len() == expected_blocks
-            && blocks.iter().enumerate().all(|(i, &(seq, _, t))| {
-                seq as usize == i && t as usize == total
-            });
+            && blocks
+                .iter()
+                .enumerate()
+                .all(|(i, &(seq, _, t))| seq as usize == i && t as usize == total);
         if complete {
             let mut payload = Vec::with_capacity(total);
             for &(_, block, _) in &blocks {

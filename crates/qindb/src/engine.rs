@@ -3,7 +3,7 @@
 use crate::checkpoint::{self, CheckpointState};
 use crate::config::QinDbConfig;
 use crate::record::{scan_records, Record, ScanItem};
-use crate::stats::EngineStats;
+use crate::stats::{AtomicEngineStats, EngineStats};
 use crate::{QinDbError, Result};
 use aof::{Aof, FileId, GcTable, RecordLoc};
 use bytes::Bytes;
@@ -39,7 +39,7 @@ pub struct QinDb {
     table: Memtable,
     gct: GcTable,
     cfg: QinDbConfig,
-    stats: EngineStats,
+    stats: AtomicEngineStats,
     /// Next record sequence number; defines logical mutation order
     /// independently of file layout (GC relocations keep their seq).
     next_seq: u64,
@@ -58,7 +58,7 @@ impl QinDb {
             table: Memtable::new(),
             gct: GcTable::new(),
             cfg,
-            stats: EngineStats::default(),
+            stats: AtomicEngineStats::default(),
             next_seq: 1,
             ckpt: None,
             recovered_via_checkpoint: false,
@@ -97,8 +97,10 @@ impl QinDb {
             }
         }
         self.recompute_liveness(key);
-        self.stats.puts += 1;
-        self.stats.user_write_bytes += (key.len() + value.map_or(0, <[u8]>::len)) as u64;
+        self.stats.puts.add(1);
+        self.stats
+            .user_write_bytes
+            .add((key.len() + value.map_or(0, <[u8]>::len)) as u64);
         self.maybe_gc()?;
         Ok(())
     }
@@ -106,15 +108,15 @@ impl QinDb {
     /// GET(k/t). Returns the value for `k/t`, tracing back through older
     /// versions when the item was deduplicated. `None` when the key or
     /// version is absent or deleted.
-    pub fn get(&mut self, key: &[u8], version: u64) -> Result<Option<Bytes>> {
-        self.stats.gets += 1;
+    pub fn get(&self, key: &[u8], version: u64) -> Result<Option<Bytes>> {
+        self.stats.gets.add(1);
         let vk = VersionedKey::new(Bytes::copy_from_slice(key), version);
         let Some(entry) = self.table.get(&vk).copied() else {
-            self.stats.gets_not_found += 1;
+            self.stats.gets_not_found.add(1);
             return Ok(None);
         };
         if entry.deleted {
-            self.stats.gets_not_found += 1;
+            self.stats.gets_not_found.add(1);
             return Ok(None);
         }
         let (loc, steps) = if !entry.deduplicated {
@@ -124,18 +126,18 @@ impl QinDb {
                 Some((_, loc, steps)) => (loc, steps),
                 None => {
                     // Dangling dedup chain: no value-bearing ancestor.
-                    self.stats.gets_not_found += 1;
+                    self.stats.gets_not_found.add(1);
                     return Ok(None);
                 }
             }
         };
         if steps > 0 {
-            self.stats.gets_traced += 1;
-            self.stats.traceback_steps += steps as u64;
+            self.stats.gets_traced.add(1);
+            self.stats.traceback_steps.add(steps as u64);
         }
         let value = self.read_put_value(loc)?;
         match &value {
-            Some(v) => self.stats.user_read_bytes += v.len() as u64,
+            Some(v) => self.stats.user_read_bytes.add(v.len() as u64),
             None => {
                 return Err(QinDbError::Inconsistent(
                     "traceback target record carries no value",
@@ -149,7 +151,7 @@ impl QinDb {
     /// store needs to know whether this node *knows about a deletion*
     /// (authoritative: versions are deleted at most once and never
     /// rewritten afterwards) or simply never received the pair.
-    pub fn status(&mut self, key: &[u8], version: u64) -> Result<KeyStatus> {
+    pub fn status(&self, key: &[u8], version: u64) -> Result<KeyStatus> {
         let vk = VersionedKey::new(Bytes::copy_from_slice(key), version);
         match self.table.get(&vk).copied() {
             None => Ok(KeyStatus::Missing),
@@ -199,7 +201,7 @@ impl QinDb {
             .expect("entry just observed")
             .deleted = true;
         self.recompute_liveness(key);
-        self.stats.dels += 1;
+        self.stats.dels.add(1);
         self.maybe_gc()?;
         Ok(true)
     }
@@ -211,11 +213,7 @@ impl QinDb {
     ///
     /// This is the "advanced feature" hash-indexed flash stores give up
     /// (§6.1); QinDB gets it for free from the sorted memtable.
-    pub fn scan_prefix(
-        &mut self,
-        prefix: &[u8],
-        version: u64,
-    ) -> Result<Vec<(Bytes, u64, Bytes)>> {
+    pub fn scan_prefix(&self, prefix: &[u8], version: u64) -> Result<Vec<(Bytes, u64, Bytes)>> {
         let keys: Vec<Bytes> = self.table.keys_with_prefix(prefix).collect();
         let mut out = Vec::new();
         for key in keys {
@@ -231,8 +229,8 @@ impl QinDb {
             } else {
                 match self.table.trace_back_value(&key, v) {
                     Some((_, loc, steps)) => {
-                        self.stats.gets_traced += 1;
-                        self.stats.traceback_steps += steps as u64;
+                        self.stats.gets_traced.add(1);
+                        self.stats.traceback_steps.add(steps as u64);
                         loc
                     }
                     None => continue, // dangling dedup chain
@@ -240,7 +238,7 @@ impl QinDb {
             };
             match self.read_put_value(loc)? {
                 Some(value) => {
-                    self.stats.user_read_bytes += value.len() as u64;
+                    self.stats.user_read_bytes.add(value.len() as u64);
                     out.push((key, v, value));
                 }
                 None => {
@@ -380,7 +378,7 @@ impl QinDb {
             table,
             gct,
             cfg,
-            stats: EngineStats::default(),
+            stats: AtomicEngineStats::default(),
             next_seq: max_seq + 1,
             ckpt: Some((state.id, state.blocks)),
             recovered_via_checkpoint: true,
@@ -419,7 +417,7 @@ impl QinDb {
             table,
             gct,
             cfg,
-            stats: EngineStats::default(),
+            stats: AtomicEngineStats::default(),
             next_seq: max_seq + 1,
             ckpt: None,
             recovered_via_checkpoint: false,
@@ -522,13 +520,15 @@ impl QinDb {
                 .into_iter()
                 .filter(|f| !seen.contains(f))
                 .collect();
-            let Some(&file) = candidates.first() else { break };
+            let Some(&file) = candidates.first() else {
+                break;
+            };
             seen.insert(file);
             self.gc_file(file)?;
             reclaimed += 1;
         }
         if reclaimed > 0 {
-            self.stats.gc_runs += 1;
+            self.stats.gc_runs.add(1);
         }
         Ok(reclaimed)
     }
@@ -555,7 +555,7 @@ impl QinDb {
             ran = true;
         }
         if ran {
-            self.stats.gc_runs += 1;
+            self.stats.gc_runs.add(1);
         }
         Ok(())
     }
@@ -576,10 +576,7 @@ impl QinDb {
             let data = self.aof.read(file, 0, len)?;
             let (items, corrupt) = scan_records(&data, page_size);
             if let Some(offset) = corrupt {
-                return Err(QinDbError::CorruptRecord {
-                    file,
-                    offset,
-                });
+                return Err(QinDbError::CorruptRecord { file, offset });
             }
             items
         };
@@ -595,8 +592,8 @@ impl QinDb {
                     let Some(entry) = self.table.get(&vk).copied() else {
                         continue; // no item: orphan record, dies with the file
                     };
-                    let canonical = entry.location.file == file
-                        && entry.location.offset == offset as u32;
+                    let canonical =
+                        entry.location.file == file && entry.location.offset == offset as u32;
                     if canonical && !entry.dead_accounted {
                         // Survivor: re-append at the current end of the
                         // AOFs (copy count unchanged: −1 here, +1 there).
@@ -606,8 +603,8 @@ impl QinDb {
                             .get_mut(&vk)
                             .expect("entry just observed")
                             .location = to_value_loc(new_loc);
-                        self.stats.gc_bytes_rewritten += len as u64;
-                        self.stats.gc_records_rewritten += 1;
+                        self.stats.gc_bytes_rewritten.add(len as u64);
+                        self.stats.gc_records_rewritten.add(1);
                         continue;
                     }
                     // Dropping one physical copy: either a stale record
@@ -621,12 +618,9 @@ impl QinDb {
                     debug_assert!(e.copies > 0, "copy count underflow for {vk}");
                     e.copies -= 1;
                     if e.copies == 0 {
-                        debug_assert!(
-                            e.dead_accounted,
-                            "last copy of a live item dropped: {vk}"
-                        );
+                        debug_assert!(e.dead_accounted, "last copy of a live item dropped: {vk}");
                         self.table.remove(&vk);
-                        self.stats.gc_items_dropped += 1;
+                        self.stats.gc_items_dropped.add(1);
                     }
                 }
                 Record::Del { key, version, .. } => {
@@ -636,15 +630,15 @@ impl QinDb {
                     if guards {
                         let new_loc = self.append_record(&record)?;
                         self.gct.on_append(new_loc.file, new_loc.len as u64);
-                        self.stats.gc_bytes_rewritten += len as u64;
-                        self.stats.gc_records_rewritten += 1;
+                        self.stats.gc_bytes_rewritten.add(len as u64);
+                        self.stats.gc_records_rewritten.add(1);
                     }
                 }
             }
         }
         self.aof.delete_file(file)?;
         self.gct.remove(file);
-        self.stats.gc_files_reclaimed += 1;
+        self.stats.gc_files_reclaimed.add(1);
         Ok(())
     }
 
@@ -654,7 +648,7 @@ impl QinDb {
 
     /// Engine counters.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// The device underneath (for firmware counters and the clock).
@@ -710,7 +704,9 @@ impl QinDb {
     }
 
     pub(crate) fn aof_read(&self, loc: ValueLocation) -> Result<Bytes> {
-        Ok(self.aof.read(loc.file, loc.offset as u64, loc.len as usize)?)
+        Ok(self
+            .aof
+            .read(loc.file, loc.offset as u64, loc.len as usize)?)
     }
 
     pub(crate) fn gct_occupancy(&self, file: FileId) -> Option<aof::Occupancy> {
@@ -756,20 +752,23 @@ impl QinDb {
     /// occupancy accounting. A record is disk-live while its item is
     /// undeleted or a live later deduplicated version references it.
     fn recompute_liveness(&mut self, key: &[u8]) {
-        let versions: Vec<(u64, IndexEntry)> = self
-            .table
-            .versions_of(key)
-            .map(|(v, e)| (v, *e))
-            .collect();
+        let versions: Vec<(u64, IndexEntry)> =
+            self.table.versions_of(key).map(|(v, e)| (v, *e)).collect();
         for (v, e) in versions {
             let live = !e.deleted || self.table.is_referenced_by_later(key, v);
             let vk = VersionedKey::new(Bytes::copy_from_slice(key), v);
             if !live && !e.dead_accounted {
                 self.gct.on_dead(e.location.file, e.location.len as u64);
-                self.table.get_mut(&vk).expect("version listed").dead_accounted = true;
+                self.table
+                    .get_mut(&vk)
+                    .expect("version listed")
+                    .dead_accounted = true;
             } else if live && e.dead_accounted {
                 self.gct.on_revive(e.location.file, e.location.len as u64);
-                self.table.get_mut(&vk).expect("version listed").dead_accounted = false;
+                self.table
+                    .get_mut(&vk)
+                    .expect("version listed")
+                    .dead_accounted = false;
             }
         }
     }
@@ -990,13 +989,19 @@ mod tests {
         let items_before = db.memtable_items();
         drop(db);
 
-        let mut back = QinDb::recover(dev, QinDbConfig::small_files(2 * 7 * 64)).unwrap();
+        let back = QinDb::recover(dev, QinDbConfig::small_files(2 * 7 * 64)).unwrap();
         assert_eq!(back.memtable_items(), items_before);
         // Undeleted keys resolve, deduplicated v2 traces back to v1.
         for k in 10..20u32 {
             let key = format!("key-{k:03}");
-            assert_eq!(back.get(key.as_bytes(), 3).unwrap().unwrap().as_ref(), &value[..]);
-            assert_eq!(back.get(key.as_bytes(), 2).unwrap().unwrap().as_ref(), &value[..]);
+            assert_eq!(
+                back.get(key.as_bytes(), 3).unwrap().unwrap().as_ref(),
+                &value[..]
+            );
+            assert_eq!(
+                back.get(key.as_bytes(), 2).unwrap().unwrap().as_ref(),
+                &value[..]
+            );
         }
         // Deletions survived recovery via tombstones.
         for k in 0..10u32 {
@@ -1025,24 +1030,36 @@ mod tests {
         let dev = db.device().clone();
         drop(db);
 
-        let mut back = QinDb::recover(dev, QinDbConfig::small_files(2 * 7 * 64)).unwrap();
+        let back = QinDb::recover(dev, QinDbConfig::small_files(2 * 7 * 64)).unwrap();
         for k in 0..30u32 {
             let key = format!("key-{k:03}");
-            assert_eq!(back.get(key.as_bytes(), 2).unwrap().unwrap().as_ref(), &value[..]);
-            assert_eq!(back.get(key.as_bytes(), 1).unwrap(), None, "tombstone lost for {key}");
+            assert_eq!(
+                back.get(key.as_bytes(), 2).unwrap().unwrap().as_ref(),
+                &value[..]
+            );
+            assert_eq!(
+                back.get(key.as_bytes(), 1).unwrap(),
+                None,
+                "tombstone lost for {key}"
+            );
         }
     }
 
     #[test]
     fn recovery_drops_unflushed_tail() {
         let mut db = small_engine();
-        db.put(b"durable", 1, Some(b"safe value padded to a page......................")).unwrap();
+        db.put(
+            b"durable",
+            1,
+            Some(b"safe value padded to a page......................"),
+        )
+        .unwrap();
         db.flush().unwrap();
         db.put(b"volatile", 1, Some(b"tiny")).unwrap(); // buffered only
         let dev = db.device().clone();
         drop(db); // crash without flush
 
-        let mut back = QinDb::recover(dev, QinDbConfig::small_files(2 * 7 * 64)).unwrap();
+        let back = QinDb::recover(dev, QinDbConfig::small_files(2 * 7 * 64)).unwrap();
         assert!(back.get(b"durable", 1).unwrap().is_some());
         assert_eq!(back.get(b"volatile", 1).unwrap(), None);
     }
@@ -1091,7 +1108,8 @@ mod tests {
         let mut db = small_engine();
         let value = vec![5u8; 120];
         for k in 0..20u32 {
-            db.put(format!("scan/{k:03}").as_bytes(), 1, Some(&value)).unwrap();
+            db.put(format!("scan/{k:03}").as_bytes(), 1, Some(&value))
+                .unwrap();
             db.put(format!("scan/{k:03}").as_bytes(), 2, None).unwrap();
         }
         for k in 0..20u32 {
@@ -1101,12 +1119,14 @@ mod tests {
         db.flush().unwrap();
         let dev = db.device().clone();
         drop(db);
-        let mut back = QinDb::recover(dev, QinDbConfig::small_files(2 * 7 * 64)).unwrap();
+        let back = QinDb::recover(dev, QinDbConfig::small_files(2 * 7 * 64)).unwrap();
         // Version-2 view: every key resolves (through the preserved,
         // deleted-but-referenced v1 records).
         let hits = back.scan_prefix(b"scan/", 2).unwrap();
         assert_eq!(hits.len(), 20);
-        assert!(hits.iter().all(|(_, v, val)| *v == 2 && val.as_ref() == &value[..]));
+        assert!(hits
+            .iter()
+            .all(|(_, v, val)| *v == 2 && val.as_ref() == &value[..]));
         // Version-1 view: everything deleted.
         assert!(back.scan_prefix(b"scan/", 1).unwrap().is_empty());
     }
@@ -1128,7 +1148,8 @@ mod tests {
         let mut db = small_engine();
         let value = vec![6u8; 150];
         for k in 0..30u32 {
-            db.put(format!("key-{k:03}").as_bytes(), 1, Some(&value)).unwrap();
+            db.put(format!("key-{k:03}").as_bytes(), 1, Some(&value))
+                .unwrap();
         }
         let id = db.checkpoint().unwrap();
         assert_eq!(id, 1);
@@ -1159,7 +1180,10 @@ mod tests {
         }
         for k in 0..10u32 {
             let key = format!("key-{k:03}");
-            assert_eq!(back.get(key.as_bytes(), 2).unwrap().unwrap().as_ref(), &value[..]);
+            assert_eq!(
+                back.get(key.as_bytes(), 2).unwrap().unwrap().as_ref(),
+                &value[..]
+            );
         }
         // And it can keep writing + checkpointing.
         back.put(b"post", 1, Some(b"recovery")).unwrap();
@@ -1172,7 +1196,8 @@ mod tests {
         let value = vec![8u8; 150];
         for v in 1..=2u64 {
             for k in 0..30u32 {
-                db.put(format!("key-{k:03}").as_bytes(), v, Some(&value)).unwrap();
+                db.put(format!("key-{k:03}").as_bytes(), v, Some(&value))
+                    .unwrap();
             }
         }
         db.checkpoint().unwrap();
@@ -1190,7 +1215,10 @@ mod tests {
         assert!(!back.recovered_via_checkpoint(), "stale checkpoint used");
         for k in 0..30u32 {
             let key = format!("key-{k:03}");
-            assert_eq!(back.get(key.as_bytes(), 2).unwrap().unwrap().as_ref(), &value[..]);
+            assert_eq!(
+                back.get(key.as_bytes(), 2).unwrap().unwrap().as_ref(),
+                &value[..]
+            );
             assert_eq!(back.get(key.as_bytes(), 1).unwrap(), None);
         }
         // The stale checkpoint's blocks are retired by the next one.

@@ -134,16 +134,17 @@ impl QinDb {
                 }
             };
             match &record {
-                Record::Put { key, version, value, .. } => {
+                Record::Put {
+                    key,
+                    version,
+                    value,
+                    ..
+                } => {
                     if key.as_ref() != vk.key.as_ref() || *version != vk.version {
-                        problems.push(format!(
-                            "{vk}: location holds a record for another item"
-                        ));
+                        problems.push(format!("{vk}: location holds a record for another item"));
                     }
                     if value.is_none() != entry.deduplicated {
-                        problems.push(format!(
-                            "{vk}: dedup flag disagrees with stored NULL-ness"
-                        ));
+                        problems.push(format!("{vk}: dedup flag disagrees with stored NULL-ness"));
                     }
                 }
                 Record::Del { .. } => {
@@ -151,8 +152,7 @@ impl QinDb {
                 }
             }
             if !entry.dead_accounted {
-                *live_by_file.entry(entry.location.file).or_insert(0) +=
-                    entry.location.len as u64;
+                *live_by_file.entry(entry.location.file).or_insert(0) += entry.location.len as u64;
             }
         }
         for (file, live) in live_by_file {
@@ -175,7 +175,11 @@ impl QinDb {
 /// Convenience: audit + assert clean, for tests.
 pub fn assert_clean(dev: &Device, cfg: AofConfig) -> FsckReport {
     let report = fsck(dev, cfg).expect("fsck runs");
-    assert!(report.is_clean(), "fsck found problems: {:?}", report.errors);
+    assert!(
+        report.is_clean(),
+        "fsck found problems: {:?}",
+        report.errors
+    );
     report
 }
 
@@ -209,7 +213,12 @@ mod tests {
         assert!(db.verify().unwrap().is_empty());
 
         let dev = db.device().clone();
-        let report = assert_clean(&dev, aof::AofConfig { file_size: 256 * 1024 });
+        let report = assert_clean(
+            &dev,
+            aof::AofConfig {
+                file_size: 256 * 1024,
+            },
+        );
         assert!(report.put_records > 0);
         assert!(report.tombstones > 0);
         assert_eq!(report.checkpoint_ok, Some(true));
@@ -223,7 +232,13 @@ mod tests {
         db.put(b"b", 1, Some(&vec![2u8; 3000])).unwrap(); // tears at crash
         let dev = db.device().clone();
         drop(db); // crash without flush
-        let report = fsck(&dev, aof::AofConfig { file_size: 256 * 1024 }).unwrap();
+        let report = fsck(
+            &dev,
+            aof::AofConfig {
+                file_size: 256 * 1024,
+            },
+        )
+        .unwrap();
         assert!(report.is_clean());
         assert!(report.torn_tails <= 1);
     }
@@ -232,7 +247,8 @@ mod tests {
     fn verify_passes_after_crash_recovery() {
         let mut db = engine();
         for k in 0..30u32 {
-            db.put(format!("k{k:03}").as_bytes(), 1, Some(&vec![5u8; 500])).unwrap();
+            db.put(format!("k{k:03}").as_bytes(), 1, Some(&vec![5u8; 500]))
+                .unwrap();
             db.put(format!("k{k:03}").as_bytes(), 2, None).unwrap();
         }
         db.flush().unwrap();

@@ -122,13 +122,19 @@ impl Record {
     /// Encoded length of this record on flash.
     pub fn encoded_len(&self) -> usize {
         let value_len = match self {
-            Record::Put {
-                value: Some(v), ..
-            } => v.len(),
+            Record::Put { value: Some(v), .. } => v.len(),
             _ => 0,
         };
-        let body = 1 + 8 + 4 + self.key().len() + 8
-            + if matches!(self, Record::Put { .. }) { 4 } else { 0 }
+        let body = 1
+            + 8
+            + 4
+            + self.key().len()
+            + 8
+            + if matches!(self, Record::Put { .. }) {
+                4
+            } else {
+                0
+            }
             + value_len;
         1 + 4 + body + 4
     }

@@ -5,7 +5,72 @@
 //! side of Figure 5 plus the traceback and GC activity the ablations
 //! report.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed cumulative counter.
+///
+/// Read-side engine operations are `&self` (so a serving front-end can share
+/// one engine across worker threads); their counters must therefore be
+/// interior-mutable. Relaxed ordering suffices — the counters are
+/// monotonically increasing tallies, never used for synchronization.
+#[derive(Debug, Default)]
+pub(crate) struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Interior-mutable engine counters (the live tallies inside [`crate::QinDb`]).
+#[derive(Debug, Default)]
+pub(crate) struct AtomicEngineStats {
+    pub puts: Counter,
+    pub gets: Counter,
+    pub dels: Counter,
+    pub user_write_bytes: Counter,
+    pub user_read_bytes: Counter,
+    pub gets_not_found: Counter,
+    pub gets_traced: Counter,
+    pub traceback_steps: Counter,
+    pub gc_runs: Counter,
+    pub gc_files_reclaimed: Counter,
+    pub gc_bytes_rewritten: Counter,
+    pub gc_records_rewritten: Counter,
+    pub gc_items_dropped: Counter,
+}
+
+impl AtomicEngineStats {
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            puts: self.puts.get(),
+            gets: self.gets.get(),
+            dels: self.dels.get(),
+            user_write_bytes: self.user_write_bytes.get(),
+            user_read_bytes: self.user_read_bytes.get(),
+            gets_not_found: self.gets_not_found.get(),
+            gets_traced: self.gets_traced.get(),
+            traceback_steps: self.traceback_steps.get(),
+            gc_runs: self.gc_runs.get(),
+            gc_files_reclaimed: self.gc_files_reclaimed.get(),
+            gc_bytes_rewritten: self.gc_bytes_rewritten.get(),
+            gc_records_rewritten: self.gc_records_rewritten.get(),
+            gc_items_dropped: self.gc_items_dropped.get(),
+        }
+    }
+}
+
 /// Engine counters; all values are cumulative since engine creation.
+///
+/// This is a plain-value snapshot (see `AtomicEngineStats` for the live,
+/// thread-shared tallies); callers get one from [`crate::QinDb::stats`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
     /// PUT operations accepted.

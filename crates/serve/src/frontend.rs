@@ -1,0 +1,437 @@
+//! The concurrent serving front-end.
+//!
+//! A pool of worker threads pulls requests from bounded per-shard queues
+//! and answers them against a shared [`DirectLoad`] engine in two stages:
+//! rank (posting lists) then summaries, with the summary stage served
+//! read-through from a [`SummaryCache`]. Admission control keeps the
+//! system stable under overload:
+//!
+//! * **enqueue**: a full shard queue sheds the request — either rejected
+//!   outright ([`ShedPolicy::Reject`]) or answered from the stale-response
+//!   cache if a previous answer for the same query exists
+//!   ([`ShedPolicy::ServeStale`]);
+//! * **dequeue**: a request whose deadline passed while queued is served
+//!   degraded — ranked normally but with summaries from cache only, and
+//!   no modeled storage wait. An *accepted* request always gets a
+//!   response; only enqueue-time shedding drops work.
+//!
+//! Queues are bounded, so offered load beyond capacity turns into shed
+//! responses, not unbounded memory growth.
+//!
+//! Storage service time is modeled explicitly: each full-path request
+//! sleeps `terms × rank_service + summary_misses × summary_service`. This
+//! stands in for the flash + WAN wait that the simulated clocks charge,
+//! and (deliberately) does not depend on concurrent load, so worker
+//! scaling measures the front-end, not clock-accounting artifacts.
+
+use crate::cache::{ShardedLru, SummaryCache};
+use crate::hist::LatencyHistogram;
+use bifrost::DataCenterId;
+use bytes::Bytes;
+use directload::{DirectLoad, SearchHit};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What to do with a request that finds its shard queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Drop it; the client gets no response.
+    Reject,
+    /// Answer from the stale-response cache if possible, else drop.
+    ServeStale,
+}
+
+/// Front-end tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontendConfig {
+    /// Worker threads (one bounded queue each).
+    pub workers: usize,
+    /// Per-worker queue bound; beyond this, requests are shed.
+    pub queue_depth: usize,
+    /// Deadline from enqueue; breached requests are served degraded.
+    pub deadline: Duration,
+    /// Summary-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Summary-cache shard count.
+    pub cache_shards: usize,
+    /// Stale-response cache capacity in entries.
+    pub response_cache_capacity: usize,
+    /// Queue-full behaviour.
+    pub shed_policy: ShedPolicy,
+    /// Hits returned per query.
+    pub top_k: usize,
+    /// Modeled storage wait per query term (rank stage).
+    pub rank_service: Duration,
+    /// Modeled storage wait per summary-cache miss.
+    pub summary_service: Duration,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            workers: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(2),
+            cache_capacity: 4096,
+            cache_shards: 8,
+            response_cache_capacity: 1024,
+            shed_policy: ShedPolicy::Reject,
+            top_k: 5,
+            rank_service: Duration::from_micros(150),
+            summary_service: Duration::from_micros(350),
+        }
+    }
+}
+
+/// One query admitted to the front-end.
+struct Request {
+    dc: DataCenterId,
+    terms: Vec<Bytes>,
+    version: u64,
+    enqueued: Instant,
+    deadline: Instant,
+}
+
+/// Key of the stale-response cache: under overload, any previous answer
+/// for the same query shape is acceptable, whatever version produced it.
+type ResponseKey = (u8, Vec<Bytes>);
+type ResponseCache = ShardedLru<ResponseKey, Arc<Vec<SearchHit>>>;
+
+struct ShardQueue {
+    inner: Mutex<QueueState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    items: VecDeque<Request>,
+    closed: bool,
+}
+
+impl ShardQueue {
+    fn new(cap: usize) -> Self {
+        ShardQueue {
+            inner: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Non-blocking bounded push; a full queue hands the request back.
+    fn try_push(&self, req: Request) -> Result<(), Request> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if q.items.len() >= self.cap {
+            return Err(req);
+        }
+        q.items.push_back(req);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; `None` once closed and drained.
+    fn pop(&self) -> Option<Request> {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(req) = q.items.pop_front() {
+                return Some(req);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut q = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        q.closed = true;
+        drop(q);
+        self.ready.notify_all();
+    }
+}
+
+/// Aggregate outcome of one front-end run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests offered (submitted) to the front-end.
+    pub offered: u64,
+    /// Full-path responses.
+    pub served: u64,
+    /// Degraded responses (deadline breach, or stale-cache hit under
+    /// overload).
+    pub served_stale: u64,
+    /// Requests shed at admission with no response.
+    pub shed: u64,
+    /// Wall time from front-end start to last worker exit.
+    pub wall: Duration,
+    /// Response latency (enqueue to completion) in µs, over all responses.
+    pub hist: LatencyHistogram,
+    /// Summary-cache hits during this run.
+    pub summary_hits: u64,
+    /// Summary-cache misses during this run (each one a storage fetch).
+    pub summary_misses: u64,
+}
+
+impl ServeReport {
+    /// Responses produced (full + degraded).
+    pub fn responses(&self) -> u64 {
+        self.served + self.served_stale
+    }
+
+    /// Responses per second of wall time.
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.responses() as f64 / secs
+        }
+    }
+
+    /// Summary-cache hit rate over this run (0.0 before any lookup).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let (h, m) = (self.summary_hits as f64, self.summary_misses as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Shed requests over offered requests.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Handle the load generator uses to offer requests to the running
+/// front-end. Submission is admission-controlled and never blocks on a
+/// full queue.
+pub struct Submitter<'a> {
+    cfg: &'a FrontendConfig,
+    queues: &'a [ShardQueue],
+    responses: &'a ResponseCache,
+    next_shard: AtomicU64,
+    offered: AtomicU64,
+    accepted: AtomicU64,
+    stale_at_admission: AtomicU64,
+    shed: AtomicU64,
+    admission_hist: Mutex<LatencyHistogram>,
+}
+
+/// What happened to one submitted request at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued; a worker will respond (full or degraded).
+    Accepted,
+    /// Queue full; answered immediately from the stale-response cache.
+    ServedStale,
+    /// Queue full; dropped with no response.
+    Shed,
+}
+
+impl Submitter<'_> {
+    /// Offers one query to the front-end.
+    pub fn submit(&self, dc: DataCenterId, terms: Vec<Bytes>, version: u64) -> Admission {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) as usize % self.queues.len();
+        let req = Request {
+            dc,
+            terms,
+            version,
+            enqueued: now,
+            deadline: now + self.cfg.deadline,
+        };
+        match self.queues[shard].try_push(req) {
+            Ok(()) => {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                Admission::Accepted
+            }
+            Err(req) => {
+                if self.cfg.shed_policy == ShedPolicy::ServeStale {
+                    let key: ResponseKey = (req.dc.region.0, req.terms);
+                    if self.responses.get(&key).is_some() {
+                        self.stale_at_admission.fetch_add(1, Ordering::Relaxed);
+                        let us = req.enqueued.elapsed().as_micros() as u64;
+                        self.admission_hist
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .record(us);
+                        return Admission::ServedStale;
+                    }
+                }
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Admission::Shed
+            }
+        }
+    }
+
+    /// Requests accepted into a queue so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Requests offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-worker tallies, merged after join (no locking on the hot path).
+struct WorkerOut {
+    served: u64,
+    stale: u64,
+    hist: LatencyHistogram,
+}
+
+fn worker_loop(
+    engine: &DirectLoad,
+    cfg: &FrontendConfig,
+    cache: &SummaryCache,
+    responses: &ResponseCache,
+    queue: &ShardQueue,
+) -> WorkerOut {
+    let mut out = WorkerOut {
+        served: 0,
+        stale: 0,
+        hist: LatencyHistogram::new(),
+    };
+    while let Some(req) = queue.pop() {
+        let term_refs: Vec<&[u8]> = req.terms.iter().map(|t| t.as_ref()).collect();
+        // Rank errors (e.g. quorum loss mid-run) degrade to an empty
+        // ranking; the request still gets a response.
+        let ranked = engine
+            .rank(req.dc, &term_refs, req.version, cfg.top_k)
+            .map(|r| r.ranked)
+            .unwrap_or_default();
+        let key: ResponseKey = (req.dc.region.0, req.terms.clone());
+        if Instant::now() >= req.deadline {
+            // Deadline breached while queued: respond degraded — cached
+            // summaries only, no storage fetch, no modeled wait.
+            let hits: Vec<SearchHit> = ranked
+                .into_iter()
+                .map(|(url, matched_terms)| {
+                    let summary = cache.peek(req.dc, &url, req.version).flatten();
+                    SearchHit {
+                        url,
+                        matched_terms,
+                        summary,
+                    }
+                })
+                .collect();
+            responses.insert(key, Arc::new(hits));
+            out.stale += 1;
+            out.hist.record(req.enqueued.elapsed().as_micros() as u64);
+            continue;
+        }
+        let mut misses = 0u32;
+        let mut hits = Vec::with_capacity(ranked.len());
+        for (url, matched_terms) in ranked {
+            let (summary, hit) = match cache.get_or_fetch(engine, req.dc, &url, req.version) {
+                Ok((summary, hit, _sim_latency)) => (summary, hit),
+                Err(_) => (None, false),
+            };
+            if !hit {
+                misses += 1;
+            }
+            hits.push(SearchHit {
+                url,
+                matched_terms,
+                summary,
+            });
+        }
+        let service = cfg.rank_service * req.terms.len() as u32 + cfg.summary_service * misses;
+        if !service.is_zero() {
+            std::thread::sleep(service);
+        }
+        responses.insert(key, Arc::new(hits));
+        out.served += 1;
+        out.hist.record(req.enqueued.elapsed().as_micros() as u64);
+    }
+    out
+}
+
+/// Runs the front-end: spawns `cfg.workers` workers against `engine`,
+/// hands the `generator` a [`Submitter`], and once the generator returns,
+/// drains the queues, joins the workers, and reports.
+///
+/// The summary `cache` is borrowed so callers can keep it warm across
+/// runs (and invalidate it on publishes); [`crate::ServeExt::serve`]
+/// builds a fresh one per call.
+pub fn run<F>(
+    engine: &DirectLoad,
+    cfg: &FrontendConfig,
+    cache: &SummaryCache,
+    generator: F,
+) -> ServeReport
+where
+    F: FnOnce(&Submitter<'_>),
+{
+    let workers = cfg.workers.max(1);
+    let queues: Vec<ShardQueue> = (0..workers)
+        .map(|_| ShardQueue::new(cfg.queue_depth.max(1)))
+        .collect();
+    let responses: ResponseCache = ShardedLru::new(cfg.response_cache_capacity.max(1), 4);
+    let submitter = Submitter {
+        cfg,
+        queues: &queues,
+        responses: &responses,
+        next_shard: AtomicU64::new(0),
+        offered: AtomicU64::new(0),
+        accepted: AtomicU64::new(0),
+        stale_at_admission: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        admission_hist: Mutex::new(LatencyHistogram::new()),
+    };
+    let hits_before = cache.hits();
+    let misses_before = cache.misses();
+    let start = Instant::now();
+    let responses_ref = &responses;
+    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = queues
+            .iter()
+            .map(|q| s.spawn(move || worker_loop(engine, cfg, cache, responses_ref, q)))
+            .collect();
+        generator(&submitter);
+        for q in &queues {
+            q.close();
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serve worker panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let mut hist = submitter
+        .admission_hist
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    let mut served = 0;
+    let mut stale = submitter.stale_at_admission.load(Ordering::Relaxed);
+    for out in &outs {
+        served += out.served;
+        stale += out.stale;
+        hist.merge(&out.hist);
+    }
+    ServeReport {
+        offered: submitter.offered.load(Ordering::Relaxed),
+        served,
+        served_stale: stale,
+        shed: submitter.shed.load(Ordering::Relaxed),
+        wall,
+        hist,
+        summary_hits: cache.hits() - hits_before,
+        summary_misses: cache.misses() - misses_before,
+    }
+}

@@ -1,0 +1,244 @@
+//! Log-bucketed latency histograms.
+//!
+//! Serving front-ends need percentiles over millions of samples without
+//! keeping the samples: each worker records into its own histogram
+//! (lock-free, no sharing), and the shards are [`merged`](LatencyHistogram::merge)
+//! after the run. Buckets are log-linear (HdrHistogram-style): exact below
+//! 2^5, then 32 linear sub-buckets per power of two, bounding relative
+//! error at ~3.1%. Values are unit-agnostic `u64`s; the serving path
+//! records microseconds.
+
+/// Linear sub-bucket bits per power-of-two group.
+const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Groups cover values with MSB in `SUB_BITS..=63`, plus the exact group.
+const GROUPS: usize = (64 - SUB_BITS as usize) + 1;
+const BUCKETS: usize = GROUPS * SUB_BUCKETS;
+
+/// A mergeable log-bucketed histogram with ~3.1% relative value error.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for `v`: exact for small values, log-linear above.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (msb - SUB_BITS + 1) as usize * SUB_BUCKETS + sub
+}
+
+/// Upper edge of bucket `index` (the conservative value a percentile
+/// falling in this bucket reports).
+fn bucket_high(index: usize) -> u64 {
+    let group = index / SUB_BUCKETS;
+    let sub = (index % SUB_BUCKETS) as u64;
+    if group == 0 {
+        return sub;
+    }
+    let msb = SUB_BITS + group as u32 - 1;
+    let shift = msb - SUB_BITS;
+    // The very top bucket's upper edge exceeds u64; saturate.
+    let high = (1u128 << msb) + (((sub + 1) as u128) << shift) - 1;
+    high.min(u64::MAX as u128) as u64
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile for `q` in `0.0..=1.0`, reported at the
+    /// containing bucket's upper edge (clamped to the observed extremes).
+    /// Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_high(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = 0;
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1000,
+            1 << 20,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket order broke at {v}");
+            assert!(b < BUCKETS);
+            assert!(bucket_high(b) >= v, "upper edge below value at {v}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1.0 / 32.0), 0);
+        assert_eq!(h.p50(), 15);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.count(), 32);
+    }
+
+    #[test]
+    fn percentiles_bound_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 7);
+        }
+        for (q, exact) in [(0.5, 35_000.0), (0.99, 69_300.0), (0.999, 69_930.0)] {
+            let got = h.percentile(q) as f64;
+            let err = (got - exact).abs() / exact;
+            assert!(err < 0.04, "q={q}: got {got}, exact {exact}, err {err}");
+        }
+        assert!((h.mean() - 35_003.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..500u64 {
+            let v = i * i % 7919;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.min(), whole.min());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+}

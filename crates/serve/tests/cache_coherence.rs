@@ -1,0 +1,112 @@
+//! Property test: the summary cache is coherent with the engine.
+//!
+//! DirectLoad values are immutable per `(key, version)` while the version
+//! is retained, so the only way the cache can lie is by outliving
+//! retention: a publish retires the oldest version, storage deletes its
+//! records, and a cache entry for that version would keep "serving" data
+//! the engine no longer has. The serving contract is therefore: after
+//! *any* interleaving of publishes (each followed by the publish
+//! invalidation hook) and reads, a cached read equals a direct
+//! `get_summary` read — including `None`s, including reads racing LRU
+//! evictions, at every live version.
+
+use bifrost::DataCenterId;
+use directload::{summary_host_for, DirectLoad, DirectLoadConfig};
+use proptest::prelude::*;
+use serve::SummaryCache;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Publish a version (30% of pages change), then run the
+    /// invalidation hook.
+    Publish,
+    /// Read one URL at `current_version - back` (clamped to live),
+    /// through the cache and directly, and compare.
+    Read { url: usize, back: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        1 => Just(Op::Publish),
+        4 => (0usize..1000, 0u64..8).prop_map(|(url, back)| Op::Read { url, back }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Cached reads equal direct engine reads under any interleaving of
+    /// publishes, invalidations, evictions, and version choices.
+    #[test]
+    fn cached_reads_match_direct_reads(ops in proptest::collection::vec(op_strategy(), 1..12)) {
+        let mut engine = DirectLoad::new(DirectLoadConfig::small());
+        engine.run_version(1.0).unwrap();
+        // Deliberately tiny: evictions and re-fetches happen constantly,
+        // so coherence isn't an artifact of everything staying resident.
+        let cache = SummaryCache::new(48, 4);
+        let urls = engine.urls();
+        let dcs = DataCenterId::all();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Publish => {
+                    engine.run_version(0.3).unwrap();
+                    cache.invalidate_below(engine.min_live_version());
+                }
+                Op::Read { url, back } => {
+                    let url = &urls[url % urls.len()];
+                    let version = engine
+                        .version()
+                        .saturating_sub(back)
+                        .max(engine.min_live_version());
+                    let dc = dcs[i % dcs.len()];
+                    let (cached, _, _) =
+                        cache.get_or_fetch(&engine, dc, url, version).unwrap();
+                    let (direct, _) =
+                        engine.get_summary(summary_host_for(dc), url, version).unwrap();
+                    prop_assert_eq!(&cached, &direct, "first read incoherent");
+                    // The second read must come from cache and still agree.
+                    let (cached_again, hit, _) =
+                        cache.get_or_fetch(&engine, dc, url, version).unwrap();
+                    prop_assert!(hit, "immediate re-read should hit");
+                    prop_assert_eq!(&cached_again, &direct, "cached re-read incoherent");
+                }
+            }
+        }
+    }
+}
+
+/// The deterministic disaster the property above guards against: without
+/// the publish invalidation hook, a cache entry outlives retention and
+/// keeps serving a version storage has deleted.
+#[test]
+fn stale_entry_is_dropped_when_version_retires() {
+    let mut engine = DirectLoad::new(DirectLoadConfig::small());
+    engine.run_version(1.0).unwrap();
+    let cache = SummaryCache::new(1024, 4);
+    let url = engine.urls()[0].clone();
+    let dc = DataCenterId::all()[0];
+
+    let (v1_value, hit, _) = cache.get_or_fetch(&engine, dc, &url, 1).unwrap();
+    assert!(!hit);
+    assert!(v1_value.is_some(), "v1 abstract exists while v1 is live");
+
+    // Publish until version 1 falls out of the retention window.
+    while engine.min_live_version() <= 1 {
+        engine.run_version(0.3).unwrap();
+        cache.invalidate_below(engine.min_live_version());
+    }
+
+    // The v1 entry is gone from the cache, and a fresh read-through
+    // agrees with storage (which has deleted v1).
+    assert_eq!(
+        cache.peek(dc, &url, 1),
+        None,
+        "retired version still cached"
+    );
+    let (after, _, _) = cache.get_or_fetch(&engine, dc, &url, 1).unwrap();
+    let (direct, _) = engine.get_summary(summary_host_for(dc), &url, 1).unwrap();
+    assert_eq!(
+        after, direct,
+        "cache and storage disagree at retired version"
+    );
+}

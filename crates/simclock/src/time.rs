@@ -94,7 +94,10 @@ impl SimTime {
     /// Used by bandwidth models (`bytes / rate`). Negative or non-finite
     /// factors are a modelling bug and panic.
     pub fn mul_f64(self, factor: f64) -> SimTime {
-        assert!(factor.is_finite() && factor >= 0.0, "bad time factor {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "bad time factor {factor}"
+        );
         SimTime((self.0 as f64 * factor).round() as u64)
     }
 }

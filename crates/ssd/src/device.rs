@@ -246,7 +246,12 @@ impl Device {
     /// Highest erase count across all blocks (wear indicator).
     pub fn max_erase_count(&self) -> u32 {
         let inner = self.inner.lock();
-        inner.blocks.iter().map(|b| b.erase_count).max().unwrap_or(0)
+        inner
+            .blocks
+            .iter()
+            .map(|b| b.erase_count)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Blocks permanently retired as grown bad blocks.
@@ -418,7 +423,12 @@ impl Device {
     /// Reads `len` bytes from `block` starting at byte offset
     /// `page * page_size + offset_in_page`. The read may span pages but
     /// must stay within the programmed region of the block.
-    pub fn raw_read(&self, block: BlockId, byte_offset: usize, len: usize) -> Result<(Vec<u8>, SimTime)> {
+    pub fn raw_read(
+        &self,
+        block: BlockId,
+        byte_offset: usize,
+        len: usize,
+    ) -> Result<(Vec<u8>, SimTime)> {
         if len == 0 {
             return Err(SsdError::BadLength(0));
         }
@@ -705,7 +715,10 @@ mod tests {
     fn ftl_write_out_of_range_errors() {
         let d = dev();
         let logical = DeviceConfig::small().logical_pages();
-        assert_eq!(d.ftl_write(logical, &page()).unwrap_err(), SsdError::OutOfRange);
+        assert_eq!(
+            d.ftl_write(logical, &page()).unwrap_err(),
+            SsdError::OutOfRange
+        );
     }
 
     #[test]
@@ -823,7 +836,10 @@ mod tests {
         let d = dev();
         d.ftl_write(0, &page()).unwrap();
         // Block 0 was taken by the FTL (allocation is low-id first).
-        assert_eq!(d.raw_program(0, &page()).unwrap_err(), SsdError::NotRawBlock(0));
+        assert_eq!(
+            d.raw_program(0, &page()).unwrap_err(),
+            SsdError::NotRawBlock(0)
+        );
         assert_eq!(d.raw_erase(0).unwrap_err(), SsdError::NotRawBlock(0));
         assert!(matches!(d.raw_read(0, 0, 1), Err(SsdError::NotRawBlock(0))));
     }

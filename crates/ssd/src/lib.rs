@@ -86,7 +86,10 @@ impl fmt::Display for SsdError {
             SsdError::OutOfSpace => write!(f, "device out of space"),
             SsdError::NotRawBlock(b) => write!(f, "block {b} is not raw-owned"),
             SsdError::NonSequentialProgram { block, expected } => {
-                write!(f, "non-sequential program in block {block}, expected page {expected}")
+                write!(
+                    f,
+                    "non-sequential program in block {block}, expected page {expected}"
+                )
             }
             SsdError::BlockFull(b) => write!(f, "block {b} is full"),
             SsdError::UnwrittenPage(p) => write!(f, "read of unwritten page {p}"),

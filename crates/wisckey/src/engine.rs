@@ -136,9 +136,7 @@ impl WiscKey {
         // GC to relocate into; clamp a too-ambitious configuration rather
         // than letting the log run its allocator dry.
         let capacity_segments = (vlog_pages / cfg.vlog.segment_pages) as usize;
-        cfg.max_segments = cfg
-            .max_segments
-            .min((capacity_segments * 3 / 4).max(1));
+        cfg.max_segments = cfg.max_segments.min((capacity_segments * 3 / 4).max(1));
         let lsm = LsmTree::with_page_range(dev.clone(), cfg.lsm, 0, lsm_pages);
         let vlog = ValueLog::new(dev.clone(), cfg.vlog, lsm_pages, vlog_pages);
         WiscKey {
@@ -307,7 +305,10 @@ mod tests {
         let mut db = engine();
         db.put(b"k", &vec![1u8; 1000]).unwrap();
         db.put(b"k", &vec![2u8; 1000]).unwrap();
-        assert_eq!(db.get(b"k").unwrap().unwrap().as_ref(), &vec![2u8; 1000][..]);
+        assert_eq!(
+            db.get(b"k").unwrap().unwrap().as_ref(),
+            &vec![2u8; 1000][..]
+        );
         db.delete(b"k").unwrap();
         assert_eq!(db.get(b"k").unwrap(), None);
     }
@@ -322,7 +323,8 @@ mod tests {
         // Overwrite half (their old vlog entries become garbage) and
         // delete a quarter.
         for k in (0..60u32).step_by(2) {
-            db.put(format!("key-{k:04}").as_bytes(), &value(k + 100)).unwrap();
+            db.put(format!("key-{k:04}").as_bytes(), &value(k + 100))
+                .unwrap();
         }
         for k in (0..60u32).step_by(4) {
             db.delete(format!("key-{k:04}").as_bytes()).unwrap();

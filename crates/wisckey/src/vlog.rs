@@ -201,7 +201,9 @@ impl ValueLog {
             let seg = self.segments.get_mut(&self.active).expect("active segment");
             let lpa = seg.start + seg.durable / page as u64;
             let chunk: Vec<u8> = self.buf.drain(..page).collect();
-            self.dev.ftl_write(lpa, &chunk).map_err(lsmtree::LsmError::from)?;
+            self.dev
+                .ftl_write(lpa, &chunk)
+                .map_err(lsmtree::LsmError::from)?;
             seg.durable += page as u64;
         }
         Ok(())
@@ -215,7 +217,9 @@ impl ValueLog {
             let lpa = seg.start + seg.durable / self.page_size as u64;
             let mut chunk = std::mem::take(&mut self.buf);
             chunk.resize(self.page_size, 0);
-            self.dev.ftl_write(lpa, &chunk).map_err(lsmtree::LsmError::from)?;
+            self.dev
+                .ftl_write(lpa, &chunk)
+                .map_err(lsmtree::LsmError::from)?;
             seg.durable += self.page_size as u64;
         }
         Ok(())
@@ -223,10 +227,13 @@ impl ValueLog {
 
     /// Reads the entry at `loc`, returning its key and value.
     pub fn read(&self, loc: VlogLoc) -> Result<(Bytes, Bytes)> {
-        let seg = self.segments.get(&loc.segment).ok_or(WiscKeyError::CorruptVlogEntry {
-            segment: loc.segment,
-            offset: loc.offset,
-        })?;
+        let seg = self
+            .segments
+            .get(&loc.segment)
+            .ok_or(WiscKeyError::CorruptVlogEntry {
+                segment: loc.segment,
+                offset: loc.offset,
+            })?;
         let end = loc.offset + loc.len as u64;
         let mut data = Vec::with_capacity(loc.len as usize);
         // Durable part via the device; buffered tail from memory.
@@ -259,10 +266,10 @@ impl ValueLog {
     /// active one), yielding `(loc, key, value)` — the GC's input.
     pub fn scan_segment(&self, segment: u64) -> Result<Vec<(VlogLoc, Bytes, Bytes)>> {
         assert_ne!(segment, self.active, "cannot scan the active segment");
-        let seg = self.segments.get(&segment).ok_or(WiscKeyError::CorruptVlogEntry {
-            segment,
-            offset: 0,
-        })?;
+        let seg = self
+            .segments
+            .get(&segment)
+            .ok_or(WiscKeyError::CorruptVlogEntry { segment, offset: 0 })?;
         if seg.durable == 0 {
             return Ok(Vec::new());
         }
@@ -310,10 +317,10 @@ impl ValueLog {
     /// Frees a (scanned-out) segment.
     pub fn delete_segment(&mut self, segment: u64) -> Result<()> {
         assert_ne!(segment, self.active, "cannot delete the active segment");
-        let seg = self.segments.remove(&segment).ok_or(WiscKeyError::CorruptVlogEntry {
-            segment,
-            offset: 0,
-        })?;
+        let seg = self
+            .segments
+            .remove(&segment)
+            .ok_or(WiscKeyError::CorruptVlogEntry { segment, offset: 0 })?;
         self.dev.ftl_trim(seg.start, self.cfg.segment_pages);
         self.alloc.release(seg.start, self.cfg.segment_pages);
         Ok(())
@@ -358,7 +365,10 @@ mod tests {
         // 8-page segments of 4 KiB = 32 KiB; three 20 KiB entries span
         // three segments.
         let locs: Vec<_> = (0..3)
-            .map(|i| log.append(format!("k{i}").as_bytes(), &vec![i as u8; 20_000]).unwrap())
+            .map(|i| {
+                log.append(format!("k{i}").as_bytes(), &vec![i as u8; 20_000])
+                    .unwrap()
+            })
             .collect();
         assert_eq!(log.num_segments(), 3);
         assert!(locs.windows(2).all(|w| w[0].segment < w[1].segment));
@@ -388,7 +398,10 @@ mod tests {
                 .iter()
                 .find(|(l, _, _)| *l == loc)
                 .expect("scanned entry was appended");
-            assert_eq!((eloc, key.as_ref(), value.as_ref()), (eloc, ekey.as_bytes(), evalue.as_slice()));
+            assert_eq!(
+                (eloc, key.as_ref(), value.as_ref()),
+                (eloc, ekey.as_bytes(), evalue.as_slice())
+            );
         }
     }
 
@@ -396,13 +409,20 @@ mod tests {
     fn delete_segment_frees_space() {
         let mut log = vlog();
         for i in 0..3 {
-            log.append(format!("k{i}").as_bytes(), &vec![0u8; 20_000]).unwrap();
+            log.append(format!("k{i}").as_bytes(), &vec![0u8; 20_000])
+                .unwrap();
         }
         let before = log.disk_bytes();
         let victim = log.oldest_sealed().unwrap();
         log.delete_segment(victim).unwrap();
         assert!(log.disk_bytes() < before);
-        assert!(log.read(VlogLoc { segment: victim, offset: 0, len: 16 }).is_err());
+        assert!(log
+            .read(VlogLoc {
+                segment: victim,
+                offset: 0,
+                len: 16
+            })
+            .is_err());
     }
 
     #[test]
@@ -410,7 +430,10 @@ mod tests {
         let mut log = vlog();
         let loc = log.append(b"k", b"value").unwrap();
         // Lie about the length: decode must fail cleanly.
-        let bad = VlogLoc { len: loc.len - 3, ..loc };
+        let bad = VlogLoc {
+            len: loc.len - 3,
+            ..loc
+        };
         assert!(log.read(bad).is_err());
     }
 }

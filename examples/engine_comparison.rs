@@ -51,7 +51,9 @@ fn main() {
         }
         if v > RETAIN {
             for k in 0..KEYS {
-                qindb.del(format!("key-{k:06}").as_bytes(), v - RETAIN).unwrap();
+                qindb
+                    .del(format!("key-{k:06}").as_bytes(), v - RETAIN)
+                    .unwrap();
             }
         }
     }
@@ -79,7 +81,8 @@ fn main() {
     let mut last = (0u64, 0u64);
     for v in 1..=VERSIONS {
         for k in 0..KEYS {
-            lsm.put(composite(k, v).as_bytes(), &value_for(k, v)).unwrap();
+            lsm.put(composite(k, v).as_bytes(), &value_for(k, v))
+                .unwrap();
             let sec = clock.now().as_nanos() / 1_000_000_000;
             if sec > last.0 {
                 let user = lsm.stats().user_write_bytes;
@@ -122,7 +125,8 @@ fn main() {
     let mut last = (0u64, 0u64);
     for v in 1..=VERSIONS {
         for k in 0..KEYS {
-            wk.put(composite(k, v).as_bytes(), &value_for(k, v)).unwrap();
+            wk.put(composite(k, v).as_bytes(), &value_for(k, v))
+                .unwrap();
             let sec = clock.now().as_nanos() / 1_000_000_000;
             if sec > last.0 {
                 let user = wk.stats().user_write_bytes;

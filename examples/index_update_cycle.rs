@@ -90,7 +90,9 @@ fn main() {
     use bytes::Buf;
     let serving_dc = DataCenterId::all()[4];
     let url = system.urls()[7].clone();
-    let (fwd, _) = system.get_forward(serving_dc, &url, report.version).unwrap();
+    let (fwd, _) = system
+        .get_forward(serving_dc, &url, report.version)
+        .unwrap();
     let mut fwd = fwd.expect("forward entry");
     let mut term_keys = Vec::new();
     while fwd.len() >= 4 {

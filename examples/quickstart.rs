@@ -18,21 +18,34 @@ fn main() {
     let mut db = QinDb::new(device.clone(), QinDbConfig::small_files(1024 * 1024));
 
     // Version 1 of a page's summary arrives in full.
-    db.put(b"url:0000000000000001", 1, Some(b"the abstract of the page"))
-        .unwrap();
+    db.put(
+        b"url:0000000000000001",
+        1,
+        Some(b"the abstract of the page"),
+    )
+    .unwrap();
     // Version 2: Bifrost found the page unchanged and stripped the value.
     db.put(b"url:0000000000000001", 2, None).unwrap();
 
     // GET(k/2) finds a NULL value and traces back to version 1.
     let v2 = db.get(b"url:0000000000000001", 2).unwrap().unwrap();
-    println!("GET v2 (deduplicated) -> {:?}", std::str::from_utf8(&v2).unwrap());
+    println!(
+        "GET v2 (deduplicated) -> {:?}",
+        std::str::from_utf8(&v2).unwrap()
+    );
 
     // DEL(k/1) only flips the d flag; v2 still resolves because its
     // deduplicated chain references v1's record, which the lazy GC keeps.
     db.del(b"url:0000000000000001", 1).unwrap();
-    println!("GET v1 after DEL      -> {:?}", db.get(b"url:0000000000000001", 1).unwrap());
+    println!(
+        "GET v1 after DEL      -> {:?}",
+        db.get(b"url:0000000000000001", 1).unwrap()
+    );
     let v2 = db.get(b"url:0000000000000001", 2).unwrap().unwrap();
-    println!("GET v2 after DEL(v1)  -> {:?}", std::str::from_utf8(&v2).unwrap());
+    println!(
+        "GET v2 after DEL(v1)  -> {:?}",
+        std::str::from_utf8(&v2).unwrap()
+    );
 
     // Write enough data to show the engine's flash behaviour.
     let value = vec![0x5Au8; 4096];
@@ -60,7 +73,7 @@ fn main() {
     // Crash: all host memory is lost; the engine rebuilds from the AOFs.
     drop(db);
     let t0 = clock.now();
-    let mut recovered = QinDb::recover(device, QinDbConfig::small_files(1024 * 1024)).unwrap();
+    let recovered = QinDb::recover(device, QinDbConfig::small_files(1024 * 1024)).unwrap();
     println!(
         "\nrecovered {} items in {} (simulated) by scanning all AOFs",
         recovered.memtable_items(),

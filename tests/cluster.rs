@@ -147,7 +147,9 @@ fn wide_cluster_scales_the_same_semantics() {
     cluster.apply(&ops(3, false)).unwrap();
     // Retire version 1 everywhere.
     for i in 0..400u32 {
-        cluster.delete(format!("url:{i:016}").as_bytes(), 1).unwrap();
+        cluster
+            .delete(format!("url:{i:016}").as_bytes(), 1)
+            .unwrap();
     }
     // Full sweep: v1 gone, v2 traces back to v1's (referenced) bytes,
     // v3 live — across every group.
@@ -165,7 +167,10 @@ fn wide_cluster_scales_the_same_semantics() {
         assert!(v3.is_some(), "{key}@3 should be live");
     }
     let stats = cluster.aggregate_stats();
-    assert!(stats.puts as usize >= 400 * 3 * 3, "three replicated versions");
+    assert!(
+        stats.puts as usize >= 400 * 3 * 3,
+        "three replicated versions"
+    );
 }
 
 #[test]

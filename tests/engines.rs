@@ -28,7 +28,8 @@ fn run_qindb() -> (QinDb, Device, SimClock) {
         }
         if v > RETAIN {
             for k in 0..KEYS {
-                db.del(format!("key-{k:05}").as_bytes(), v - RETAIN).unwrap();
+                db.del(format!("key-{k:05}").as_bytes(), v - RETAIN)
+                    .unwrap();
             }
         }
     }
@@ -111,8 +112,7 @@ fn write_amplification_ordering_holds() {
     );
     // The WiscKey comparator lands strictly between the two (§2.1).
     let (w_db, w_dev, _) = run_wisckey();
-    let w_waf =
-        w_dev.counters().sys_write_bytes() as f64 / w_db.stats().user_write_bytes as f64;
+    let w_waf = w_dev.counters().sys_write_bytes() as f64 / w_db.stats().user_write_bytes as f64;
     assert!(
         w_waf < l_waf && w_waf > q_waf,
         "WiscKey WAF should sit between: lsm={l_waf:.2} wisckey={w_waf:.2} qindb={q_waf:.2}"
@@ -143,29 +143,21 @@ fn hardware_waf_is_one_only_for_qindb() {
 
 #[test]
 fn all_engines_agree_on_surviving_data() {
-    let (mut q_db, _, _) = run_qindb();
+    let (q_db, _, _) = run_qindb();
     let (mut l_db, _, _) = run_lsm();
     let (mut w_db, _, _) = run_wisckey();
     for v in 1..=VERSIONS {
         for k in (0..KEYS).step_by(37) {
             let q = q_db.get(format!("key-{k:05}").as_bytes(), v).unwrap();
-            let l = l_db
-                .get(format!("key-{k:05}/{v:08}").as_bytes())
-                .unwrap();
-            let w = w_db
-                .get(format!("key-{k:05}/{v:08}").as_bytes())
-                .unwrap();
+            let l = l_db.get(format!("key-{k:05}/{v:08}").as_bytes()).unwrap();
+            let w = w_db.get(format!("key-{k:05}/{v:08}").as_bytes()).unwrap();
             let retired = v + RETAIN < VERSIONS + 1;
             if retired {
                 assert_eq!(q, None, "qindb key-{k:05}@{v} should be retired");
                 assert_eq!(l, None, "lsm key-{k:05}@{v} should be retired");
                 assert_eq!(w, None, "wisckey key-{k:05}@{v} should be retired");
             } else {
-                assert_eq!(
-                    q.as_deref(),
-                    Some(&value(k, v)[..]),
-                    "qindb key-{k:05}@{v}"
-                );
+                assert_eq!(q.as_deref(), Some(&value(k, v)[..]), "qindb key-{k:05}@{v}");
                 assert_eq!(l.as_deref(), Some(&value(k, v)[..]), "lsm key-{k:05}@{v}");
                 assert_eq!(
                     w.as_deref(),

@@ -123,7 +123,10 @@ fn serves_a_realistic_query_stream() {
         let ra = s.search(dc_a, &term_refs, 2, 5).unwrap();
         let rb = s.search(dc_b, &term_refs, 2, 5).unwrap();
         let flat = |r: &directload::SearchResponse| -> Vec<(bytes::Bytes, usize)> {
-            r.hits.iter().map(|h| (h.url.clone(), h.matched_terms)).collect()
+            r.hits
+                .iter()
+                .map(|h| (h.url.clone(), h.matched_terms))
+                .collect()
         };
         assert_eq!(flat(&ra), flat(&rb), "cross-DC result divergence");
         if !ra.hits.is_empty() {

@@ -65,7 +65,8 @@ fn recovery_equivalence_after_mixed_workload() {
 fn recovery_is_idempotent() {
     let (dev, mut db) = engine();
     for k in 0..40u32 {
-        db.put(format!("key-{k:04}").as_bytes(), 1, Some(b"payload")).unwrap();
+        db.put(format!("key-{k:04}").as_bytes(), 1, Some(b"payload"))
+            .unwrap();
         if k % 2 == 0 {
             db.del(format!("key-{k:04}").as_bytes(), 1).unwrap();
         }
@@ -94,11 +95,17 @@ fn writes_after_recovery_continue_the_sequence() {
     db.flush().unwrap();
     drop(db);
 
-    let mut db = reopen(dev);
+    let db = reopen(dev);
     // v2 still traces back to the (deleted but referenced) v1 value.
-    assert_eq!(db.get(b"key-0001", 2).unwrap().unwrap().as_ref(), b"first life");
+    assert_eq!(
+        db.get(b"key-0001", 2).unwrap().unwrap().as_ref(),
+        b"first life"
+    );
     assert_eq!(db.get(b"key-0001", 1).unwrap(), None);
-    assert_eq!(db.get(b"key-0002", 1).unwrap().unwrap().as_ref(), b"second life");
+    assert_eq!(
+        db.get(b"key-0002", 1).unwrap().unwrap().as_ref(),
+        b"second life"
+    );
 }
 
 #[test]
@@ -127,7 +134,8 @@ fn crash_mid_gc_cycle_loses_nothing() {
     let value = vec![9u8; 700];
     for v in 1..=2u64 {
         for k in 0..80u32 {
-            db.put(format!("key-{k:04}").as_bytes(), v, Some(&value)).unwrap();
+            db.put(format!("key-{k:04}").as_bytes(), v, Some(&value))
+                .unwrap();
         }
     }
     for k in 0..80u32 {

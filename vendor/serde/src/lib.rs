@@ -1,0 +1,157 @@
+//! Minimal in-tree implementation of the `serde` serialization API surface
+//! used by this workspace (see vendor/README.md for why dependencies are
+//! vendored).
+//!
+//! Unlike upstream serde's format-agnostic visitor design, this stand-in
+//! serializes directly to pretty-printed JSON text — the only format the
+//! workspace emits (`serde_json::to_string_pretty` and the `json!` macro in
+//! the bench figure dumps). [`Serialize`] is implemented for the primitive
+//! and container types the workspace derives over, and the `derive` feature
+//! re-exports a `#[derive(Serialize)]` macro from the companion
+//! `serde_derive` stub.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A type that can render itself as JSON.
+///
+/// `indent` is the current pretty-printing depth (two spaces per level);
+/// scalar implementations ignore it.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String, indent: usize);
+}
+
+macro_rules! impl_serialize_display_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_display_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String, _indent: usize) {
+                if self.is_finite() {
+                    // `{:?}` keeps a trailing `.0` on integral floats, matching
+                    // serde_json's output for f64.
+                    out.push_str(&format!("{self:?}"));
+                } else {
+                    // JSON has no NaN/Infinity; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String, _indent: usize) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+/// Escapes and quotes a string per JSON rules.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String, _indent: usize) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        self.as_str().serialize_json(out, indent);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        (**self).serialize_json(out, indent);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.serialize_json(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        if self.is_empty() {
+            out.push_str("[]");
+            return;
+        }
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent + 1));
+            item.serialize_json(out, indent + 1);
+        }
+        out.push('\n');
+        out.push_str(&"  ".repeat(indent));
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        self.as_slice().serialize_json(out, indent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s, 0);
+        s
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(render(&3u64), "3");
+        assert_eq!(render(&1.5f64), "1.5");
+        assert_eq!(render(&2.0f64), "2.0");
+        assert_eq!(render(&f64::NAN), "null");
+        assert_eq!(render(&true), "true");
+        assert_eq!(render(&"a\"b".to_string()), "\"a\\\"b\"");
+        assert_eq!(render(&Option::<u64>::None), "null");
+    }
+
+    #[test]
+    fn vectors_pretty_print() {
+        assert_eq!(render(&Vec::<u64>::new()), "[]");
+        assert_eq!(render(&vec![1u64, 2]), "[\n  1,\n  2\n]");
+    }
+}

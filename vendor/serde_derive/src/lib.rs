@@ -1,0 +1,128 @@
+//! `#[derive(Serialize)]` for the vendored serde stand-in.
+//!
+//! Supports exactly what the workspace uses: non-generic structs with named
+//! fields. The macro is written against `proc_macro` alone (no syn/quote —
+//! the build environment has no registry access), parsing the token stream
+//! just far enough to recover the struct name and field names.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored JSON-writing trait) for a
+/// named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, fields) = parse_struct(&tokens);
+    let mut body = String::new();
+    body.push_str("out.push('{');\n");
+    let n = fields.len();
+    for (i, field) in fields.iter().enumerate() {
+        body.push_str("out.push('\\n');\n");
+        body.push_str("out.push_str(&\"  \".repeat(indent + 1));\n");
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\": \");\n\
+             serde::Serialize::serialize_json(&self.{field}, out, indent + 1);\n"
+        ));
+        if i + 1 < n {
+            body.push_str("out.push(',');\n");
+        }
+    }
+    if n > 0 {
+        body.push_str("out.push('\\n');\nout.push_str(&\"  \".repeat(indent));\n");
+    }
+    body.push_str("out.push('}');\n");
+    let impl_block = format!(
+        "impl serde::Serialize for {name} {{\n\
+            fn serialize_json(&self, out: &mut String, indent: usize) {{\n\
+                let _ = indent;\n\
+                {body}\n\
+            }}\n\
+         }}"
+    );
+    impl_block
+        .parse()
+        .expect("generated Serialize impl should parse")
+}
+
+/// Extracts the struct name and its named-field identifiers.
+///
+/// # Panics
+/// Panics (failing the derive) on enums, tuple structs, or generics —
+/// none of which the workspace derives `Serialize` for.
+fn parse_struct(tokens: &[TokenTree]) -> (String, Vec<String>) {
+    let mut iter = tokens.iter().peekable();
+    while let Some(tok) = iter.next() {
+        if let TokenTree::Ident(id) = tok {
+            if id.to_string() == "struct" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("expected struct name, found {other:?}"),
+                };
+                for tok in iter {
+                    if let TokenTree::Group(g) = tok {
+                        if g.delimiter() == Delimiter::Brace {
+                            return (name, parse_fields(g.stream()));
+                        }
+                    } else if let TokenTree::Punct(p) = tok {
+                        if p.as_char() == '<' {
+                            panic!("derive(Serialize) stub does not support generics");
+                        }
+                    }
+                }
+                panic!("derive(Serialize) stub supports only named-field structs");
+            }
+            if id.to_string() == "enum" {
+                panic!("derive(Serialize) stub does not support enums");
+            }
+        }
+    }
+    panic!("derive(Serialize): no struct found in input");
+}
+
+/// Splits a brace-group body into fields at angle-depth-zero commas and
+/// returns each field's identifier (the ident preceding the first `:`).
+fn parse_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if let Some(name) = field_name(&current) {
+                        fields.push(name);
+                    }
+                    current.clear();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok);
+    }
+    if let Some(name) = field_name(&current) {
+        fields.push(name);
+    }
+    fields
+}
+
+/// The identifier immediately before the first top-level `:` in a field,
+/// skipping attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn field_name(tokens: &[TokenTree]) -> Option<String> {
+    let mut last_ident: Option<String> = None;
+    for tok in tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == ':' => return last_ident,
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}

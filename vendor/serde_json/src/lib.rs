@@ -1,0 +1,180 @@
+//! Minimal in-tree implementation of the `serde_json` API surface used by
+//! this workspace (see vendor/README.md for why dependencies are vendored).
+//!
+//! Provides [`to_string_pretty`] over the vendored `serde::Serialize` trait,
+//! a [`Value`] tree, and the [`json!`] object macro used by the bench
+//! figure dumps.
+
+use serde::Serialize;
+
+/// Serialization error. The vendored writer is infallible, so this is never
+/// actually produced; the type exists so call sites can keep the upstream
+/// `Result` signature.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json error")
+    }
+}
+impl std::error::Error for Error {}
+
+/// Result alias matching upstream `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as f64, like JSON itself).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Captures any serializable value as a [`Value`] by rendering it to
+    /// JSON text. Scalars become typed variants; composites are re-wrapped
+    /// as pre-rendered strings only when parsing is not needed — here we
+    /// keep the rendered text under `Value::String` never: instead the
+    /// `json!` macro uses this for leaf expressions, which in this
+    /// workspace are numbers, bools, and strings.
+    pub fn capture<T: Serialize>(v: &T) -> Value {
+        let mut s = String::new();
+        v.serialize_json(&mut s, 0);
+        parse_scalar(&s).unwrap_or(Value::String(s))
+    }
+}
+
+/// Parses the scalar JSON encodings [`Value::capture`] can receive.
+fn parse_scalar(s: &str) -> Option<Value> {
+    match s {
+        "null" => Some(Value::Null),
+        "true" => Some(Value::Bool(true)),
+        "false" => Some(Value::Bool(false)),
+        _ => {
+            if let Ok(n) = s.parse::<f64>() {
+                return Some(Value::Number(n));
+            }
+            if s.starts_with('"') && s.ends_with('"') && s.len() >= 2 {
+                // Capture path: contents were escaped by the serializer;
+                // reverse the simple escapes it emits.
+                let inner = &s[1..s.len() - 1];
+                let unescaped = inner
+                    .replace("\\\"", "\"")
+                    .replace("\\n", "\n")
+                    .replace("\\r", "\r")
+                    .replace("\\t", "\t")
+                    .replace("\\\\", "\\");
+                return Some(Value::String(unescaped));
+            }
+            None
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_json(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.serialize_json(out, indent),
+            Value::Number(n) => n.serialize_json(out, indent),
+            Value::String(s) => s.serialize_json(out, indent),
+            Value::Array(items) => items.serialize_json(out, indent),
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    serde::write_json_string(k, out);
+                    out.push_str(": ");
+                    v.serialize_json(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Renders `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+/// Never fails with the vendored writer; the `Result` keeps the upstream
+/// signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out, 0);
+    Ok(out)
+}
+
+/// Renders `value` as compact-ish JSON. The vendored writer always
+/// pretty-prints composites; scalars are identical to upstream.
+///
+/// # Errors
+/// Never fails with the vendored writer.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    to_string_pretty(value)
+}
+
+/// Builds a [`Value`] object from `"key": expr` pairs (plus array and
+/// scalar forms), covering the workspace's `json!` call sites.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::Value::capture(&$val)),)*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::Value::capture(&$val),)*])
+    };
+    ($val:expr) => { $crate::Value::capture(&$val) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({
+            "a": 1.5,
+            "b": 2u64,
+            "ok": true,
+            "name": "x",
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"a\": 1.5,\n  \"b\": 2.0,\n  \"ok\": true,\n  \"name\": \"x\"\n}"
+        );
+    }
+
+    #[test]
+    fn nested_values() {
+        let v = Value::Object(vec![(
+            "xs".to_string(),
+            Value::Array(vec![Value::Number(1.0), Value::Null]),
+        )]);
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"xs\": [\n    1.0,\n    null\n  ]"));
+    }
+}
