@@ -214,7 +214,8 @@ pub fn gc_laziness_sweep(defer_fractions: &[f64]) -> Vec<LazinessSample> {
             let keys = 500u32;
             let mut peak = 0u64;
             let mut intervals: Vec<f64> = Vec::new();
-            let mut last = (0u64, 0u64); // (interval index, user bytes)
+            let mut last_tick = 0u64;
+            let mut last_stats = qindb::EngineStats::default();
             let tick = simclock::SimTime::from_millis(100);
             for v in 1..=12u64 {
                 for k in 0..keys {
@@ -225,10 +226,11 @@ pub fn gc_laziness_sweep(defer_fractions: &[f64]) -> Vec<LazinessSample> {
                             .expect("del");
                     }
                     let now = clock.now().as_nanos() / tick.as_nanos();
-                    if now > last.0 {
-                        let user = db.stats().user_write_bytes;
-                        intervals.push((user - last.1) as f64 / 1e6);
-                        last = (now, user);
+                    if now > last_tick {
+                        let stats = db.stats();
+                        intervals.push(stats.delta(&last_stats).user_write_bytes as f64 / 1e6);
+                        last_tick = now;
+                        last_stats = stats;
                     }
                 }
                 peak = peak.max(db.disk_bytes());

@@ -10,7 +10,7 @@
 
 use indexgen::{CorpusConfig, CrawlSimulator};
 use lsmtree::{LsmConfig, LsmTree};
-use qindb::{QinDb, QinDbConfig};
+use qindb::{EngineStats, QinDb, QinDbConfig};
 use serde::Serialize;
 use simclock::{SeriesStats, SimClock, SimTime};
 use ssdsim::{Device, DeviceConfig};
@@ -105,7 +105,10 @@ pub struct EngineRun {
 trait WorkloadTarget {
     fn put(&mut self, key: &[u8], version: u64, value: &[u8]);
     fn del(&mut self, key: &[u8], version: u64);
-    fn user_write_bytes(&self) -> u64;
+    /// Engine-side counters in [`EngineStats`] form; engines without a
+    /// QinDB-shaped stat set map what they have (user write bytes) and
+    /// leave the rest zero.
+    fn engine_stats(&self) -> EngineStats;
     fn disk_bytes(&self) -> u64;
     fn memory_bytes(&self) -> u64;
 }
@@ -119,8 +122,8 @@ impl WorkloadTarget for QinDbTarget {
     fn del(&mut self, key: &[u8], version: u64) {
         self.0.del(key, version).expect("qindb del");
     }
-    fn user_write_bytes(&self) -> u64 {
-        self.0.stats().user_write_bytes
+    fn engine_stats(&self) -> EngineStats {
+        self.0.stats()
     }
     fn disk_bytes(&self) -> u64 {
         self.0.disk_bytes()
@@ -145,8 +148,11 @@ impl WorkloadTarget for WiscKeyTarget {
             .delete(&composite(key, version))
             .expect("wisckey del");
     }
-    fn user_write_bytes(&self) -> u64 {
-        self.0.stats().user_write_bytes
+    fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            user_write_bytes: self.0.stats().user_write_bytes,
+            ..Default::default()
+        }
     }
     fn disk_bytes(&self) -> u64 {
         self.0.disk_bytes()
@@ -175,8 +181,11 @@ impl WorkloadTarget for LsmTarget {
     fn del(&mut self, key: &[u8], version: u64) {
         self.0.delete(&composite(key, version)).expect("lsm del");
     }
-    fn user_write_bytes(&self) -> u64 {
-        self.0.stats().user_write_bytes
+    fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            user_write_bytes: self.0.stats().user_write_bytes,
+            ..Default::default()
+        }
     }
     fn disk_bytes(&self) -> u64 {
         self.0.disk_bytes()
@@ -265,28 +274,29 @@ fn run<T: WorkloadTarget>(
     });
     let mut samples: Vec<TimeSample> = Vec::new();
     let mut last_second = 0u64;
-    let mut last_user = 0u64;
+    let mut last_stats = EngineStats::default();
     let mut last_counters = dev.counters();
     let sample = |target: &T,
                   dev: &Device,
                   now: SimTime,
                   last_second: &mut u64,
-                  last_user: &mut u64,
+                  last_stats: &mut EngineStats,
                   last_counters: &mut ssdsim::CounterSnapshot,
                   samples: &mut Vec<TimeSample>| {
         let second = now.as_nanos() / SimTime::from_secs(1).as_nanos();
         while *last_second < second {
-            let user = target.user_write_bytes();
+            let stats = target.engine_stats();
             let counters = dev.counters();
+            let interval = stats.delta(last_stats);
             let delta = counters.delta(last_counters);
             samples.push(TimeSample {
                 second: *last_second,
-                user_write_mb: (user - *last_user) as f64 / 1e6,
+                user_write_mb: interval.user_write_bytes as f64 / 1e6,
                 sys_write_mb: delta.sys_write_bytes() as f64 / 1e6,
                 sys_read_mb: delta.sys_read_bytes() as f64 / 1e6,
                 disk_mb: target.disk_bytes() as f64 / 1e6,
             });
-            *last_user = user;
+            *last_stats = stats;
             *last_counters = counters;
             *last_second += 1;
         }
@@ -301,7 +311,7 @@ fn run<T: WorkloadTarget>(
                 &dev,
                 clock.now(),
                 &mut last_second,
-                &mut last_user,
+                &mut last_stats,
                 &mut last_counters,
                 &mut samples,
             );
@@ -317,7 +327,7 @@ fn run<T: WorkloadTarget>(
                     &dev,
                     clock.now(),
                     &mut last_second,
-                    &mut last_user,
+                    &mut last_stats,
                     &mut last_counters,
                     &mut samples,
                 );
@@ -326,7 +336,7 @@ fn run<T: WorkloadTarget>(
     }
     let elapsed = clock.now();
     let counters = dev.counters();
-    let user = target.user_write_bytes();
+    let user = target.engine_stats().user_write_bytes;
     let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
     let user_series: Vec<f64> = samples.iter().map(|m| m.user_write_mb).collect();
     let stddev = SeriesStats::compute(&user_series).map_or(0.0, |s| s.stddev);

@@ -8,11 +8,11 @@
 
 use indexgen::{CorpusConfig, CrawlSimulator, IndexVersion};
 use lsmtree::{LsmConfig, LsmTree};
+use obs::LatencyHistogram;
 use qindb::{QinDb, QinDbConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
-use serve::LatencyHistogram;
 use simclock::{SimClock, SimTime};
 use ssdsim::{Device, DeviceConfig};
 use wisckey::{WiscKey, WiscKeyConfig};

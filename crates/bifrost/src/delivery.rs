@@ -102,6 +102,22 @@ pub struct DeliveryReport {
     pub arrivals: Vec<(DataCenterId, SimTime)>,
 }
 
+/// Lifetime totals across every delivered version, kept for the metrics
+/// export (individual [`DeliveryReport`]s are per-version).
+#[derive(Debug, Default, Clone, Copy)]
+struct DeliveryTotals {
+    versions: u64,
+    slices: u64,
+    flows: u64,
+    missed: u64,
+    retransmissions: u64,
+    uplink_bytes: u64,
+    dedup_pairs_total: u64,
+    dedup_pairs_deduped: u64,
+    dedup_bytes_before: u64,
+    dedup_bytes_after: u64,
+}
+
 /// The delivery subsystem: owns the deduplicator, the WAN simulator, and
 /// the per-link backlog view of the central monitoring platform.
 pub struct Bifrost {
@@ -116,6 +132,8 @@ pub struct Bifrost {
     /// initialization and background-traffic scheduling.
     base_capacity: Vec<f64>,
     rng: u64,
+    totals: DeliveryTotals,
+    trace: Option<obs::TraceSink>,
 }
 
 impl Bifrost {
@@ -133,7 +151,16 @@ impl Bifrost {
             monitor: Monitor::new(),
             base_capacity,
             rng: cfg.seed | 1,
+            totals: DeliveryTotals::default(),
+            trace: None,
         }
+    }
+
+    /// Attaches a trace sink; subsequent deliveries emit dedup/slice
+    /// events and a span covering the WAN transfer, timestamped on the
+    /// delivery clock.
+    pub fn attach_trace(&mut self, sink: &obs::TraceSink) {
+        self.trace = Some(sink.with_clock(self.sim.clock().clone()));
     }
 
     /// Schedules background traffic: at `at`, every trunk's available
@@ -188,6 +215,9 @@ impl Bifrost {
         version: &IndexVersion,
         at: SimTime,
     ) -> (DeliveryReport, Vec<UpdateEntry>) {
+        // Clone the sink handle so span guards borrow this local rather
+        // than `self` (the loop below needs `&mut self`).
+        let tracer = self.trace.clone();
         let (mut entries, mut dedup_stats) = self.dedup.process(version);
         if !self.cfg.dedup_enabled {
             // Baseline: ship every value. Restore stripped entries from
@@ -198,6 +228,20 @@ impl Bifrost {
             }
             dedup_stats.bytes_after = entries.iter().map(UpdateEntry::wire_bytes).sum();
             dedup_stats.pairs_deduped = 0;
+        }
+        if let Some(t) = &tracer {
+            // Dedup is pure computation — it does not advance the
+            // simulated clock, so it records as an instantaneous event
+            // whose amount is the bytes it removed. (Wire framing adds
+            // overhead, so an undeduplicated version can ship *more* than
+            // its payload — saturate to zero in that case.)
+            t.event(
+                obs::SpanKind::Dedup,
+                "bifrost",
+                dedup_stats
+                    .bytes_before
+                    .saturating_sub(dedup_stats.bytes_after),
+            );
         }
         // Split the wire stream into the two reserved classes.
         let mut summary_slices = SliceBuilder::new(self.cfg.slice_bytes);
@@ -226,6 +270,18 @@ impl Bifrost {
                 inverted_destinations,
             ),
         ];
+        if let Some(t) = &tracer {
+            t.event(
+                obs::SpanKind::Slice,
+                "bifrost",
+                streams.iter().map(|(_, s, _)| s.len() as u64).sum(),
+            );
+        }
+        // The Deliver span covers everything that advances the simulated
+        // clock: flow scheduling, the WAN run, and the P2P second hop.
+        let mut deliver_span = tracer
+            .as_ref()
+            .map(|t| t.span(obs::SpanKind::Deliver, "bifrost"));
         let mut flows: Vec<(FlowId, DataCenterId, SimTime)> = Vec::new();
         // Inverted flows to slot-0 DCs that P2P mode must relay onward:
         // (flow, region, slice bytes, original ship time).
@@ -300,6 +356,10 @@ impl Bifrost {
             }
             self.sim.run_until_idle();
         }
+        if let Some(span) = &mut deliver_span {
+            span.set_amount(uplink_bytes);
+        }
+        drop(deliver_span);
         // The relay groups report back: close the monitoring window with
         // the observed busy time.
         self.monitor
@@ -342,7 +402,47 @@ impl Bifrost {
             uplink_bytes,
             arrivals,
         };
+        self.totals.versions += 1;
+        self.totals.slices += report.slices as u64;
+        self.totals.flows += report.flows as u64;
+        self.totals.missed += report.missed as u64;
+        self.totals.retransmissions += report.retransmissions as u64;
+        self.totals.uplink_bytes += report.uplink_bytes;
+        self.totals.dedup_pairs_total += report.dedup.pairs_total;
+        self.totals.dedup_pairs_deduped += report.dedup.pairs_deduped;
+        self.totals.dedup_bytes_before += report.dedup.bytes_before;
+        self.totals.dedup_bytes_after += report.dedup.bytes_after;
         (report, entries)
+    }
+
+    /// Feeds the lifetime delivery totals and the monitoring platform's
+    /// per-link view into a metrics registry under `bifrost.*`. Totals
+    /// are cumulative, so republishing is idempotent.
+    pub fn publish_metrics(&self, reg: &obs::Registry) {
+        let c = |name: &str, v: u64| reg.counter(&format!("bifrost.{name}")).store(v);
+        let t = &self.totals;
+        c("versions_total", t.versions);
+        c("slices_total", t.slices);
+        c("flows_total", t.flows);
+        c("missed_total", t.missed);
+        c("retransmissions_total", t.retransmissions);
+        c("uplink_bytes", t.uplink_bytes);
+        c("dedup.pairs_total", t.dedup_pairs_total);
+        c("dedup.pairs_deduped", t.dedup_pairs_deduped);
+        c("dedup.bytes_before", t.dedup_bytes_before);
+        c("dedup.bytes_after", t.dedup_bytes_after);
+        let ratio = if t.dedup_bytes_before == 0 {
+            0.0
+        } else {
+            1.0 - t.dedup_bytes_after as f64 / t.dedup_bytes_before as f64
+        };
+        reg.gauge("bifrost.dedup.byte_ratio").set(ratio);
+        for (link, backlog, predicted) in self.monitor.link_view() {
+            reg.gauge(&format!("bifrost.link.{}.backlog_bytes", link.0))
+                .set(backlog);
+            reg.gauge(&format!("bifrost.link.{}.predicted_bandwidth", link.0))
+                .set(predicted);
+        }
     }
 
     /// The shared clock (advanced by deliveries).
@@ -494,6 +594,55 @@ mod tests {
             relay.miss_ratio
         );
         assert!(p2p.retransmissions > 0);
+    }
+
+    #[test]
+    fn metrics_and_traces_cover_the_delivery() {
+        let mut sim = corpus();
+        let mut bifrost = Bifrost::new(small_cfg(), SimClock::new());
+        let sink = obs::TraceSink::sim(256, bifrost.clock().clone());
+        bifrost.attach_trace(&sink);
+        let v1 = sim.advance_round(1.0);
+        let (r1, _) = bifrost.deliver_version(&v1, SimTime::ZERO);
+        let v2 = sim.advance_round(0.2);
+        let now = bifrost.clock().now();
+        let (r2, _) = bifrost.deliver_version(&v2, now);
+        let reg = obs::Registry::new();
+        bifrost.publish_metrics(&reg);
+        let report = reg.snapshot();
+        assert_eq!(report.counter("bifrost.versions_total"), Some(2));
+        assert_eq!(
+            report.counter("bifrost.slices_total"),
+            Some((r1.slices + r2.slices) as u64)
+        );
+        assert_eq!(
+            report.counter("bifrost.uplink_bytes"),
+            Some(r1.uplink_bytes + r2.uplink_bytes)
+        );
+        // Every WAN link the monitor has seen exports a gauge pair.
+        assert!(report.get("bifrost.link.0.predicted_bandwidth").is_some());
+        // One dedup event, one slice event, one deliver span per version.
+        let events = sink.snapshot();
+        for kind in [
+            obs::SpanKind::Dedup,
+            obs::SpanKind::Slice,
+            obs::SpanKind::Deliver,
+        ] {
+            assert_eq!(
+                events.iter().filter(|e| e.kind == kind).count(),
+                2,
+                "kind {kind:?}"
+            );
+        }
+        // The deliver span actually covers simulated time and carries the
+        // version's uplink bytes.
+        let deliver: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == obs::SpanKind::Deliver)
+            .collect();
+        assert!(deliver.iter().all(|e| e.duration_ns() > 0));
+        assert_eq!(deliver[0].amount, r1.uplink_bytes);
+        assert_eq!(deliver[1].amount, r2.uplink_bytes);
     }
 
     #[test]

@@ -78,6 +78,19 @@ impl Monitor {
         self.links.get(&link).map(|s| s.predicted)
     }
 
+    /// Every observed link with its current backlog (bytes) and predicted
+    /// bandwidth (bytes/second), sorted by link id — the monitoring
+    /// platform's dashboard view, consumed by the metrics export.
+    pub fn link_view(&self) -> Vec<(LinkId, f64, f64)> {
+        let mut view: Vec<(LinkId, f64, f64)> = self
+            .links
+            .iter()
+            .map(|(&id, s)| (id, s.backlog, s.predicted))
+            .collect();
+        view.sort_by_key(|&(id, _, _)| id);
+        view
+    }
+
     /// Closes an observation window: the relay groups report that
     /// everything scheduled since the last call drained within `busy`
     /// time. Each active link's achieved rate updates its prediction, and

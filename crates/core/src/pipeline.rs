@@ -87,6 +87,10 @@ pub struct VersionReport {
     pub versions_retired: u64,
 }
 
+/// Default capacity of the system trace ring: big enough for a handful
+/// of update cycles at demo scale, bounded so long runs cannot leak.
+const TRACE_CAPACITY: usize = 16 * 1024;
+
 /// The assembled system: crawler, Bifrost, and six data-center clusters.
 pub struct DirectLoad {
     cfg: DirectLoadConfig,
@@ -97,18 +101,33 @@ pub struct DirectLoad {
     /// Key sets of recent versions, for retention deletion:
     /// `(version, keys-with-kind)`.
     history: VecDeque<(u64, Vec<(IndexKind, Bytes)>)>,
+    /// The system-wide metrics registry, filled by [`Self::introspect`].
+    registry: obs::Registry,
+    /// The system-wide trace ring. Handed to every subsystem at
+    /// construction; each re-binds it to its own clock.
+    trace: obs::TraceSink,
+    /// Lifetime pipeline totals for the metrics export.
+    keys_stored_total: u64,
+    versions_retired_total: u64,
 }
 
 impl DirectLoad {
     /// Builds the full deployment: data center #0 (crawler + Bifrost) and
-    /// six serving data centers, each with its own Mint cluster.
+    /// six serving data centers, each with its own Mint cluster. Every
+    /// layer is wired into one shared trace ring at construction.
     pub fn new(cfg: DirectLoadConfig) -> Self {
         let clock = SimClock::new();
         let crawler = CrawlSimulator::new(cfg.corpus);
-        let bifrost = Bifrost::new(cfg.bifrost, clock.clone());
-        let dcs = DataCenterId::all()
+        let trace = obs::TraceSink::sim(TRACE_CAPACITY, clock.clone());
+        let mut bifrost = Bifrost::new(cfg.bifrost, clock.clone());
+        bifrost.attach_trace(&trace);
+        let dcs: Vec<(DataCenterId, Mint)> = DataCenterId::all()
             .into_iter()
-            .map(|dc| (dc, Mint::new(cfg.mint)))
+            .map(|dc| {
+                let mut cluster = Mint::new(cfg.mint);
+                cluster.attach_trace(&trace, &format!("dc{}.{}", dc.region.0, dc.slot));
+                (dc, cluster)
+            })
             .collect();
         DirectLoad {
             cfg,
@@ -117,12 +136,29 @@ impl DirectLoad {
             clock,
             dcs,
             history: VecDeque::new(),
+            registry: obs::Registry::new(),
+            trace,
+            keys_stored_total: 0,
+            versions_retired_total: 0,
         }
     }
 
     /// The shared virtual clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+
+    /// The system-wide metrics registry. [`Self::introspect`] refreshes
+    /// it; callers may also register their own metrics here (the serve
+    /// front-end publishes its report into this registry).
+    pub fn registry(&self) -> &obs::Registry {
+        &self.registry
+    }
+
+    /// The system-wide trace ring: every subsystem's spans and events,
+    /// in one bounded buffer.
+    pub fn trace(&self) -> &obs::TraceSink {
+        &self.trace
     }
 
     /// Mutable access to the delivery subsystem (e.g. to schedule
@@ -158,6 +194,11 @@ impl DirectLoad {
     pub fn run_version(&mut self, change_fraction: f64) -> Result<VersionReport> {
         let start = self.clock.now();
         let index = self.crawler.advance_round(change_fraction);
+        // Index building is pure computation on the crawl side — it does
+        // not advance the simulated clock, so it traces as an event whose
+        // amount is the pairs built.
+        self.trace
+            .event(obs::SpanKind::Build, "indexgen", index.total_pairs() as u64);
         let (delivery, entries) = self.bifrost.deliver_version(&index, start);
         // Partition the wire entries into the per-DC write streams.
         let summary_ops: Vec<WriteOp> = entries
@@ -182,6 +223,11 @@ impl DirectLoad {
             }
             storage_time = storage_time.max(wall);
         }
+        // Storage applies run on per-node clocks, not the shared WAN
+        // clock, so the cluster load traces as an event carrying the pair
+        // count (per-node flush spans carry the node-level timing).
+        self.trace
+            .event(obs::SpanKind::Load, "mint", entries.len() as u64);
         // Retention: drop the oldest version beyond the window.
         self.history.push_back((
             index.version,
@@ -203,6 +249,11 @@ impl DirectLoad {
         }
         let update_time = delivery.update_time + storage_time;
         let keys_stored = entries.len() as u64;
+        // The version is now queryable everywhere: the publish point.
+        self.trace
+            .event(obs::SpanKind::Publish, "pipeline", index.version);
+        self.keys_stored_total += keys_stored;
+        self.versions_retired_total += versions_retired;
         let secs = update_time.as_secs_f64();
         Ok(VersionReport {
             version: index.version,
@@ -285,6 +336,50 @@ impl DirectLoad {
     /// All document URLs in the corpus (stable across versions).
     pub fn urls(&self) -> Vec<Bytes> {
         self.crawler.urls().map(|(u, _)| u.clone()).collect()
+    }
+
+    /// Refreshes the system-wide registry from every layer — engine
+    /// stats and device counters aggregated across all six data centers,
+    /// Bifrost's delivery totals and per-link monitor view, and the
+    /// pipeline's own progress — then returns a snapshot. Idempotent:
+    /// every published value is cumulative or a current-state gauge.
+    pub fn introspect(&self) -> obs::MetricsReport {
+        let mut engines = qindb::EngineStats::default();
+        let mut devices = ssdsim::CounterSnapshot::default();
+        for (_, cluster) in &self.dcs {
+            engines.accumulate(&cluster.aggregate_stats());
+            devices.accumulate(&cluster.aggregate_device_counters());
+        }
+        engines.publish(&self.registry, "qindb");
+        devices.publish(&self.registry, "ssd");
+        self.bifrost.publish_metrics(&self.registry);
+        self.registry
+            .counter("pipeline.keys_stored_total")
+            .store(self.keys_stored_total);
+        self.registry
+            .counter("pipeline.versions_retired_total")
+            .store(self.versions_retired_total);
+        self.registry
+            .counter("pipeline.trace_events_dropped")
+            .store(self.trace.dropped());
+        self.registry
+            .gauge("pipeline.current_version")
+            .set(self.crawler.version() as f64);
+        self.registry
+            .gauge("pipeline.min_live_version")
+            .set(self.min_live_version() as f64);
+        self.registry.snapshot()
+    }
+
+    /// Checkpoints every data center's cluster (see
+    /// [`Mint::checkpoint_all`]). Returns the number of engines
+    /// checkpointed across the deployment.
+    pub fn checkpoint_all(&mut self) -> Result<usize> {
+        let mut done = 0;
+        for (_, cluster) in &mut self.dcs {
+            done += cluster.checkpoint_all()?;
+        }
+        Ok(done)
     }
 }
 
@@ -387,6 +482,51 @@ mod tests {
         let (fwd, _) = s.get_forward(dc, &url, 1).unwrap();
         let fwd = fwd.expect("forward entry exists");
         assert!(!fwd.is_empty() && fwd.len() % 4 == 0, "term-id list");
+    }
+
+    #[test]
+    fn introspection_covers_every_layer() {
+        let mut s = system();
+        s.run_version(1.0).unwrap();
+        s.run_version(0.2).unwrap();
+        s.checkpoint_all().unwrap();
+        let report = s.introspect();
+        // Metrics from the storage engine, the device, the WAN, and the
+        // pipeline itself, all in one namespace.
+        assert!(report.counter("qindb.puts").unwrap() > 0);
+        assert!(report.counter("ssd.host_write_bytes").unwrap() > 0);
+        assert_eq!(report.counter("bifrost.versions_total"), Some(2));
+        assert!(report.counter("pipeline.keys_stored_total").unwrap() > 0);
+        assert_eq!(
+            report.get("pipeline.current_version").map(|v| v.as_f64()),
+            Some(2.0)
+        );
+        // Introspection is idempotent: a second snapshot is identical
+        // when nothing ran in between.
+        let again = s.introspect();
+        assert_eq!(report.to_prometheus(), again.to_prometheus());
+        // The trace ring saw the full taxonomy: pipeline stages plus
+        // engine maintenance.
+        let events = s.trace().snapshot();
+        for kind in [
+            obs::SpanKind::Build,
+            obs::SpanKind::Dedup,
+            obs::SpanKind::Slice,
+            obs::SpanKind::Deliver,
+            obs::SpanKind::Load,
+            obs::SpanKind::Publish,
+            obs::SpanKind::Flush,
+            obs::SpanKind::Checkpoint,
+        ] {
+            assert!(
+                events.iter().any(|e| e.kind == kind),
+                "no {kind:?} event traced"
+            );
+        }
+        // Node engines label themselves dc<region>.<slot>/n<id>.
+        assert!(events
+            .iter()
+            .any(|e| e.kind == obs::SpanKind::Flush && e.label.starts_with("dc0.0/n")));
     }
 
     #[test]

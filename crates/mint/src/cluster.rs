@@ -7,7 +7,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use qindb::{EngineStats, KeyStatus, QinDb, QinDbConfig};
 use simclock::{SimClock, SimTime};
-use ssdsim::{Device, DeviceConfig};
+use ssdsim::{CounterSnapshot, Device, DeviceConfig};
 
 /// Identifier of a storage node (dense, cluster-wide).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -102,6 +102,9 @@ pub struct Mint {
     groups: Vec<Vec<u32>>,
     /// Alive flags, indexed by node id.
     alive: Vec<bool>,
+    /// Trace sink plus cluster label prefix, kept so recovered or added
+    /// nodes get re-instrumented.
+    trace: Option<(obs::TraceSink, String)>,
 }
 
 impl Mint {
@@ -139,6 +142,31 @@ impl Mint {
             nodes,
             groups,
             alive,
+            trace: None,
+        }
+    }
+
+    /// Attaches a trace sink to every node's engine (and device), labeled
+    /// `<prefix>/n<id>`. Nodes recovered or added later are instrumented
+    /// with the same sink.
+    pub fn attach_trace(&mut self, sink: &obs::TraceSink, prefix: &str) {
+        self.trace = Some((sink.clone(), prefix.to_string()));
+        for node in &self.nodes {
+            let mut guard = node.engine.write();
+            if let Some(engine) = guard.as_mut() {
+                engine.attach_trace(sink, &format!("{prefix}/n{}", node.id.0));
+            }
+        }
+    }
+
+    /// Re-instruments one node's engine after recovery or addition.
+    fn reattach_trace(&self, node: NodeId) {
+        if let Some((sink, prefix)) = &self.trace {
+            let state = &self.nodes[node.0 as usize];
+            let mut guard = state.engine.write();
+            if let Some(engine) = guard.as_mut() {
+                engine.attach_trace(sink, &format!("{prefix}/n{}", node.0));
+            }
         }
     }
 
@@ -365,6 +393,7 @@ impl Mint {
         *guard = Some(engine);
         drop(guard);
         self.alive[node.0 as usize] = true;
+        self.reattach_trace(node);
         self.sync_node(node)?;
         let state = &self.nodes[node.0 as usize];
         Ok(state.clock.now().saturating_sub(t0))
@@ -463,6 +492,7 @@ impl Mint {
         });
         self.alive.push(true);
         self.groups[group].push(id.0);
+        self.reattach_trace(id);
         self.sync_node(id)
             .expect("sync of a fresh node cannot fail");
         id
@@ -493,21 +523,18 @@ impl Mint {
         for node in &self.nodes {
             let guard = node.engine.read();
             if let Some(engine) = guard.as_ref() {
-                let s = engine.stats();
-                total.puts += s.puts;
-                total.gets += s.gets;
-                total.dels += s.dels;
-                total.user_write_bytes += s.user_write_bytes;
-                total.user_read_bytes += s.user_read_bytes;
-                total.gets_not_found += s.gets_not_found;
-                total.gets_traced += s.gets_traced;
-                total.traceback_steps += s.traceback_steps;
-                total.gc_runs += s.gc_runs;
-                total.gc_files_reclaimed += s.gc_files_reclaimed;
-                total.gc_bytes_rewritten += s.gc_bytes_rewritten;
-                total.gc_records_rewritten += s.gc_records_rewritten;
-                total.gc_items_dropped += s.gc_items_dropped;
+                total.accumulate(&engine.stats());
             }
+        }
+        total
+    }
+
+    /// Aggregated device counters across every node (failed nodes keep
+    /// their device, so these always cover the whole cluster).
+    pub fn aggregate_device_counters(&self) -> CounterSnapshot {
+        let mut total = CounterSnapshot::default();
+        for node in &self.nodes {
+            total.accumulate(&node.device.counters());
         }
         total
     }
@@ -736,6 +763,49 @@ mod tests {
             out
         };
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn attached_trace_survives_recovery_and_labels_nodes() {
+        let mut m = Mint::new(MintConfig::tiny());
+        let sink = obs::TraceSink::wall(4096);
+        m.attach_trace(&sink, "dc0");
+        m.apply(&ops(40, 1)).unwrap();
+        m.checkpoint_all().unwrap();
+        m.fail_node(NodeId(0)).unwrap();
+        m.recover_node(NodeId(0)).unwrap();
+        m.apply(&ops(10, 2)).unwrap();
+        let events = sink.snapshot();
+        let flushes = events
+            .iter()
+            .filter(|e| e.kind == obs::SpanKind::Flush)
+            .count();
+        let checkpoints = events
+            .iter()
+            .filter(|e| e.kind == obs::SpanKind::Checkpoint)
+            .count();
+        assert!(flushes > 0, "apply should flush every touched node");
+        assert_eq!(checkpoints, 6, "checkpoint_all covers every node");
+        assert!(events.iter().all(|e| e.label.starts_with("dc0/n")));
+        // The recovered node's fresh engine is re-instrumented: its
+        // post-recovery flush shows up too.
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == obs::SpanKind::Flush && e.label == "dc0/n0"),
+            "node 0 should trace after recovery"
+        );
+    }
+
+    #[test]
+    fn device_counters_aggregate_across_nodes() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(30, 1)).unwrap();
+        let snap = m.aggregate_device_counters();
+        assert!(snap.host_write_bytes > 0);
+        // Six nodes each wrote at least a flush's worth.
+        let single_max = m.nodes[0].device.counters().host_write_bytes;
+        assert!(snap.host_write_bytes > single_max);
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! 2^5, then 32 linear sub-buckets per power of two, bounding relative
 //! error at ~3.1%. Values are unit-agnostic `u64`s; the serving path
 //! records microseconds.
+//!
+//! This module lived in `serve::hist` originally; it moved here so every
+//! layer can record histograms without depending on the serving crate.
+//! `serve` re-exports it for compatibility.
 
 /// Linear sub-bucket bits per power-of-two group.
 const SUB_BITS: u32 = 5;
@@ -92,6 +96,12 @@ impl LatencyHistogram {
     /// Samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Exact sum of all recorded samples (`u128`: cannot overflow even on
+    /// `u64::MAX` samples).
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Smallest sample (0 when empty).
@@ -228,6 +238,7 @@ mod tests {
         assert_eq!(a.count(), whole.count());
         assert_eq!(a.max(), whole.max());
         assert_eq!(a.min(), whole.min());
+        assert_eq!(a.sum(), whole.sum());
         for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
             assert_eq!(a.percentile(q), whole.percentile(q));
         }
@@ -238,7 +249,26 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), 2 * u64::MAX as u128);
+        // The top bucket's upper edge saturates at u64::MAX, and the
+        // percentile clamp keeps the report at the observed extreme.
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
     }
 }

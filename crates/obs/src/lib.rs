@@ -1,0 +1,32 @@
+//! Unified observability for the DirectLoad workspace.
+//!
+//! The repo grew five disjoint counter systems — `qindb::stats`,
+//! `ssd::counters`, `bifrost::monitor`, `serve`'s latency histograms, and
+//! the simclock time series — each with its own snapshot shape and no
+//! shared naming. This crate is the one place every layer reports into:
+//!
+//! * [`registry`] — a process-wide metrics [`Registry`] handing out
+//!   lock-free [`Counter`] and [`Gauge`] handles under hierarchical dotted
+//!   names (`qindb.gc.runs`, `ssd.gc_write_bytes`,
+//!   `bifrost.link.0.backlog_bytes`, `serve.shed_total`). A
+//!   [`Registry::snapshot`] renders both a structured [`MetricsReport`]
+//!   and a Prometheus-style text exposition.
+//! * [`hist`] — the log-bucketed [`LatencyHistogram`] (moved here from
+//!   `serve::hist`; `serve` re-exports it for compatibility).
+//! * [`trace`] — a bounded ring-buffer [`TraceSink`] of typed spans and
+//!   events ([`SpanGuard`] RAII over sim-time or wall-time) emitted by the
+//!   pipeline stages (build → dedup → slice → deliver → load → publish)
+//!   and by engine maintenance (flush, checkpoint, GC, traceback),
+//!   dumpable as JSONL.
+//!
+//! `obs` sits at the bottom of the dependency graph (only `simclock` and
+//! the vendored `serde_json` below it) so every other crate can wire its
+//! counters in without cycles.
+
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use hist::LatencyHistogram;
+pub use registry::{Counter, Gauge, MetricSample, MetricValue, MetricsReport, Registry};
+pub use trace::{breakdown, SpanBreakdown, SpanGuard, SpanKind, TraceEvent, TraceSink};

@@ -1,0 +1,456 @@
+//! Structured event tracing: a bounded ring buffer of typed spans.
+//!
+//! Pipeline stages and engine maintenance paths emit [`TraceEvent`]s into
+//! a shared [`TraceSink`]. The buffer is a fixed-capacity ring — when
+//! full, the oldest event is dropped (and counted), so a long-running
+//! system keeps the recent window without unbounded memory.
+//!
+//! Time comes from the sink's time source: virtual nanoseconds from a
+//! [`SimClock`] for simulated components, or wall-clock nanoseconds since
+//! sink creation for real threads. Components whose clock differs from
+//! the sink's (each Mint node owns its own `SimClock`) call
+//! [`TraceSink::with_clock`] to get a handle that shares the buffer but
+//! reads their clock.
+//!
+//! Span taxonomy (see DESIGN.md "Observability"): the update pipeline
+//! emits `build → dedup → slice → deliver → load → publish`, the serving
+//! path emits `serve`, and the storage engines emit `flush`,
+//! `checkpoint`, `engine_gc`, `device_gc`, and `traceback`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use simclock::SimClock;
+
+/// The fixed vocabulary of span/event types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Crawl round producing a version's key/value pairs.
+    Build,
+    /// Transfer deduplication over a version's pairs.
+    Dedup,
+    /// Cutting deduplicated streams into fixed-size slices.
+    Slice,
+    /// WAN delivery of slices to the regional centers.
+    Deliver,
+    /// Loading arrived updates into the Mint clusters.
+    Load,
+    /// Version publication and retention trimming.
+    Publish,
+    /// A serving burst through the front-end.
+    Serve,
+    /// Memtable flush into the appending-only files.
+    Flush,
+    /// Engine checkpoint write.
+    Checkpoint,
+    /// Engine (software) garbage collection run.
+    EngineGc,
+    /// Device (firmware) garbage collection run.
+    DeviceGc,
+    /// A read that walked the global chain table backwards.
+    Traceback,
+}
+
+impl SpanKind {
+    /// Every kind, in pipeline-then-maintenance order.
+    pub const ALL: [SpanKind; 12] = [
+        SpanKind::Build,
+        SpanKind::Dedup,
+        SpanKind::Slice,
+        SpanKind::Deliver,
+        SpanKind::Load,
+        SpanKind::Publish,
+        SpanKind::Serve,
+        SpanKind::Flush,
+        SpanKind::Checkpoint,
+        SpanKind::EngineGc,
+        SpanKind::DeviceGc,
+        SpanKind::Traceback,
+    ];
+
+    /// Stable lowercase name used in JSONL dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Build => "build",
+            SpanKind::Dedup => "dedup",
+            SpanKind::Slice => "slice",
+            SpanKind::Deliver => "deliver",
+            SpanKind::Load => "load",
+            SpanKind::Publish => "publish",
+            SpanKind::Serve => "serve",
+            SpanKind::Flush => "flush",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::EngineGc => "engine_gc",
+            SpanKind::DeviceGc => "device_gc",
+            SpanKind::Traceback => "traceback",
+        }
+    }
+
+    /// Inverse of [`SpanKind::as_str`].
+    pub fn parse(s: &str) -> Option<SpanKind> {
+        SpanKind::ALL.iter().copied().find(|k| k.as_str() == s)
+    }
+}
+
+/// One recorded span or instantaneous event.
+///
+/// `amount` is a kind-specific payload: bytes saved for `dedup`, slices
+/// cut for `slice`, keys stored for `load`, chain steps for `traceback`,
+/// pages moved for `device_gc`, and so on. Instantaneous events have
+/// `end_ns == start_ns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global emission order (gaps mean the ring dropped events).
+    pub seq: u64,
+    /// Span type.
+    pub kind: SpanKind,
+    /// Free-form source label, e.g. `"dc1/node3"` or `"version 7"`.
+    pub label: String,
+    /// Start time, nanoseconds on the emitter's time source.
+    pub start_ns: u64,
+    /// End time; equals `start_ns` for instantaneous events.
+    pub end_ns: u64,
+    /// Kind-specific payload (bytes, items, steps, pages).
+    pub amount: u64,
+}
+
+impl TraceEvent {
+    /// Span length in nanoseconds (0 for instantaneous events).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// One compact JSON line (no embedded newlines; JSONL-safe).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_compact_string()
+    }
+
+    /// The event as a `serde_json` tree.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        Value::Object(vec![
+            ("seq".to_string(), Value::Number(self.seq as f64)),
+            (
+                "kind".to_string(),
+                Value::String(self.kind.as_str().to_string()),
+            ),
+            ("label".to_string(), Value::String(self.label.clone())),
+            ("start_ns".to_string(), Value::Number(self.start_ns as f64)),
+            ("end_ns".to_string(), Value::Number(self.end_ns as f64)),
+            ("amount".to_string(), Value::Number(self.amount as f64)),
+        ])
+    }
+
+    /// Rebuilds an event from a parsed JSON tree. Numeric fields follow
+    /// JSON number semantics (exact below 2^53).
+    pub fn from_value(v: &serde_json::Value) -> Option<TraceEvent> {
+        Some(TraceEvent {
+            seq: v.get("seq")?.as_u64()?,
+            kind: SpanKind::parse(v.get("kind")?.as_str()?)?,
+            label: v.get("label")?.as_str()?.to_string(),
+            start_ns: v.get("start_ns")?.as_u64()?,
+            end_ns: v.get("end_ns")?.as_u64()?,
+            amount: v.get("amount")?.as_u64()?,
+        })
+    }
+
+    /// Parses one JSONL line via `serde_json::from_str`.
+    pub fn from_json(line: &str) -> Option<TraceEvent> {
+        TraceEvent::from_value(&serde_json::from_str(line).ok()?)
+    }
+}
+
+/// Where a sink reads "now" from.
+#[derive(Debug, Clone)]
+enum TimeSource {
+    /// Wall-clock nanoseconds since the sink was created.
+    Wall(Instant),
+    /// Virtual nanoseconds from a shared simulation clock.
+    Sim(SimClock),
+}
+
+struct Buffer {
+    events: VecDeque<TraceEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+struct Shared {
+    buf: Mutex<Buffer>,
+    capacity: usize,
+}
+
+/// A bounded, thread-safe ring buffer of trace events.
+///
+/// Clones share the buffer; each clone carries its own time source (see
+/// [`TraceSink::with_clock`]), so components on different clocks can emit
+/// into one stream.
+#[derive(Clone)]
+pub struct TraceSink {
+    shared: Arc<Shared>,
+    source: TimeSource,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("capacity", &self.shared.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl TraceSink {
+    fn with_source(capacity: usize, source: TimeSource) -> TraceSink {
+        assert!(capacity > 0, "trace sink needs capacity");
+        TraceSink {
+            shared: Arc::new(Shared {
+                buf: Mutex::new(Buffer {
+                    events: VecDeque::with_capacity(capacity),
+                    next_seq: 0,
+                    dropped: 0,
+                }),
+                capacity,
+            }),
+            source,
+        }
+    }
+
+    /// A sink timestamping with wall-clock time since creation.
+    pub fn wall(capacity: usize) -> TraceSink {
+        TraceSink::with_source(capacity, TimeSource::Wall(Instant::now()))
+    }
+
+    /// A sink timestamping with virtual time from `clock`.
+    pub fn sim(capacity: usize, clock: SimClock) -> TraceSink {
+        TraceSink::with_source(capacity, TimeSource::Sim(clock))
+    }
+
+    /// A handle to the same buffer that reads time from `clock` instead.
+    /// Used by components with their own clock (each Mint node's engine
+    /// and device advance independently).
+    pub fn with_clock(&self, clock: SimClock) -> TraceSink {
+        TraceSink {
+            shared: Arc::clone(&self.shared),
+            source: TimeSource::Sim(clock),
+        }
+    }
+
+    /// "Now" in nanoseconds on this handle's time source.
+    pub fn now_ns(&self) -> u64 {
+        match &self.source {
+            TimeSource::Wall(epoch) => epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            TimeSource::Sim(clock) => clock.now().as_nanos(),
+        }
+    }
+
+    fn push(&self, kind: SpanKind, label: String, start_ns: u64, end_ns: u64, amount: u64) {
+        let mut buf = self.shared.buf.lock().unwrap();
+        let seq = buf.next_seq;
+        buf.next_seq += 1;
+        if buf.events.len() == self.shared.capacity {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(TraceEvent {
+            seq,
+            kind,
+            label,
+            start_ns,
+            end_ns,
+            amount,
+        });
+    }
+
+    /// Records an instantaneous event.
+    pub fn event(&self, kind: SpanKind, label: &str, amount: u64) {
+        let now = self.now_ns();
+        self.push(kind, label.to_string(), now, now, amount);
+    }
+
+    /// Opens a span that records itself on drop.
+    pub fn span(&self, kind: SpanKind, label: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            sink: self,
+            kind,
+            label: label.to_string(),
+            start_ns: self.now_ns(),
+            amount: 0,
+        }
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.buf.lock().unwrap().events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.buf.lock().unwrap().dropped
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.shared
+            .buf
+            .lock()
+            .unwrap()
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The buffered events as JSONL, one event per line, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.snapshot() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// RAII span handle from [`TraceSink::span`]; records a [`TraceEvent`]
+/// spanning creation to drop.
+pub struct SpanGuard<'a> {
+    sink: &'a TraceSink,
+    kind: SpanKind,
+    label: String,
+    start_ns: u64,
+    amount: u64,
+}
+
+impl SpanGuard<'_> {
+    /// Adds to the span's payload amount.
+    pub fn add_amount(&mut self, n: u64) {
+        self.amount += n;
+    }
+
+    /// Sets the span's payload amount.
+    pub fn set_amount(&mut self, n: u64) {
+        self.amount = n;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end = self.sink.now_ns().max(self.start_ns);
+        let label = std::mem::take(&mut self.label);
+        self.sink
+            .push(self.kind, label, self.start_ns, end, self.amount);
+    }
+}
+
+/// Aggregate of one [`SpanKind`] over a slice of events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanBreakdown {
+    /// The kind aggregated.
+    pub kind: SpanKind,
+    /// Events of this kind.
+    pub count: u64,
+    /// Summed span durations, nanoseconds.
+    pub total_ns: u64,
+    /// Summed payload amounts.
+    pub total_amount: u64,
+}
+
+/// Per-kind totals over `events`, in [`SpanKind::ALL`] order, skipping
+/// kinds with no events.
+pub fn breakdown(events: &[TraceEvent]) -> Vec<SpanBreakdown> {
+    SpanKind::ALL
+        .iter()
+        .filter_map(|&kind| {
+            let mut agg = SpanBreakdown {
+                kind,
+                count: 0,
+                total_ns: 0,
+                total_amount: 0,
+            };
+            for e in events.iter().filter(|e| e.kind == kind) {
+                agg.count += 1;
+                agg.total_ns += e.duration_ns();
+                agg.total_amount += e.amount;
+            }
+            (agg.count > 0).then_some(agg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::SimTime;
+
+    #[test]
+    fn sim_spans_measure_virtual_time() {
+        let clock = SimClock::new();
+        let sink = TraceSink::sim(16, clock.clone());
+        {
+            let mut span = sink.span(SpanKind::Deliver, "version 1");
+            clock.advance(SimTime::from_millis(5));
+            span.set_amount(42);
+        }
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, SpanKind::Deliver);
+        assert_eq!(events[0].duration_ns(), 5_000_000);
+        assert_eq!(events[0].amount, 42);
+    }
+
+    #[test]
+    fn with_clock_shares_the_buffer() {
+        let a = SimClock::new();
+        let b = SimClock::new();
+        b.advance(SimTime::from_secs(9));
+        let sink = TraceSink::sim(16, a);
+        sink.event(SpanKind::Flush, "a", 0);
+        sink.with_clock(b).event(SpanKind::Flush, "b", 0);
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].start_ns, 0);
+        assert_eq!(events[1].start_ns, 9_000_000_000);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in SpanKind::ALL {
+            assert_eq!(SpanKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(SpanKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn breakdown_aggregates_by_kind() {
+        let sink = TraceSink::wall(16);
+        sink.event(SpanKind::Flush, "n0", 10);
+        sink.event(SpanKind::Flush, "n1", 20);
+        sink.event(SpanKind::DeviceGc, "n0", 3);
+        let agg = breakdown(&sink.snapshot());
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].kind, SpanKind::Flush);
+        assert_eq!(agg[0].count, 2);
+        assert_eq!(agg[0].total_amount, 30);
+        assert_eq!(agg[1].kind, SpanKind::DeviceGc);
+    }
+
+    #[test]
+    fn wall_time_is_monotone() {
+        let sink = TraceSink::wall(4);
+        let a = sink.now_ns();
+        let b = sink.now_ns();
+        assert!(b >= a);
+    }
+}

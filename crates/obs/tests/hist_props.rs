@@ -1,0 +1,58 @@
+//! Property tests for the histogram's merge invariants.
+
+use obs::LatencyHistogram;
+use proptest::prelude::*;
+
+fn record_all(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging histograms over disjoint value ranges preserves the exact
+    /// aggregates: count, sum, min, max — and the merged percentile walk
+    /// stays within the combined extremes.
+    #[test]
+    fn disjoint_merge_preserves_aggregates(
+        lows in proptest::collection::vec(0u64..1 << 20, 1..200),
+        highs in proptest::collection::vec((1u64 << 30)..(1 << 40), 1..200),
+    ) {
+        let mut merged = record_all(&lows);
+        let high_hist = record_all(&highs);
+        merged.merge(&high_hist);
+
+        let mut all = lows.clone();
+        all.extend_from_slice(&highs);
+        let whole = record_all(&all);
+
+        prop_assert_eq!(merged.count(), all.len() as u64);
+        prop_assert_eq!(merged.sum(), all.iter().map(|&v| v as u128).sum::<u128>());
+        prop_assert_eq!(merged.min(), *all.iter().min().unwrap());
+        prop_assert_eq!(merged.max(), *all.iter().max().unwrap());
+
+        // Merge must be indistinguishable from recording into one.
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.sum(), whole.sum());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.percentile(q), whole.percentile(q));
+            let p = merged.percentile(q);
+            prop_assert!(p >= merged.min() && p <= merged.max());
+        }
+    }
+
+    /// Merging an empty histogram is the identity.
+    #[test]
+    fn merging_empty_is_identity(
+        values in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let mut h = record_all(&values);
+        let before = (h.count(), h.sum(), h.min(), h.max(), h.p50(), h.p999());
+        h.merge(&LatencyHistogram::new());
+        prop_assert_eq!(before, (h.count(), h.sum(), h.min(), h.max(), h.p50(), h.p999()));
+    }
+}

@@ -47,6 +47,9 @@ pub struct QinDb {
     ckpt: Option<(u64, Vec<ssdsim::BlockId>)>,
     /// Whether the last recovery used a checkpoint (diagnostics).
     recovered_via_checkpoint: bool,
+    /// Optional trace sink (timestamped on this engine's device clock)
+    /// and the label maintenance events are emitted under.
+    trace: Option<(obs::TraceSink, String)>,
 }
 
 impl QinDb {
@@ -62,6 +65,7 @@ impl QinDb {
             next_seq: 1,
             ckpt: None,
             recovered_via_checkpoint: false,
+            trace: None,
         }
     }
 
@@ -134,6 +138,9 @@ impl QinDb {
         if steps > 0 {
             self.stats.gets_traced.add(1);
             self.stats.traceback_steps.add(steps as u64);
+            if let Some((sink, label)) = &self.trace {
+                sink.event(obs::SpanKind::Traceback, label, steps as u64);
+            }
         }
         let value = self.read_put_value(loc)?;
         match &value {
@@ -255,8 +262,25 @@ impl QinDb {
     // Durability & lifecycle
     // ------------------------------------------------------------------
 
+    /// Attaches a trace sink: flush, checkpoint, GC, and traceback emit
+    /// events under `label`, timestamped on this engine's device clock.
+    /// Also wires the underlying device so its GC runs trace too.
+    pub fn attach_trace(&mut self, sink: &obs::TraceSink, label: &str) {
+        let sink = sink.with_clock(self.aof.device().clock().clone());
+        self.aof.device().attach_trace(&sink, label);
+        self.trace = Some((sink, label.to_string()));
+    }
+
+    /// Cheap clone of the attached sink (an `Arc` bump) so span guards
+    /// can outlive `&mut self` calls made while they are open.
+    fn tracer(&self) -> Option<(obs::TraceSink, String)> {
+        self.trace.clone()
+    }
+
     /// Forces buffered appends onto flash.
     pub fn flush(&mut self) -> Result<()> {
+        let t = self.tracer();
+        let _span = t.as_ref().map(|(s, l)| s.span(obs::SpanKind::Flush, l));
         self.aof.flush()?;
         Ok(())
     }
@@ -270,6 +294,10 @@ impl QinDb {
     /// covers; recovery then falls back to the full scan, so taking
     /// checkpoints right after GC activity maximizes their usefulness.
     pub fn checkpoint(&mut self) -> Result<u64> {
+        let t = self.tracer();
+        let mut span = t
+            .as_ref()
+            .map(|(s, l)| s.span(obs::SpanKind::Checkpoint, l));
         self.flush()?;
         let id = self.ckpt.as_ref().map_or(1, |(id, _)| id + 1);
         let mut covered: Vec<(FileId, u64)> = self
@@ -291,6 +319,9 @@ impl QinDb {
         )?;
         if let Some((_, old)) = self.ckpt.take() {
             checkpoint::erase(self.aof.device(), &old)?;
+        }
+        if let Some(span) = span.as_mut() {
+            span.set_amount(blocks.len() as u64);
         }
         self.ckpt = Some((id, blocks));
         Ok(id)
@@ -382,6 +413,7 @@ impl QinDb {
             next_seq: max_seq + 1,
             ckpt: Some((state.id, state.blocks)),
             recovered_via_checkpoint: true,
+            trace: None,
         };
         for key in touched {
             engine.recompute_liveness(&key);
@@ -421,6 +453,7 @@ impl QinDb {
             next_seq: max_seq + 1,
             ckpt: None,
             recovered_via_checkpoint: false,
+            trace: None,
         };
         // Recompute disk-liveness for every key to rebuild occupancy.
         let keys: Vec<Bytes> = {
@@ -511,6 +544,8 @@ impl QinDb {
     /// Runs GC regardless of free-space pressure; reclaims every current
     /// candidate. Returns the number of files reclaimed.
     pub fn force_gc(&mut self) -> Result<usize> {
+        let t = self.tracer();
+        let mut span: Option<obs::SpanGuard<'_>> = None;
         let mut reclaimed = 0;
         let mut seen: HashSet<FileId> = HashSet::new();
         loop {
@@ -524,7 +559,13 @@ impl QinDb {
                 break;
             };
             seen.insert(file);
+            if span.is_none() {
+                span = t.as_ref().map(|(s, l)| s.span(obs::SpanKind::EngineGc, l));
+            }
             self.gc_file(file)?;
+            if let Some(span) = span.as_mut() {
+                span.add_amount(1);
+            }
             reclaimed += 1;
         }
         if reclaimed > 0 {
@@ -537,6 +578,8 @@ impl QinDb {
     /// free-space pressure.
     fn maybe_gc(&mut self) -> Result<()> {
         let geo = self.aof.device().geometry();
+        let t = self.tracer();
+        let mut span: Option<obs::SpanGuard<'_>> = None;
         let mut ran = false;
         let mut seen: HashSet<FileId> = HashSet::new();
         loop {
@@ -551,7 +594,13 @@ impl QinDb {
                 .find(|f| !seen.contains(f));
             let Some(file) = candidate else { break };
             seen.insert(file);
+            if span.is_none() {
+                span = t.as_ref().map(|(s, l)| s.span(obs::SpanKind::EngineGc, l));
+            }
             self.gc_file(file)?;
+            if let Some(span) = span.as_mut() {
+                span.add_amount(1);
+            }
             ran = true;
         }
         if ran {

@@ -122,6 +122,67 @@ impl EngineStats {
             self.traceback_steps as f64 / self.gets_traced as f64
         }
     }
+
+    /// Per-field difference `self - earlier`; turns periodic snapshots
+    /// into per-interval series (the engine-side twin of
+    /// [`ssdsim::CounterSnapshot::delta`]).
+    pub fn delta(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            puts: self.puts - earlier.puts,
+            gets: self.gets - earlier.gets,
+            dels: self.dels - earlier.dels,
+            user_write_bytes: self.user_write_bytes - earlier.user_write_bytes,
+            user_read_bytes: self.user_read_bytes - earlier.user_read_bytes,
+            gets_not_found: self.gets_not_found - earlier.gets_not_found,
+            gets_traced: self.gets_traced - earlier.gets_traced,
+            traceback_steps: self.traceback_steps - earlier.traceback_steps,
+            gc_runs: self.gc_runs - earlier.gc_runs,
+            gc_files_reclaimed: self.gc_files_reclaimed - earlier.gc_files_reclaimed,
+            gc_bytes_rewritten: self.gc_bytes_rewritten - earlier.gc_bytes_rewritten,
+            gc_records_rewritten: self.gc_records_rewritten - earlier.gc_records_rewritten,
+            gc_items_dropped: self.gc_items_dropped - earlier.gc_items_dropped,
+        }
+    }
+
+    /// Per-field sum, for aggregating many engines (a cluster's nodes)
+    /// into one snapshot.
+    pub fn accumulate(&mut self, other: &EngineStats) {
+        self.puts += other.puts;
+        self.gets += other.gets;
+        self.dels += other.dels;
+        self.user_write_bytes += other.user_write_bytes;
+        self.user_read_bytes += other.user_read_bytes;
+        self.gets_not_found += other.gets_not_found;
+        self.gets_traced += other.gets_traced;
+        self.traceback_steps += other.traceback_steps;
+        self.gc_runs += other.gc_runs;
+        self.gc_files_reclaimed += other.gc_files_reclaimed;
+        self.gc_bytes_rewritten += other.gc_bytes_rewritten;
+        self.gc_records_rewritten += other.gc_records_rewritten;
+        self.gc_items_dropped += other.gc_items_dropped;
+    }
+
+    /// Feeds every counter into a metrics registry under
+    /// `<prefix>.<name>`. Values are stored absolute (these stats are
+    /// cumulative), so republishing the latest snapshot is idempotent.
+    pub fn publish(&self, reg: &obs::Registry, prefix: &str) {
+        let c = |name: &str, v: u64| reg.counter(&format!("{prefix}.{name}")).store(v);
+        c("puts", self.puts);
+        c("gets", self.gets);
+        c("dels", self.dels);
+        c("user_write_bytes", self.user_write_bytes);
+        c("user_read_bytes", self.user_read_bytes);
+        c("gets_not_found", self.gets_not_found);
+        c("traceback.gets_traced", self.gets_traced);
+        c("traceback.steps", self.traceback_steps);
+        c("gc.runs", self.gc_runs);
+        c("gc.files_reclaimed", self.gc_files_reclaimed);
+        c("gc.bytes_rewritten", self.gc_bytes_rewritten);
+        c("gc.records_rewritten", self.gc_records_rewritten);
+        c("gc.items_dropped", self.gc_items_dropped);
+        reg.gauge(&format!("{prefix}.software_waf"))
+            .set(self.software_waf());
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +213,65 @@ mod tests {
         };
         assert!((s.mean_traceback_depth() - 2.5).abs() < 1e-12);
         assert_eq!(EngineStats::default().mean_traceback_depth(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let earlier = EngineStats {
+            puts: 10,
+            user_write_bytes: 1_000,
+            gc_runs: 1,
+            ..Default::default()
+        };
+        let later = EngineStats {
+            puts: 25,
+            user_write_bytes: 4_000,
+            gc_runs: 3,
+            gets: 7,
+            ..Default::default()
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.puts, 15);
+        assert_eq!(d.user_write_bytes, 3_000);
+        assert_eq!(d.gc_runs, 2);
+        assert_eq!(d.gets, 7);
+    }
+
+    #[test]
+    fn accumulate_sums_fieldwise() {
+        let mut total = EngineStats {
+            puts: 1,
+            gc_bytes_rewritten: 5,
+            ..Default::default()
+        };
+        total.accumulate(&EngineStats {
+            puts: 2,
+            gc_bytes_rewritten: 7,
+            traceback_steps: 3,
+            ..Default::default()
+        });
+        assert_eq!(total.puts, 3);
+        assert_eq!(total.gc_bytes_rewritten, 12);
+        assert_eq!(total.traceback_steps, 3);
+    }
+
+    #[test]
+    fn publish_feeds_the_registry() {
+        let reg = obs::Registry::new();
+        let s = EngineStats {
+            puts: 5,
+            gc_runs: 2,
+            user_write_bytes: 100,
+            gc_bytes_rewritten: 50,
+            ..Default::default()
+        };
+        s.publish(&reg, "qindb");
+        let report = reg.snapshot();
+        assert_eq!(report.counter("qindb.puts"), Some(5));
+        assert_eq!(report.counter("qindb.gc.runs"), Some(2));
+        assert_eq!(
+            report.get("qindb.software_waf").map(|v| v.as_f64()),
+            Some(1.5)
+        );
     }
 }

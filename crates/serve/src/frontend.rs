@@ -25,10 +25,10 @@
 //! scaling measures the front-end, not clock-accounting artifacts.
 
 use crate::cache::{ShardedLru, SummaryCache};
-use crate::hist::LatencyHistogram;
 use bifrost::DataCenterId;
 use bytes::Bytes;
 use directload::{DirectLoad, SearchHit};
+use obs::LatencyHistogram;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -211,6 +211,31 @@ impl ServeReport {
         } else {
             self.shed as f64 / self.offered as f64
         }
+    }
+
+    /// Feeds this run's outcome into a metrics registry under `serve.*`.
+    ///
+    /// Counters are *added*, so publishing successive runs into the same
+    /// registry accumulates totals; the latency gauges reflect the most
+    /// recent published run.
+    pub fn publish_metrics(&self, reg: &obs::Registry) {
+        reg.counter("serve.offered_total").add(self.offered);
+        reg.counter("serve.served_total").add(self.served);
+        reg.counter("serve.served_stale_total")
+            .add(self.served_stale);
+        reg.counter("serve.shed_total").add(self.shed);
+        reg.counter("serve.summary_hits_total")
+            .add(self.summary_hits);
+        reg.counter("serve.summary_misses_total")
+            .add(self.summary_misses);
+        reg.gauge("serve.latency.p50_us")
+            .set(self.hist.p50() as f64);
+        reg.gauge("serve.latency.p99_us")
+            .set(self.hist.p99() as f64);
+        reg.gauge("serve.latency.p999_us")
+            .set(self.hist.p999() as f64);
+        reg.gauge("serve.latency.mean_us").set(self.hist.mean());
+        reg.gauge("serve.throughput_qps").set(self.throughput_qps());
     }
 }
 

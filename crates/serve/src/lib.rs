@@ -14,7 +14,7 @@
 //!   `(region, url, version)`, read-through, invalidated below the
 //!   minimum live version on publish;
 //! * [`hist`] — mergeable log-bucketed latency histograms
-//!   (p50/p90/p99/p99.9), shared with the bench crate;
+//!   (p50/p90/p99/p99.9), re-exported from [`obs`] where they now live;
 //! * [`driver`] — seeded open-loop QPS generator over [`indexgen`]'s
 //!   Zipf/VIP query workload.
 //!
@@ -41,12 +41,14 @@
 pub mod cache;
 pub mod driver;
 pub mod frontend;
-pub mod hist;
+/// The histogram module moved to `obs::hist`; this alias keeps the old
+/// `serve::hist::LatencyHistogram` path working.
+pub use obs::hist;
 
 pub use cache::{ShardedLru, SummaryCache, SummaryKey};
 pub use driver::DriverConfig;
 pub use frontend::{Admission, FrontendConfig, ServeReport, ShedPolicy, Submitter};
-pub use hist::LatencyHistogram;
+pub use obs::LatencyHistogram;
 
 use directload::DirectLoad;
 

@@ -87,6 +87,38 @@ impl CounterSnapshot {
         }
     }
 
+    /// Per-field sum, for aggregating many devices (a cluster's nodes)
+    /// into one snapshot.
+    pub fn accumulate(&mut self, other: &CounterSnapshot) {
+        self.host_write_bytes += other.host_write_bytes;
+        self.host_read_bytes += other.host_read_bytes;
+        self.gc_write_bytes += other.gc_write_bytes;
+        self.gc_read_bytes += other.gc_read_bytes;
+        self.blocks_erased += other.blocks_erased;
+        self.gc_runs += other.gc_runs;
+        self.gc_pages_moved += other.gc_pages_moved;
+        self.blocks_retired += other.blocks_retired;
+    }
+
+    /// Feeds every counter into a metrics registry under
+    /// `<prefix>.<name>`. Values are stored absolute (these counters are
+    /// cumulative), so republishing the latest snapshot is idempotent.
+    pub fn publish(&self, reg: &obs::Registry, prefix: &str) {
+        let c = |name: &str, v: u64| reg.counter(&format!("{prefix}.{name}")).store(v);
+        c("host_write_bytes", self.host_write_bytes);
+        c("host_read_bytes", self.host_read_bytes);
+        c("gc_write_bytes", self.gc_write_bytes);
+        c("gc_read_bytes", self.gc_read_bytes);
+        c("sys_write_bytes", self.sys_write_bytes());
+        c("sys_read_bytes", self.sys_read_bytes());
+        c("blocks_erased", self.blocks_erased);
+        c("gc_runs", self.gc_runs);
+        c("gc_pages_moved", self.gc_pages_moved);
+        c("blocks_retired", self.blocks_retired);
+        reg.gauge(&format!("{prefix}.hardware_waf"))
+            .set(self.hardware_waf());
+    }
+
     /// Per-field difference `self - earlier`; used to turn periodic
     /// snapshots into per-interval series.
     pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
@@ -124,6 +156,42 @@ mod tests {
     #[test]
     fn waf_of_idle_device_is_one() {
         assert_eq!(CounterSnapshot::default().hardware_waf(), 1.0);
+    }
+
+    #[test]
+    fn accumulate_sums_fieldwise() {
+        let mut total = CounterSnapshot {
+            host_write_bytes: 10,
+            gc_runs: 1,
+            ..Default::default()
+        };
+        total.accumulate(&CounterSnapshot {
+            host_write_bytes: 5,
+            gc_pages_moved: 3,
+            ..Default::default()
+        });
+        assert_eq!(total.host_write_bytes, 15);
+        assert_eq!(total.gc_runs, 1);
+        assert_eq!(total.gc_pages_moved, 3);
+    }
+
+    #[test]
+    fn publish_feeds_the_registry() {
+        let reg = obs::Registry::new();
+        let snap = CounterSnapshot {
+            host_write_bytes: 100,
+            gc_write_bytes: 50,
+            gc_runs: 2,
+            ..Default::default()
+        };
+        snap.publish(&reg, "ssd");
+        let report = reg.snapshot();
+        assert_eq!(report.counter("ssd.gc_runs"), Some(2));
+        assert_eq!(report.counter("ssd.sys_write_bytes"), Some(150));
+        assert_eq!(
+            report.get("ssd.hardware_waf").map(|v| v.as_f64()),
+            Some(1.5)
+        );
     }
 
     #[test]

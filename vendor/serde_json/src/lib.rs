@@ -2,20 +2,28 @@
 //! this workspace (see vendor/README.md for why dependencies are vendored).
 //!
 //! Provides [`to_string_pretty`] over the vendored `serde::Serialize` trait,
-//! a [`Value`] tree, and the [`json!`] object macro used by the bench
-//! figure dumps.
+//! a [`Value`] tree with a [`from_str`] parser, and the [`json!`] object
+//! macro used by the bench figure dumps.
 
 use serde::Serialize;
 
-/// Serialization error. The vendored writer is infallible, so this is never
-/// actually produced; the type exists so call sites can keep the upstream
-/// `Result` signature.
+/// Serialization or parse error. The vendored writer is infallible; only
+/// [`from_str`] produces this, with a byte offset for context.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: &'static str,
+    at: usize,
+}
+
+impl Error {
+    fn new(msg: &'static str, at: usize) -> Error {
+        Error { msg, at }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json error")
+        write!(f, "serde_json error: {} at byte {}", self.msg, self.at)
     }
 }
 impl std::error::Error for Error {}
@@ -51,6 +59,318 @@ impl Value {
         let mut s = String::new();
         v.serialize_json(&mut s, 0);
         parse_scalar(&s).unwrap_or(Value::String(s))
+    }
+
+    /// Member lookup on an object (`None` for other variants or a missing
+    /// key).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact unsigned integer: requires an integral,
+    /// non-negative value within `u64` range (JSON numbers are `f64`, so
+    /// integers are exact below 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders as single-line compact JSON (no whitespace), suitable for
+    /// JSONL streams. String escapes keep embedded newlines off the line.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => n.serialize_json(out, 0),
+            Value::String(s) => serde::write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::write_json_string(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+/// Returns [`Error`] on malformed input or trailing garbage.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new("trailing characters", p.pos));
+    }
+    Ok(v)
+}
+
+/// A recursive-descent JSON parser over raw bytes (JSON structure is
+/// ASCII; string contents are re-validated as UTF-8 when sliced).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &'static str) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(what, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::new("invalid literal", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(Error::new("expected a value", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.eat(b'{', "expected '{'")?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::new("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| Error::new("invalid number", start))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Combine a high surrogate with its pair.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.eat(b'u', "expected low surrogate")?;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + low.checked_sub(0xDC00).ok_or_else(|| {
+                                            Error::new("bad low surrogate", self.pos)
+                                        })?;
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| Error::new("bad unicode escape", self.pos))?);
+                        }
+                        _ => return Err(Error::new("bad escape", self.pos - 1)),
+                    }
+                }
+                Some(_) => {
+                    // Copy a run of plain bytes, re-validated as UTF-8.
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::new("invalid utf-8", start))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated unicode escape", self.pos));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("bad unicode escape", self.pos))?;
+        let cp =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::new("bad unicode escape", self.pos))?;
+        self.pos += 4;
+        Ok(cp)
     }
 }
 
@@ -176,5 +496,52 @@ mod tests {
         )]);
         let s = to_string_pretty(&v).unwrap();
         assert!(s.contains("\"xs\": [\n    1.0,\n    null\n  ]"));
+    }
+
+    #[test]
+    fn parser_round_trips_pretty_and_compact() {
+        let v = json!({
+            "a": 1.5,
+            "b": 2u64,
+            "ok": true,
+            "name": "x\n\"y\"",
+            "none": Option::<u64>::None,
+        });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+        let compact = v.to_compact_string();
+        assert!(!compact.contains('\n'));
+        assert_eq!(from_str(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_handles_structure_and_escapes() {
+        let v = from_str(" { \"xs\" : [ 1 , -2.5e1 , \"a\\u0041\\u00e9\", {} ] } ").unwrap();
+        let xs = v.get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs[0].as_u64(), Some(1));
+        assert_eq!(xs[1].as_f64(), Some(-25.0));
+        assert_eq!(xs[2].as_str(), Some("aAé"));
+        assert_eq!(xs[3], Value::Object(vec![]));
+        // Surrogate pair.
+        assert_eq!(from_str("\"\\ud83d\\ude00\"").unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "\"open", "tru"] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_are_typed() {
+        let v = from_str("{\"n\": 3, \"f\": 3.5, \"s\": \"x\", \"b\": false}").unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("f").unwrap().as_u64(), None);
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(3.5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
+        assert!(v.get("missing").is_none());
+        assert!(v.get("n").unwrap().get("nested").is_none());
     }
 }
