@@ -176,6 +176,42 @@ impl Bifrost {
         }
     }
 
+    /// Schedules a capacity change on a single trunk: at `at`, `link`'s
+    /// available capacity becomes `scale` of its nominal value. `scale`
+    /// of `0` models a trunk outage — slices crossing the link stall until
+    /// a later scale restores capacity; `1` restores the trunk. The chaos
+    /// orchestrator drives targeted outages/degradations through this.
+    pub fn schedule_link_scale(&mut self, at: SimTime, link: LinkId, scale: f64) {
+        assert!(
+            (0.0..=1.0).contains(&scale),
+            "scale must be in [0, 1], got {scale}"
+        );
+        let base = self.base_capacity[link.0 as usize];
+        self.sim.schedule_capacity_change(at, link, base * scale);
+    }
+
+    /// Number of WAN links in the regional topology (valid targets for
+    /// [`Bifrost::schedule_link_scale`]).
+    pub fn num_links(&self) -> usize {
+        self.base_capacity.len()
+    }
+
+    /// Current slice-corruption probability.
+    pub fn corruption_rate(&self) -> f64 {
+        self.cfg.corruption_rate
+    }
+
+    /// Replaces the slice-corruption probability for subsequent
+    /// deliveries (a chaos corruption burst raises it, then restores the
+    /// configured value). The fault-injection RNG stream is unaffected.
+    pub fn set_corruption_rate(&mut self, rate: f64) {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "corruption rate must be in [0, 1], got {rate}"
+        );
+        self.cfg.corruption_rate = rate;
+    }
+
     fn next_rand(&mut self) -> f64 {
         // xorshift64* → uniform in [0, 1).
         let mut x = self.rng;
@@ -643,6 +679,54 @@ mod tests {
         assert!(deliver.iter().all(|e| e.duration_ns() > 0));
         assert_eq!(deliver[0].amount, r1.uplink_bytes);
         assert_eq!(deliver[1].amount, r2.uplink_bytes);
+    }
+
+    #[test]
+    fn corruption_burst_can_be_raised_and_restored() {
+        let mut sim = corpus();
+        let mut bifrost = Bifrost::new(small_cfg(), SimClock::new());
+        assert_eq!(bifrost.corruption_rate(), 0.0);
+        let v1 = sim.advance_round(1.0);
+        let (clean, _) = bifrost.deliver_version(&v1, SimTime::ZERO);
+        assert_eq!(clean.retransmissions, 0);
+        // Burst: raise the rate mid-run, deliver, then restore.
+        bifrost.set_corruption_rate(0.5);
+        let v2 = sim.advance_round(0.4);
+        let (stormy, _) = bifrost.deliver_version(&v2, bifrost.clock().now());
+        assert!(stormy.retransmissions > 0);
+        bifrost.set_corruption_rate(0.0);
+        let v3 = sim.advance_round(0.4);
+        let (calm, _) = bifrost.deliver_version(&v3, bifrost.clock().now());
+        assert_eq!(calm.retransmissions, 0);
+    }
+
+    #[test]
+    fn trunk_outage_delays_but_does_not_lose_slices() {
+        let mut sim = corpus();
+        let v1 = sim.advance_round(1.0);
+        let baseline = {
+            let mut b = Bifrost::new(small_cfg(), SimClock::new());
+            b.deliver_version(&v1, SimTime::ZERO).0
+        };
+        let mut bifrost = Bifrost::new(small_cfg(), SimClock::new());
+        assert!(bifrost.num_links() > 0);
+        // Every trunk down from just after the start until past the
+        // unfaulted completion time, then restored.
+        let restore_at = baseline.update_time + SimTime::from_mins(10);
+        for l in 0..bifrost.num_links() {
+            bifrost.schedule_link_scale(SimTime::from_secs(1), LinkId(l as u32), 0.0);
+            bifrost.schedule_link_scale(restore_at, LinkId(l as u32), 1.0);
+        }
+        let (stalled, _) = bifrost.deliver_version(&v1, SimTime::ZERO);
+        // Nothing is lost: every data center still gets every slice, just
+        // later than the unfaulted run.
+        assert_eq!(stalled.arrivals.len(), baseline.arrivals.len());
+        assert!(
+            stalled.update_time > baseline.update_time,
+            "outage should delay delivery: {:?} vs {:?}",
+            stalled.update_time,
+            baseline.update_time
+        );
     }
 
     #[test]

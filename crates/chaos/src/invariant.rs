@@ -1,0 +1,294 @@
+//! The Jepsen-lite invariant checker.
+//!
+//! After every pipeline round (and once more after the storm settles)
+//! the checker re-derives what must be true of a correct deployment and
+//! records a [`Violation`] for every discrepancy:
+//!
+//! 1. **No acked write lost** — every `(url, version)` the pipeline
+//!    published and the checker successfully read back must keep
+//!    returning byte-identical values from every data center that
+//!    stores it, for as long as the version is retained.
+//! 2. **Replica convergence** — the alive members of a key's group hold
+//!    identical `(version, deleted)` chains (compared by digest), at
+//!    every data center. A recovered node that skipped anti-entropy
+//!    would diverge here — which is also what catches a node serving
+//!    stale chains (invariant 3: recovery syncs *before* serving, so a
+//!    serving replica with a short chain is a violation, not a race).
+//! 4. **Missed-deadline accounting** — the per-round delivery reports'
+//!    missed-slice counts must sum to exactly the `bifrost.missed_total`
+//!    metric: no missed slice is dropped from or double-counted in the
+//!    system-wide export.
+//! 5. **Firmware counters monotonic** — per-DC aggregated device
+//!    counters never decrease: crashes and recoveries must not lose or
+//!    reset flash-level accounting.
+
+use bytes::Bytes;
+use directload::{routed_key, DirectLoad, VersionReport};
+use indexgen::IndexKind;
+use ssdsim::CounterSnapshot;
+
+/// One invariant breach, attributed to the round that exposed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Round after which the check failed (`u32::MAX` for the final
+    /// settle pass).
+    pub round: u32,
+    /// Which invariant broke.
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "round={} invariant={} {}",
+            self.round, self.invariant, self.detail
+        )
+    }
+}
+
+/// A successfully published-and-read-back value the system is now on the
+/// hook for.
+struct AckedSample {
+    url: Bytes,
+    version: u64,
+    summary: Bytes,
+    forward: Bytes,
+}
+
+/// Cross-layer state checker. Create once per storm; feed it every
+/// round's outcome.
+pub struct InvariantChecker {
+    samples: Vec<AckedSample>,
+    urls: Vec<Bytes>,
+    counters: Vec<CounterSnapshot>,
+    missed_sum: u64,
+    violations: Vec<Violation>,
+}
+
+impl InvariantChecker {
+    /// Tracks up to `sample_keys` documents through the storm.
+    pub fn new(system: &DirectLoad, sample_keys: usize) -> Self {
+        let urls: Vec<Bytes> = system.urls().into_iter().take(sample_keys).collect();
+        let counters = system
+            .dc_ids()
+            .iter()
+            .map(|&dc| {
+                system
+                    .cluster(dc)
+                    .expect("deployment DC exists")
+                    .aggregate_device_counters()
+            })
+            .collect();
+        InvariantChecker {
+            samples: Vec::new(),
+            urls,
+            counters,
+            missed_sum: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Checks every invariant after a completed round.
+    pub fn observe_round(&mut self, system: &DirectLoad, report: &VersionReport, round: u32) {
+        self.missed_sum += report.delivery.missed as u64;
+        self.record_acked(system, report.version, round);
+        self.check_acked_stable(system, round);
+        self.check_convergence(system, round);
+        self.check_missed_accounting(system, round);
+        self.check_counters_monotonic(system, round);
+    }
+
+    /// The full check suite once the storm has settled (every node
+    /// recovered, every injection cleared).
+    pub fn finalize(&mut self, system: &DirectLoad) {
+        const SETTLE: u32 = u32::MAX;
+        for &dc in &system.dc_ids() {
+            let cluster = system.cluster(dc).expect("deployment DC exists");
+            if !cluster.all_alive() {
+                self.violations.push(Violation {
+                    round: SETTLE,
+                    invariant: "all_recovered",
+                    detail: format!(
+                        "dc {:?} settled with {}/{} nodes alive",
+                        dc,
+                        cluster.alive_count(),
+                        cluster.num_nodes()
+                    ),
+                });
+            }
+        }
+        self.check_acked_stable(system, SETTLE);
+        self.check_convergence(system, SETTLE);
+        self.check_counters_monotonic(system, SETTLE);
+    }
+
+    /// Violations found so far (empty on a correct system).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Records a violation observed outside the checker's own passes
+    /// (the orchestrator uses this for failed pipeline rounds and
+    /// exhausted recovery retries).
+    pub fn push_violation(&mut self, violation: Violation) {
+        self.violations.push(violation);
+    }
+
+    /// Read-after-publish: sample this version's values. A value that
+    /// reads back now is *acked* — losing it later is a violation.
+    /// Values are read from the first hosting DC and must already agree
+    /// across the others (checked by `check_acked_stable` this round).
+    fn record_acked(&mut self, system: &DirectLoad, version: u64, round: u32) {
+        let summary_dc = bifrost::DataCenterId::summary_hosts()[0];
+        let forward_dc = system.dc_ids()[0];
+        for url in &self.urls {
+            let summary = match system.get_summary(summary_dc, url, version) {
+                Ok((Some(v), _)) => v,
+                Ok((None, _)) => {
+                    self.violations.push(Violation {
+                        round,
+                        invariant: "acked_write_durable",
+                        detail: format!(
+                            "published version {version} missing summary for {url:?} at {summary_dc:?}"
+                        ),
+                    });
+                    continue;
+                }
+                Err(e) => {
+                    self.violations.push(Violation {
+                        round,
+                        invariant: "acked_write_durable",
+                        detail: format!("read-after-publish failed for {url:?}: {e}"),
+                    });
+                    continue;
+                }
+            };
+            let forward = match system.get_forward(forward_dc, url, version) {
+                Ok((Some(v), _)) => v,
+                other => {
+                    self.violations.push(Violation {
+                        round,
+                        invariant: "acked_write_durable",
+                        detail: format!(
+                            "published version {version} unreadable forward for {url:?}: {other:?}"
+                        ),
+                    });
+                    continue;
+                }
+            };
+            self.samples.push(AckedSample {
+                url: url.clone(),
+                version,
+                summary,
+                forward,
+            });
+        }
+    }
+
+    /// Invariant 1: every retained acked sample reads back identical
+    /// bytes from every data center that stores it.
+    fn check_acked_stable(&mut self, system: &DirectLoad, round: u32) {
+        let min_live = system.min_live_version();
+        self.samples.retain(|s| s.version >= min_live);
+        let summary_hosts = bifrost::DataCenterId::summary_hosts();
+        let all_dcs = system.dc_ids();
+        for s in &self.samples {
+            for &dc in &summary_hosts {
+                match system.get_summary(dc, &s.url, s.version) {
+                    Ok((Some(v), _)) if v == s.summary => {}
+                    other => self.violations.push(Violation {
+                        round,
+                        invariant: "acked_write_durable",
+                        detail: format!(
+                            "summary {:?}@v{} at {dc:?} no longer matches ack: {:?}",
+                            s.url,
+                            s.version,
+                            other.map(|(v, _)| v.map(|b| b.len()))
+                        ),
+                    }),
+                }
+            }
+            for &dc in &all_dcs {
+                match system.get_forward(dc, &s.url, s.version) {
+                    Ok((Some(v), _)) if v == s.forward => {}
+                    other => self.violations.push(Violation {
+                        round,
+                        invariant: "acked_write_durable",
+                        detail: format!(
+                            "forward {:?}@v{} at {dc:?} no longer matches ack: {:?}",
+                            s.url,
+                            s.version,
+                            other.map(|(v, _)| v.map(|b| b.len()))
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Invariants 2 & 3: alive replicas of every sampled key hold
+    /// identical version chains, in every data center.
+    fn check_convergence(&mut self, system: &DirectLoad, round: u32) {
+        let summary_hosts = bifrost::DataCenterId::summary_hosts();
+        for &dc in &system.dc_ids() {
+            let cluster = system.cluster(dc).expect("deployment DC exists");
+            for url in &self.urls {
+                let mut keys = vec![routed_key(IndexKind::Forward, url)];
+                if summary_hosts.contains(&dc) {
+                    keys.push(routed_key(IndexKind::Summary, url));
+                }
+                for key in keys {
+                    let digests = cluster.chain_digests(&key);
+                    if digests.windows(2).any(|w| w[0].1 != w[1].1) {
+                        self.violations.push(Violation {
+                            round,
+                            invariant: "replicas_converge",
+                            detail: format!("{dc:?} {key:?} chains diverge: {digests:?}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Invariant 4: the metrics export accounts for exactly the missed
+    /// slices the per-round reports saw.
+    fn check_missed_accounting(&mut self, system: &DirectLoad, round: u32) {
+        let snap = system.introspect();
+        let exported = snap.counter("bifrost.missed_total");
+        if exported != Some(self.missed_sum) {
+            self.violations.push(Violation {
+                round,
+                invariant: "missed_slices_accounted",
+                detail: format!(
+                    "bifrost.missed_total={exported:?} but reports sum to {}",
+                    self.missed_sum
+                ),
+            });
+        }
+    }
+
+    /// Invariant 5: per-DC firmware counters never go backwards.
+    fn check_counters_monotonic(&mut self, system: &DirectLoad, round: u32) {
+        for (i, &dc) in system.dc_ids().iter().enumerate() {
+            let now = system
+                .cluster(dc)
+                .expect("deployment DC exists")
+                .aggregate_device_counters();
+            if !now.monotonic_from(&self.counters[i]) {
+                self.violations.push(Violation {
+                    round,
+                    invariant: "firmware_counters_monotonic",
+                    detail: format!(
+                        "dc {dc:?} counters regressed: {:?} -> {now:?}",
+                        self.counters[i]
+                    ),
+                });
+            }
+            self.counters[i] = now;
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The storm driver: interleaves a fault schedule with pipeline rounds.
+//!
+//! Each round the orchestrator (1) applies the schedule's due events
+//! through the real injection hooks — `Mint::fail_node`/`recover_node`,
+//! `Bifrost::schedule_link_scale`/`set_corruption_rate`, and
+//! `Device::set_fault_injection` — (2) runs a full update cycle, and
+//! (3) hands the outcome to the [`InvariantChecker`]. Every fault and
+//! repair is emitted three ways: a line in the human-readable timeline
+//! (the determinism artifact), a [`obs::SpanKind::Fault`]/`Repair`
+//! trace event, and a `chaos.*` registry counter.
+//!
+//! After the last round the orchestrator *settles*: recovers every node
+//! still down, clears every active injection, runs one clean round, and
+//! runs the checker's final pass. A storm is a pass only if the
+//! violation list is empty.
+
+use crate::invariant::{InvariantChecker, Violation};
+use crate::schedule::{FaultKind, Schedule};
+use directload::DirectLoad;
+use mint::NodeId;
+use netsim::LinkId;
+use simclock::SimTime;
+
+/// Orchestrator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Pipeline rounds the storm spans (should match the schedule's).
+    pub rounds: u32,
+    /// Fraction of pages changed per crawl round.
+    pub change_fraction: f64,
+    /// Documents the invariant checker tracks.
+    pub sample_keys: usize,
+    /// Recovery attempts per node (one per round) before the failure is
+    /// recorded as a violation.
+    pub recovery_retries: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            rounds: 10,
+            change_fraction: 0.35,
+            sample_keys: 6,
+            recovery_retries: 3,
+        }
+    }
+}
+
+/// What the storm did and what it found.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Rounds executed (excluding the final settle round).
+    pub rounds: u32,
+    /// Faults injected (repairs not included).
+    pub faults_injected: u64,
+    /// Repairs applied (recoveries, injection clears, burst expiries).
+    pub repairs: u64,
+    /// One line per fault/repair, in application order. Byte-identical
+    /// across same-seed runs — the determinism artifact.
+    pub timeline: Vec<String>,
+    /// Invariant breaches (empty on a correct system).
+    pub violations: Vec<Violation>,
+}
+
+/// Drives one storm over a [`DirectLoad`] deployment.
+pub struct Orchestrator {
+    system: DirectLoad,
+    schedule: Schedule,
+    cfg: ChaosConfig,
+    timeline: Vec<String>,
+    faults: u64,
+    repairs: u64,
+    /// Corruption rate to restore when a burst expires.
+    baseline_corruption: f64,
+    /// Remaining rounds of the active corruption burst.
+    burst: Option<u32>,
+    /// Active SSD injections: (dc index, node, remaining rounds).
+    ssd_active: Vec<(usize, u32, u32)>,
+    /// Nodes whose recovery failed and is being retried:
+    /// (dc index, node, attempts so far).
+    retry_recover: Vec<(usize, u32, u32)>,
+    /// Nodes currently down: (dc index, node).
+    crashed: Vec<(usize, u32)>,
+}
+
+impl Orchestrator {
+    /// Wraps a freshly built deployment and a schedule.
+    pub fn new(system: DirectLoad, schedule: Schedule, cfg: ChaosConfig) -> Self {
+        let baseline_corruption = 0.0;
+        Orchestrator {
+            system,
+            schedule,
+            cfg,
+            timeline: Vec::new(),
+            faults: 0,
+            repairs: 0,
+            baseline_corruption,
+            burst: None,
+            ssd_active: Vec::new(),
+            retry_recover: Vec::new(),
+            crashed: Vec::new(),
+        }
+    }
+
+    /// The wrapped deployment (for post-storm inspection).
+    pub fn system(&self) -> &DirectLoad {
+        &self.system
+    }
+
+    /// Runs the storm to completion and reports.
+    pub fn run(&mut self) -> ChaosReport {
+        let mut checker = InvariantChecker::new(&self.system, self.cfg.sample_keys);
+        for round in 0..self.cfg.rounds {
+            self.retry_recoveries(round, &mut checker);
+            let due: Vec<FaultKind> = self.schedule.due(round).map(|e| e.kind).collect();
+            for kind in due {
+                self.apply(round, kind, &mut checker);
+            }
+            match self.system.run_version(self.cfg.change_fraction) {
+                Ok(report) => checker.observe_round(&self.system, &report, round),
+                Err(e) => self.note_violation(
+                    &mut checker,
+                    round,
+                    "pipeline_round_completes",
+                    format!("run_version failed: {e}"),
+                ),
+            }
+            self.expire(round);
+        }
+        self.settle(&mut checker);
+        ChaosReport {
+            rounds: self.cfg.rounds,
+            faults_injected: self.faults,
+            repairs: self.repairs,
+            timeline: self.timeline.clone(),
+            violations: checker.violations().to_vec(),
+        }
+    }
+
+    fn apply(&mut self, round: u32, kind: FaultKind, checker: &mut InvariantChecker) {
+        match kind {
+            FaultKind::NodeCrash { dc, node } => {
+                let id = self.dc_id(dc);
+                match self
+                    .system
+                    .cluster_mut(id)
+                    .expect("deployment DC exists")
+                    .fail_node(NodeId(node))
+                {
+                    Ok(()) => {
+                        self.crashed.push((dc, node));
+                        self.emit_fault(round, kind);
+                    }
+                    Err(e) => self.note_violation(
+                        checker,
+                        round,
+                        "schedule_valid",
+                        format!("crash of dc={dc} node={node} rejected: {e}"),
+                    ),
+                }
+            }
+            FaultKind::NodeRecover { dc, node } => {
+                self.try_recover(round, dc, node, 0, checker);
+            }
+            FaultKind::LinkOutage { link, secs } => {
+                let now = self.system.clock().now();
+                let bifrost = self.system.bifrost_mut();
+                bifrost.schedule_link_scale(now, LinkId(link), 0.0);
+                bifrost.schedule_link_scale(
+                    now + SimTime::from_secs(secs as u64),
+                    LinkId(link),
+                    1.0,
+                );
+                self.emit_fault(round, kind);
+            }
+            FaultKind::LinkDegrade {
+                link,
+                scale_permille,
+                secs,
+            } => {
+                let now = self.system.clock().now();
+                let bifrost = self.system.bifrost_mut();
+                bifrost.schedule_link_scale(now, LinkId(link), scale_permille as f64 / 1000.0);
+                bifrost.schedule_link_scale(
+                    now + SimTime::from_secs(secs as u64),
+                    LinkId(link),
+                    1.0,
+                );
+                self.emit_fault(round, kind);
+            }
+            FaultKind::CorruptionBurst {
+                rate_permille,
+                rounds,
+            } => {
+                if self.burst.is_none() {
+                    self.baseline_corruption = self.system.bifrost_mut().corruption_rate();
+                }
+                self.system
+                    .bifrost_mut()
+                    .set_corruption_rate(rate_permille as f64 / 1000.0);
+                self.burst = Some(rounds);
+                self.emit_fault(round, kind);
+            }
+            FaultKind::SsdReadFaults {
+                dc,
+                node,
+                one_in,
+                rounds,
+            } => {
+                self.install_ssd(
+                    dc,
+                    node,
+                    rounds,
+                    ssdsim::FaultInjection {
+                        read_fail_one_in: one_in,
+                        program_fail_one_in: 0,
+                        seed: Self::ssd_seed(dc, node, round),
+                    },
+                );
+                self.emit_fault(round, kind);
+            }
+            FaultKind::SsdProgramFaults {
+                dc,
+                node,
+                one_in,
+                rounds,
+            } => {
+                self.install_ssd(
+                    dc,
+                    node,
+                    rounds,
+                    ssdsim::FaultInjection {
+                        read_fail_one_in: 0,
+                        program_fail_one_in: one_in,
+                        seed: Self::ssd_seed(dc, node, round),
+                    },
+                );
+                self.emit_fault(round, kind);
+            }
+        }
+    }
+
+    /// Attempts one node recovery; on failure queues a retry for the
+    /// next round (recovery reads peer flash, so a transient injected
+    /// media fault can defeat one attempt).
+    fn try_recover(
+        &mut self,
+        round: u32,
+        dc: usize,
+        node: u32,
+        attempts: u32,
+        checker: &mut InvariantChecker,
+    ) {
+        let id = self.dc_id(dc);
+        match self
+            .system
+            .cluster_mut(id)
+            .expect("deployment DC exists")
+            .recover_node(NodeId(node))
+        {
+            Ok(_took) => {
+                self.crashed.retain(|&(d, n)| (d, n) != (dc, node));
+                self.emit_repair(round, format!("node_recover dc={dc} node={node}"));
+            }
+            Err(e) if attempts + 1 < self.cfg.recovery_retries => {
+                self.timeline.push(format!(
+                    "round={round:02} retry=node_recover dc={dc} node={node} attempt={}",
+                    attempts + 1
+                ));
+                self.retry_recover.push((dc, node, attempts + 1));
+                let _ = e;
+            }
+            Err(e) => self.note_violation(
+                checker,
+                round,
+                "recovery_succeeds",
+                format!(
+                    "dc={dc} node={node} unrecoverable after {} attempts: {e}",
+                    attempts + 1
+                ),
+            ),
+        }
+    }
+
+    fn retry_recoveries(&mut self, round: u32, checker: &mut InvariantChecker) {
+        let due: Vec<(usize, u32, u32)> = std::mem::take(&mut self.retry_recover);
+        for (dc, node, attempts) in due {
+            self.try_recover(round, dc, node, attempts, checker);
+        }
+    }
+
+    fn install_ssd(&mut self, dc: usize, node: u32, rounds: u32, inject: ssdsim::FaultInjection) {
+        let id = self.dc_id(dc);
+        self.system
+            .cluster(id)
+            .expect("deployment DC exists")
+            .node_device(NodeId(node))
+            .expect("scheduled node exists")
+            .set_fault_injection(inject);
+        self.ssd_active.push((dc, node, rounds));
+    }
+
+    /// Counts down round-scoped faults; clears the ones that expired.
+    fn expire(&mut self, round: u32) {
+        if let Some(remaining) = self.burst {
+            if remaining <= 1 {
+                self.system
+                    .bifrost_mut()
+                    .set_corruption_rate(self.baseline_corruption);
+                self.burst = None;
+                self.emit_repair(round, "corruption_clear".to_string());
+            } else {
+                self.burst = Some(remaining - 1);
+            }
+        }
+        let mut cleared = Vec::new();
+        self.ssd_active.retain_mut(|(dc, node, remaining)| {
+            if *remaining <= 1 {
+                cleared.push((*dc, *node));
+                false
+            } else {
+                *remaining -= 1;
+                true
+            }
+        });
+        for (dc, node) in cleared {
+            let id = self.dc_id(dc);
+            self.system
+                .cluster(id)
+                .expect("deployment DC exists")
+                .node_device(NodeId(node))
+                .expect("scheduled node exists")
+                .set_fault_injection(ssdsim::FaultInjection::default());
+            self.emit_repair(round, format!("ssd_clear dc={dc} node={node}"));
+        }
+    }
+
+    /// Post-storm drain: clear every remaining injection, recover every
+    /// node still down (retrying within the attempt budget), run one
+    /// clean round, and run the checker's final pass.
+    fn settle(&mut self, checker: &mut InvariantChecker) {
+        let settle_round = self.cfg.rounds;
+        self.burst = self.burst.map(|_| 1);
+        self.ssd_active.iter_mut().for_each(|e| e.2 = 1);
+        self.expire(settle_round);
+        // Keep retrying until every node is back or every retry budget is
+        // spent (try_recover records the violation when a node exhausts
+        // its attempts).
+        let mut passes = 0;
+        while (!self.crashed.is_empty() || !self.retry_recover.is_empty())
+            && passes <= self.cfg.recovery_retries
+        {
+            passes += 1;
+            self.retry_recoveries(settle_round, checker);
+            let down: Vec<(usize, u32)> = self.crashed.clone();
+            for (dc, node) in down {
+                if self
+                    .retry_recover
+                    .iter()
+                    .any(|&(d, n, _)| (d, n) == (dc, node))
+                {
+                    continue;
+                }
+                self.try_recover(settle_round, dc, node, 0, checker);
+            }
+        }
+        for (dc, node, attempts) in std::mem::take(&mut self.retry_recover) {
+            self.note_violation(
+                checker,
+                settle_round,
+                "recovery_succeeds",
+                format!("dc={dc} node={node} still down after {attempts} attempts at settle"),
+            );
+        }
+        match self.system.run_version(self.cfg.change_fraction) {
+            Ok(report) => checker.observe_round(&self.system, &report, settle_round),
+            Err(e) => self.note_violation(
+                checker,
+                settle_round,
+                "pipeline_round_completes",
+                format!("settle run_version failed: {e}"),
+            ),
+        }
+        checker.finalize(&self.system);
+    }
+
+    fn emit_fault(&mut self, round: u32, kind: FaultKind) {
+        self.faults += 1;
+        self.timeline.push(format!("round={round:02} fault={kind}"));
+        self.system
+            .trace()
+            .event(obs::SpanKind::Fault, "chaos", round as u64);
+        let reg = self.system.registry();
+        reg.counter("chaos.faults_total").inc();
+        reg.counter(&format!("chaos.fault.{}", kind.name())).inc();
+    }
+
+    fn emit_repair(&mut self, round: u32, what: String) {
+        self.repairs += 1;
+        self.timeline
+            .push(format!("round={round:02} repair={what}"));
+        self.system
+            .trace()
+            .event(obs::SpanKind::Repair, "chaos", round as u64);
+        self.system.registry().counter("chaos.repairs_total").inc();
+    }
+
+    fn note_violation(
+        &mut self,
+        checker: &mut InvariantChecker,
+        round: u32,
+        invariant: &'static str,
+        detail: String,
+    ) {
+        self.timeline
+            .push(format!("round={round:02} VIOLATION {invariant}: {detail}"));
+        checker.push_violation(Violation {
+            round,
+            invariant,
+            detail,
+        });
+    }
+
+    fn dc_id(&self, dc: usize) -> bifrost::DataCenterId {
+        self.system.dc_ids()[dc]
+    }
+
+    fn ssd_seed(dc: usize, node: u32, round: u32) -> u64 {
+        0x55D_FA17 ^ ((dc as u64) << 40) ^ ((node as u64) << 20) ^ round as u64
+    }
+}

@@ -1,0 +1,44 @@
+//! End-to-end determinism and safety of a seeded storm: two runs with
+//! the same seed over fresh deployments must produce byte-identical
+//! fault/repair timelines and zero invariant violations.
+
+use chaos::{ChaosConfig, ChaosReport, Orchestrator, Schedule, ScheduleConfig};
+use directload::{DirectLoad, DirectLoadConfig};
+
+fn run_storm(seed: u64, rounds: u32) -> ChaosReport {
+    let schedule = Schedule::generate(&ScheduleConfig::storm(seed, rounds));
+    let system = DirectLoad::new(DirectLoadConfig::small());
+    let cfg = ChaosConfig {
+        rounds,
+        ..ChaosConfig::default()
+    };
+    Orchestrator::new(system, schedule, cfg).run()
+}
+
+#[test]
+fn same_seed_storms_replay_byte_identically_with_zero_violations() {
+    let a = run_storm(0xC4A0_5EED, 5);
+    assert!(
+        !a.timeline.is_empty(),
+        "a storm at these rates must inject at least one fault"
+    );
+    assert!(
+        a.violations.is_empty(),
+        "invariants must hold under the storm: {:?}",
+        a.violations
+    );
+
+    let b = run_storm(0xC4A0_5EED, 5);
+    assert_eq!(
+        a.timeline, b.timeline,
+        "same-seed storms must produce byte-identical timelines"
+    );
+    assert!(b.violations.is_empty());
+}
+
+#[test]
+fn different_seeds_produce_different_storms() {
+    let a = Schedule::generate(&ScheduleConfig::storm(7, 8));
+    let b = Schedule::generate(&ScheduleConfig::storm(8, 8));
+    assert_ne!(a.events(), b.events());
+}

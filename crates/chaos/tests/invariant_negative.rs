@@ -1,0 +1,64 @@
+//! Negative controls: the invariant checker and orchestrator must
+//! actually flag broken states, not pass vacuously.
+
+use bifrost::DataCenterId;
+use chaos::{ChaosConfig, FaultEvent, FaultKind, InvariantChecker, Orchestrator, Schedule};
+use directload::{routed_key, DirectLoad, DirectLoadConfig};
+use indexgen::IndexKind;
+
+/// Deleting a published value out from under the checker must be caught
+/// as a lost acked write.
+#[test]
+fn checker_flags_a_lost_acked_write() {
+    let mut system = DirectLoad::new(DirectLoadConfig::small());
+    let mut checker = InvariantChecker::new(&system, 4);
+    let report = system.run_version(1.0).unwrap();
+    checker.observe_round(&system, &report, 0);
+    assert!(checker.violations().is_empty(), "clean round must pass");
+
+    // Reach under the pipeline and destroy one sampled document's
+    // summary at every hosting DC — exactly what a buggy retention or
+    // recovery path would do.
+    let url = system.urls()[0].clone();
+    let key = routed_key(IndexKind::Summary, &url);
+    for dc in DataCenterId::summary_hosts() {
+        system
+            .cluster_mut(dc)
+            .unwrap()
+            .delete(&key, report.version)
+            .unwrap();
+    }
+    checker.finalize(&system);
+    assert!(
+        checker
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "acked_write_durable"),
+        "lost write must be flagged: {:?}",
+        checker.violations()
+    );
+}
+
+/// A schedule that recovers a node that never crashed is invalid; the
+/// orchestrator must surface it as a violation, not ignore it.
+#[test]
+fn orchestrator_flags_recovery_of_alive_node() {
+    let schedule = Schedule::from_events(vec![FaultEvent {
+        round: 0,
+        kind: FaultKind::NodeRecover { dc: 0, node: 0 },
+    }]);
+    let system = DirectLoad::new(DirectLoadConfig::small());
+    let cfg = ChaosConfig {
+        rounds: 1,
+        ..ChaosConfig::default()
+    };
+    let report = Orchestrator::new(system, schedule, cfg).run();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "recovery_succeeds"),
+        "bogus recovery must be flagged: {:?}",
+        report.violations
+    );
+}

@@ -38,7 +38,7 @@ mod search;
 
 pub use baseline::{LegacyCluster, LegacyClusterConfig};
 pub use gray::GrayRelease;
-pub use pipeline::{DirectLoad, DirectLoadConfig, VersionReport};
+pub use pipeline::{routed_key, DirectLoad, DirectLoadConfig, VersionReport};
 pub use rum::RumReport;
 pub use search::{summary_host_for, RankedQuery, SearchHit, SearchResponse};
 

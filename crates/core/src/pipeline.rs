@@ -315,12 +315,19 @@ impl DirectLoad {
         Ok(cluster.get(&prefixed(kind, key), version)?)
     }
 
-    fn cluster(&self, dc: DataCenterId) -> Result<&Mint> {
+    /// Shared access to one data center's cluster (the chaos invariant
+    /// checker reads chain digests and device counters through this).
+    pub fn cluster(&self, dc: DataCenterId) -> Result<&Mint> {
         self.dcs
             .iter()
             .find(|(id, _)| *id == dc)
             .map(|(_, c)| c)
             .ok_or(DirectLoadError::NotStoredHere { dc })
+    }
+
+    /// The data centers of the deployment, in cluster order.
+    pub fn dc_ids(&self) -> Vec<DataCenterId> {
+        self.dcs.iter().map(|(id, _)| *id).collect()
     }
 
     /// Mutable access to one data center's cluster (failure injection in
@@ -381,6 +388,13 @@ impl DirectLoad {
         }
         Ok(done)
     }
+}
+
+/// The namespaced cluster key an index entry is stored under. Exposed
+/// for tooling that addresses Mint directly (the chaos invariant checker
+/// compares replica chain digests via [`mint::Mint::chain_digests`]).
+pub fn routed_key(kind: IndexKind, key: &[u8]) -> Bytes {
+    prefixed(kind, key)
 }
 
 fn to_write_op(e: &UpdateEntry) -> WriteOp {

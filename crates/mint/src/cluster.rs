@@ -9,6 +9,11 @@ use qindb::{EngineStats, KeyStatus, QinDb, QinDbConfig};
 use simclock::{SimClock, SimTime};
 use ssdsim::{CounterSnapshot, Device, DeviceConfig};
 
+/// How many times a single replica's engine read is attempted before the
+/// replica is dropped from a fan-out (media faults are transient — each
+/// retry re-reads the device).
+pub const READ_RETRIES: usize = 3;
+
 /// Identifier of a storage node (dense, cluster-wide).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
@@ -200,6 +205,12 @@ impl Mint {
             report.ops += 1;
             report.bytes += (op.key.len() + op.value.as_ref().map_or(0, |v| v.len())) as u64;
             let replicas = self.replicas_of(&op.key);
+            if replicas.is_empty() {
+                // The key's whole group is down: the write has nowhere to
+                // land. Reject the batch before anything is applied —
+                // acknowledging it would silently lose an acked write.
+                return Err(MintError::NoReplicaAvailable);
+            }
             report.skipped_replicas += (self.cfg.replicas - replicas.len()) as u64;
             for r in replicas {
                 per_node[r.0 as usize].push(op);
@@ -299,6 +310,12 @@ impl Mint {
     ///   byte-identical by immutability and break by latency);
     /// * all-missing is a miss.
     ///
+    /// A replica whose engine errors (an injected uncorrectable media
+    /// read, say) is retried up to [`READ_RETRIES`] times — media faults
+    /// are transient — and then dropped from the fan-out: the other
+    /// replicas mask it. Only when *every* group member fails does the
+    /// last error propagate.
+    ///
     /// The reported latency is the winning live response's, or the
     /// slowest responder's when absence had to be confirmed.
     pub fn get(&self, key: &[u8], version: u64) -> Result<(Option<Bytes>, SimTime)> {
@@ -307,6 +324,7 @@ impl Mint {
         let mut deleted = false;
         let mut slowest = SimTime::ZERO;
         let mut responders = 0usize;
+        let mut last_error: Option<MintError> = None;
         for r in readers {
             let node = &self.nodes[r.0 as usize];
             let guard = node.engine.read();
@@ -314,11 +332,25 @@ impl Mint {
                 continue;
             };
             let t0 = node.clock.now();
-            let status = engine
-                .status(key, version)
-                .map_err(|error| MintError::Node { node: r.0, error })?;
+            let mut attempt = 0;
+            let status = loop {
+                match engine.status(key, version) {
+                    Ok(status) => break Some(status),
+                    Err(error) => {
+                        attempt += 1;
+                        if attempt >= READ_RETRIES {
+                            last_error = Some(MintError::Node { node: r.0, error });
+                            break None;
+                        }
+                    }
+                }
+            };
             let latency = node.clock.now().saturating_sub(t0);
             slowest = slowest.max(latency);
+            let Some(status) = status else {
+                // This replica is unreadable right now; the others cover.
+                continue;
+            };
             responders += 1;
             match status {
                 KeyStatus::Deleted => deleted = true,
@@ -341,7 +373,7 @@ impl Mint {
             }
         }
         if responders == 0 {
-            return Err(MintError::NoReplicaAvailable);
+            return Err(last_error.unwrap_or(MintError::NoReplicaAvailable));
         }
         if deleted {
             return Ok((None, slowest));
@@ -394,7 +426,15 @@ impl Mint {
         drop(guard);
         self.alive[node.0 as usize] = true;
         self.reattach_trace(node);
-        self.sync_node(node)?;
+        if let Err(error) = self.sync_node(node) {
+            // Catch-up failed: the node must not serve a possibly stale
+            // chain. Roll it back to failed so the caller can retry the
+            // whole recovery later.
+            let state = &self.nodes[node.0 as usize];
+            state.engine.write().take();
+            self.alive[node.0 as usize] = false;
+            return Err(error);
+        }
         let state = &self.nodes[node.0 as usize];
         Ok(state.clock.now().saturating_sub(t0))
     }
@@ -430,9 +470,21 @@ impl Mint {
                 if deleted {
                     slot.0 = true;
                 } else if slot.1.is_none() {
-                    slot.1 = engine
-                        .get(&key, version)
-                        .map_err(|error| MintError::Node { node: peer, error })?;
+                    // Peer reads retry through transient media faults; if
+                    // a value stays unreadable the sync fails and the
+                    // caller keeps the node out of service.
+                    let mut attempt = 0;
+                    slot.1 = loop {
+                        match engine.get(&key, version) {
+                            Ok(v) => break v,
+                            Err(error) => {
+                                attempt += 1;
+                                if attempt >= READ_RETRIES {
+                                    return Err(MintError::Node { node: peer, error });
+                                }
+                            }
+                        }
+                    };
                 }
             }
         }
@@ -537,6 +589,58 @@ impl Mint {
             total.accumulate(&node.device.counters());
         }
         total
+    }
+
+    /// True when `node` is currently serving.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive.get(node.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of nodes currently serving.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// True when every node is serving (no outstanding failures).
+    pub fn all_alive(&self) -> bool {
+        self.alive.iter().all(|&a| a)
+    }
+
+    /// The simulated device backing `node` (available even while the node
+    /// is failed — flash contents survive a host crash). The chaos layer
+    /// uses this to install per-device fault injection and to read
+    /// firmware counters.
+    pub fn node_device(&self, node: NodeId) -> Result<Device> {
+        self.nodes
+            .get(node.0 as usize)
+            .map(|n| n.device.clone())
+            .ok_or(MintError::NoSuchNode(node.0))
+    }
+
+    /// One digest per alive group member of `key`: an FNV-1a hash over
+    /// the member's `(version, deleted)` chain for the key, in version
+    /// order. Replicas that have converged return identical digests. The
+    /// deduplication flag is deliberately excluded — anti-entropy
+    /// materializes values, so a synced replica legitimately stores a
+    /// full value where the original write was deduplicated.
+    pub fn chain_digests(&self, key: &[u8]) -> Vec<(NodeId, u64)> {
+        let mut out = Vec::new();
+        for r in self.group_readers(key) {
+            let node = &self.nodes[r.0 as usize];
+            let guard = node.engine.read();
+            let Some(engine) = guard.as_ref() else {
+                continue;
+            };
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for (version, _dedup, deleted) in engine.versions_of(key) {
+                for word in [version, deleted as u64] {
+                    h ^= word;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+            out.push((r, h));
+        }
+        out
     }
 
     /// Total flash bytes occupied across alive nodes.
@@ -795,6 +899,74 @@ mod tests {
                 .any(|e| e.kind == obs::SpanKind::Flush && e.label == "dc0/n0"),
             "node 0 should trace after recovery"
         );
+    }
+
+    #[test]
+    fn apply_to_fully_dead_group_is_rejected_not_acked() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(10, 1)).unwrap();
+        // Kill one whole group; writes routed to it must be rejected.
+        for &n in m.groups[0].clone().iter() {
+            m.fail_node(NodeId(n)).unwrap();
+        }
+        let mut rejected = 0;
+        for op in ops(10, 2) {
+            match m.apply(std::slice::from_ref(&op)) {
+                Ok(_) => {}
+                Err(MintError::NoReplicaAvailable) => rejected += 1,
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        assert!(rejected > 0, "some keys must route to the dead group");
+    }
+
+    #[test]
+    fn injected_read_faults_are_masked_by_replica_fanout() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        // Heavy transient read faults on one node of each group: the
+        // per-node retries plus the other replicas keep every key served.
+        for n in [0u32, 3] {
+            m.node_device(NodeId(n))
+                .unwrap()
+                .set_fault_injection(ssdsim::FaultInjection {
+                    read_fail_one_in: 2,
+                    program_fail_one_in: 0,
+                    seed: 7,
+                });
+        }
+        for i in 0..40u32 {
+            let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 1).unwrap();
+            assert!(v.is_some(), "key-{i:04} lost under read faults");
+        }
+    }
+
+    #[test]
+    fn chain_digests_converge_after_recovery() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(30, 1)).unwrap();
+        m.fail_node(NodeId(2)).unwrap();
+        m.apply(&ops(30, 2)).unwrap(); // node 2 misses this version
+        m.recover_node(NodeId(2)).unwrap();
+        assert!(m.all_alive());
+        assert_eq!(m.alive_count(), 6);
+        for i in 0..30u32 {
+            let key = format!("key-{i:04}");
+            let digests = m.chain_digests(key.as_bytes());
+            assert_eq!(digests.len(), 3, "whole group responds");
+            // Replicas that hold the key agree; members that never stored
+            // it digest an empty chain — filter to non-empty holders.
+            let non_empty: Vec<u64> = digests
+                .iter()
+                .map(|&(_, h)| h)
+                .filter(|&h| h != 0xcbf2_9ce4_8422_2325)
+                .collect();
+            assert!(!non_empty.is_empty());
+            assert!(
+                non_empty.windows(2).all(|w| w[0] == w[1]),
+                "diverged digests for {key}: {digests:?}"
+            );
+        }
     }
 
     #[test]

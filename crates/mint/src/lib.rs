@@ -40,7 +40,7 @@
 mod cluster;
 mod hash;
 
-pub use cluster::{ApplyReport, Mint, MintConfig, NodeId, WriteOp};
+pub use cluster::{ApplyReport, Mint, MintConfig, NodeId, WriteOp, READ_RETRIES};
 pub use hash::{group_of, rendezvous_rank};
 
 use qindb::QinDbError;

@@ -60,17 +60,24 @@ pub struct NetSim {
     flows: Vec<Flow>,
     events: BinaryHeap<Event>,
     seq: u64,
+    /// Capacities as configured at construction — the healthy baseline
+    /// the link up/degrade wrappers scale from.
+    nominal: Vec<f64>,
 }
 
 impl NetSim {
     /// Creates a simulator over `topo`, charging time to `clock`.
     pub fn new(topo: Topology, clock: SimClock) -> Self {
+        let nominal = (0..topo.len())
+            .map(|l| topo.capacity(LinkId(l as u32)))
+            .collect();
         NetSim {
             topo,
             clock,
             flows: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
+            nominal,
         }
     }
 
@@ -103,10 +110,61 @@ impl NetSim {
     }
 
     /// Schedules a capacity change of `link` at `at` (background traffic
-    /// rising or falling).
+    /// rising or falling). Zero capacity is allowed and models an outage:
+    /// flows crossing the link stall until capacity returns.
     pub fn schedule_capacity_change(&mut self, at: SimTime, link: LinkId, bytes_per_sec: f64) {
-        assert!(bytes_per_sec > 0.0);
+        assert!(bytes_per_sec.is_finite() && bytes_per_sec >= 0.0);
         self.push_event(at, EventKind::CapacityChange(link, bytes_per_sec as u64));
+    }
+
+    /// Capacity of `link` as configured at construction (before any
+    /// capacity changes).
+    pub fn nominal_capacity(&self, link: LinkId) -> f64 {
+        self.nominal[link.0 as usize]
+    }
+
+    /// Takes `link` down immediately: flows crossing it stall (they stay
+    /// `Active` with no progress) until the link comes back up.
+    pub fn set_link_down(&mut self, link: LinkId) {
+        self.topo.set_capacity(link, 0.0);
+    }
+
+    /// Restores `link` to its nominal capacity immediately.
+    pub fn set_link_up(&mut self, link: LinkId) {
+        self.topo.set_capacity(link, self.nominal[link.0 as usize]);
+    }
+
+    /// Degrades `link` to `factor` × nominal capacity immediately.
+    /// `factor` must lie in `[0, 1]`; `0` is equivalent to an outage and
+    /// `1` restores full capacity.
+    pub fn set_link_degraded(&mut self, link: LinkId, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "degrade factor must be in [0, 1]"
+        );
+        self.topo
+            .set_capacity(link, self.nominal[link.0 as usize] * factor);
+    }
+
+    /// Schedules an outage of `link` at `at`.
+    pub fn schedule_link_down(&mut self, at: SimTime, link: LinkId) {
+        self.schedule_capacity_change(at, link, 0.0);
+    }
+
+    /// Schedules restoration of `link` to nominal capacity at `at`.
+    pub fn schedule_link_up(&mut self, at: SimTime, link: LinkId) {
+        let cap = self.nominal[link.0 as usize];
+        self.schedule_capacity_change(at, link, cap);
+    }
+
+    /// Schedules degradation of `link` to `factor` × nominal at `at`.
+    pub fn schedule_link_degraded(&mut self, at: SimTime, link: LinkId, factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "degrade factor must be in [0, 1]"
+        );
+        let cap = self.nominal[link.0 as usize] * factor;
+        self.schedule_capacity_change(at, link, cap);
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
@@ -138,7 +196,10 @@ impl NetSim {
             .map(|done| done.saturating_sub(flow.start_at))
     }
 
-    /// Runs the simulation until all scheduled flows have completed.
+    /// Runs the simulation until all scheduled flows have completed — or
+    /// until every remaining flow is stalled on a zero-capacity link with
+    /// no scheduled event left to revive it, in which case it returns with
+    /// those flows still `Active` (an observable stall).
     /// Advances the shared clock to the last completion.
     pub fn run_until_idle(&mut self) {
         loop {
@@ -162,18 +223,26 @@ impl NetSim {
             let now = self.clock.now();
             let mut best: Option<(SimTime, usize)> = None;
             for (&idx, &rate) in active.iter().zip(rates.iter()) {
-                debug_assert!(rate > 0.0, "active flow starved");
+                if rate <= 0.0 {
+                    // Stalled on a down link: no completion to predict.
+                    continue;
+                }
                 let secs = self.flows[idx].remaining / rate;
                 let done_at = now + SimTime::from_nanos((secs * 1e9).ceil() as u64);
                 if best.is_none_or(|(t, _)| done_at < t) {
                     best = Some((done_at, idx));
                 }
             }
-            let (complete_at, complete_idx) = best.expect("active flows exist");
             // The next thing to happen: a completion or a scheduled event.
-            let horizon = match next_event_at {
-                Some(at) if at < complete_at => at,
-                _ => complete_at,
+            let horizon = match (best, next_event_at) {
+                (Some((t, _)), Some(at)) if at < t => at,
+                (Some((t, _)), _) => t,
+                // Everything is stalled; jump to the next event, which may
+                // restore capacity.
+                (None, Some(at)) => at,
+                // Everything is stalled and nothing is scheduled to change
+                // that: stop, leaving the stalled flows Active.
+                (None, None) => return,
             };
             let elapsed = horizon.saturating_sub(now).as_nanos() as f64 / 1e9;
             for (&idx, &rate) in active.iter().zip(rates.iter()) {
@@ -181,10 +250,12 @@ impl NetSim {
                 self.flows[idx].status = FlowStatus::Active(self.flows[idx].remaining.max(0.0));
             }
             self.clock.advance_to(horizon);
-            if horizon == complete_at {
-                let flow = &mut self.flows[complete_idx];
-                flow.remaining = 0.0;
-                flow.status = FlowStatus::Done(horizon);
+            if let Some((complete_at, complete_idx)) = best {
+                if horizon == complete_at {
+                    let flow = &mut self.flows[complete_idx];
+                    flow.remaining = 0.0;
+                    flow.status = FlowStatus::Done(horizon);
+                }
             }
             self.dispatch_due_events();
         }
@@ -385,6 +456,60 @@ mod tests {
         // Both finish at t=10 exactly under max-min.
         assert!((secs(sim.completion(a).unwrap()) - 10.0).abs() < 0.01);
         assert!((secs(sim.completion(b).unwrap()) - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn flow_stalls_on_outage_and_resumes_on_repair() {
+        let mut topo = Topology::new();
+        let l = topo.add_link(mbps(10.0));
+        let mut sim = NetSim::new(topo, SimClock::new());
+        // 100 MB at 10 MB/s takes 10s alone. The link goes down at t=2
+        // (20 MB moved) and comes back at t=7, so the remaining 80 MB
+        // finishes at t = 7 + 8 = 15.
+        let f = sim.schedule_flow(SimTime::ZERO, vec![l], (mbps(100.0)) as u64);
+        sim.schedule_link_down(SimTime::from_secs(2), l);
+        sim.schedule_link_up(SimTime::from_secs(7), l);
+        sim.run_until_idle();
+        let done = secs(sim.completion(f).unwrap());
+        assert!((done - 15.0).abs() < 0.05, "took {done}s");
+    }
+
+    #[test]
+    fn flow_stalled_with_no_repair_stays_active() {
+        let mut topo = Topology::new();
+        let l = topo.add_link(mbps(10.0));
+        let mut sim = NetSim::new(topo, SimClock::new());
+        let f = sim.schedule_flow(SimTime::ZERO, vec![l], (mbps(100.0)) as u64);
+        sim.schedule_link_down(SimTime::from_secs(2), l);
+        sim.run_until_idle();
+        // The simulator stops at the stall rather than spinning: the flow
+        // is still Active with ~80 MB left and the clock sits at t=2.
+        match sim.status(f) {
+            FlowStatus::Active(left) => {
+                assert!((left - mbps(80.0)).abs() < mbps(0.5), "left {left}")
+            }
+            other => panic!("expected stalled Active flow, got {other:?}"),
+        }
+        assert!((secs(sim.clock().now()) - 2.0).abs() < 0.01);
+        // Repairing the link and re-running completes the transfer.
+        sim.set_link_up(l);
+        sim.run_until_idle();
+        assert!(matches!(sim.status(f), FlowStatus::Done(_)));
+    }
+
+    #[test]
+    fn degraded_link_slows_flow_proportionally() {
+        let mut topo = Topology::new();
+        let l = topo.add_link(mbps(10.0));
+        let mut sim = NetSim::new(topo, SimClock::new());
+        assert_eq!(sim.nominal_capacity(l), mbps(10.0));
+        // 50 MB: 2s at full rate moves 20 MB, then the link degrades to
+        // 25% (2.5 MB/s); the remaining 30 MB takes 12s more → t=14.
+        let f = sim.schedule_flow(SimTime::ZERO, vec![l], (mbps(50.0)) as u64);
+        sim.schedule_link_degraded(SimTime::from_secs(2), l, 0.25);
+        sim.run_until_idle();
+        let done = secs(sim.completion(f).unwrap());
+        assert!((done - 14.0).abs() < 0.05, "took {done}s");
     }
 
     #[test]

@@ -32,11 +32,13 @@ impl Topology {
         self.capacities[link.0 as usize]
     }
 
-    /// Replaces the capacity of `link` (e.g. background-traffic change).
+    /// Replaces the capacity of `link` (background-traffic change, or an
+    /// outage). Capacity `0.0` is legal here — it models a down link:
+    /// flows crossing it stall without error until capacity returns.
     pub fn set_capacity(&mut self, link: LinkId, bytes_per_sec: f64) {
         assert!(
-            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
-            "capacity must be positive"
+            bytes_per_sec.is_finite() && bytes_per_sec >= 0.0,
+            "capacity must be non-negative"
         );
         self.capacities[link.0 as usize] = bytes_per_sec;
     }

@@ -14,8 +14,9 @@
 //!
 //! Span taxonomy (see DESIGN.md "Observability"): the update pipeline
 //! emits `build → dedup → slice → deliver → load → publish`, the serving
-//! path emits `serve`, and the storage engines emit `flush`,
-//! `checkpoint`, `engine_gc`, `device_gc`, and `traceback`.
+//! path emits `serve`, the storage engines emit `flush`, `checkpoint`,
+//! `engine_gc`, `device_gc`, and `traceback`, and the chaos subsystem
+//! emits `fault`/`repair` for every injected failure and its undo.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -50,11 +51,17 @@ pub enum SpanKind {
     DeviceGc,
     /// A read that walked the global chain table backwards.
     Traceback,
+    /// A fault injected by the chaos subsystem (node crash, link outage,
+    /// flash error burst, corruption burst).
+    Fault,
+    /// A repair undoing an injected fault (node recovery, link restore,
+    /// burst expiry).
+    Repair,
 }
 
 impl SpanKind {
     /// Every kind, in pipeline-then-maintenance order.
-    pub const ALL: [SpanKind; 12] = [
+    pub const ALL: [SpanKind; 14] = [
         SpanKind::Build,
         SpanKind::Dedup,
         SpanKind::Slice,
@@ -67,6 +74,8 @@ impl SpanKind {
         SpanKind::EngineGc,
         SpanKind::DeviceGc,
         SpanKind::Traceback,
+        SpanKind::Fault,
+        SpanKind::Repair,
     ];
 
     /// Stable lowercase name used in JSONL dumps.
@@ -84,6 +93,8 @@ impl SpanKind {
             SpanKind::EngineGc => "engine_gc",
             SpanKind::DeviceGc => "device_gc",
             SpanKind::Traceback => "traceback",
+            SpanKind::Fault => "fault",
+            SpanKind::Repair => "repair",
         }
     }
 

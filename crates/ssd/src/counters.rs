@@ -27,6 +27,12 @@ pub struct Counters {
     pub gc_pages_moved: u64,
     /// Blocks retired after exhausting their erase endurance.
     pub blocks_retired: u64,
+    /// Host reads that failed with an uncorrectable media error
+    /// (injected by [`crate::FaultInjection`]; zero on a healthy device).
+    pub uncorrectable_reads: u64,
+    /// Page programs that failed and were retried by the firmware on a
+    /// spare page (injected; zero on a healthy device).
+    pub program_failures: u64,
 }
 
 impl Counters {
@@ -41,6 +47,8 @@ impl Counters {
             gc_runs: self.gc_runs,
             gc_pages_moved: self.gc_pages_moved,
             blocks_retired: self.blocks_retired,
+            uncorrectable_reads: self.uncorrectable_reads,
+            program_failures: self.program_failures,
         }
     }
 }
@@ -64,6 +72,12 @@ pub struct CounterSnapshot {
     pub gc_pages_moved: u64,
     /// Blocks retired after exhausting their erase endurance.
     pub blocks_retired: u64,
+    /// Host reads failed with an uncorrectable media error (zero unless
+    /// fault injection is active).
+    pub uncorrectable_reads: u64,
+    /// Page programs that failed and were firmware-retried (zero unless
+    /// fault injection is active).
+    pub program_failures: u64,
 }
 
 impl CounterSnapshot {
@@ -98,6 +112,8 @@ impl CounterSnapshot {
         self.gc_runs += other.gc_runs;
         self.gc_pages_moved += other.gc_pages_moved;
         self.blocks_retired += other.blocks_retired;
+        self.uncorrectable_reads += other.uncorrectable_reads;
+        self.program_failures += other.program_failures;
     }
 
     /// Feeds every counter into a metrics registry under
@@ -115,8 +131,27 @@ impl CounterSnapshot {
         c("gc_runs", self.gc_runs);
         c("gc_pages_moved", self.gc_pages_moved);
         c("blocks_retired", self.blocks_retired);
+        c("uncorrectable_reads", self.uncorrectable_reads);
+        c("program_failures", self.program_failures);
         reg.gauge(&format!("{prefix}.hardware_waf"))
             .set(self.hardware_waf());
+    }
+
+    /// True when every field of `self` is ≥ the matching field of
+    /// `earlier`. Firmware counters are cumulative, so a decrease means
+    /// device state was corrupted or lost — the chaos invariant checker
+    /// asserts this after every fault round.
+    pub fn monotonic_from(&self, earlier: &CounterSnapshot) -> bool {
+        self.host_write_bytes >= earlier.host_write_bytes
+            && self.host_read_bytes >= earlier.host_read_bytes
+            && self.gc_write_bytes >= earlier.gc_write_bytes
+            && self.gc_read_bytes >= earlier.gc_read_bytes
+            && self.blocks_erased >= earlier.blocks_erased
+            && self.gc_runs >= earlier.gc_runs
+            && self.gc_pages_moved >= earlier.gc_pages_moved
+            && self.blocks_retired >= earlier.blocks_retired
+            && self.uncorrectable_reads >= earlier.uncorrectable_reads
+            && self.program_failures >= earlier.program_failures
     }
 
     /// Per-field difference `self - earlier`; used to turn periodic
@@ -131,6 +166,8 @@ impl CounterSnapshot {
             gc_runs: self.gc_runs - earlier.gc_runs,
             gc_pages_moved: self.gc_pages_moved - earlier.gc_pages_moved,
             blocks_retired: self.blocks_retired - earlier.blocks_retired,
+            uncorrectable_reads: self.uncorrectable_reads - earlier.uncorrectable_reads,
+            program_failures: self.program_failures - earlier.program_failures,
         }
     }
 }

@@ -60,6 +60,39 @@ impl LatencyModel {
     }
 }
 
+/// Deterministic, seeded media-fault injection (the Amber-style device
+/// error model the chaos subsystem drives).
+///
+/// Rates are expressed as "one in N" operations; `0` disables that fault
+/// class entirely, so a default-constructed injection leaves the device
+/// bit-identical to an uninstrumented one. Faults are rolled from a
+/// per-device xorshift stream seeded here, so a run replays exactly.
+///
+/// * An **uncorrectable read** surfaces to the host as
+///   [`SsdError::UncorrectableRead`] after the ECC-retry latency is
+///   charged; the data itself is intact, so a host-level retry (or a
+///   replica failover) succeeds.
+/// * A **program failure** is masked by the firmware: the page is
+///   re-programmed on a spare location at the cost of one extra program
+///   latency, and only the `program_failures` counter betrays it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Roughly one host read in this many fails uncorrectably (0 = never).
+    pub read_fail_one_in: u64,
+    /// Roughly one page program in this many fails and is firmware-retried
+    /// (0 = never).
+    pub program_fail_one_in: u64,
+    /// Seed of the per-device fault stream.
+    pub seed: u64,
+}
+
+impl FaultInjection {
+    /// True when neither fault class can fire.
+    pub fn is_disabled(&self) -> bool {
+        self.read_fail_one_in == 0 && self.program_fail_one_in == 0
+    }
+}
+
 /// Device construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct DeviceConfig {
@@ -165,6 +198,27 @@ struct Inner {
     gc_active: Option<BlockId>,
     /// Optional trace sink and the label this device emits under.
     trace: Option<(obs::TraceSink, String)>,
+    /// Media-fault injection knobs (all-zero on a healthy device).
+    fault: FaultInjection,
+    /// State of the fault-roll xorshift stream.
+    fault_rng: u64,
+}
+
+impl Inner {
+    /// Rolls the seeded fault stream: true roughly once per `one_in`
+    /// calls. `one_in == 0` never fires and does not advance the stream,
+    /// so enabling one fault class leaves the other's sequence unchanged.
+    fn fault_roll(&mut self, one_in: u64) -> bool {
+        if one_in == 0 {
+            return false;
+        }
+        let mut x = self.fault_rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.fault_rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D).is_multiple_of(one_in)
+    }
 }
 
 /// The simulated SSD. Cheap to clone; all clones share one device.
@@ -215,6 +269,8 @@ impl Device {
                 ftl_active: None,
                 gc_active: None,
                 trace: None,
+                fault: FaultInjection::default(),
+                fault_rng: 0,
             })),
             clock,
         }
@@ -230,6 +286,22 @@ impl Device {
     /// device's clock.
     pub fn attach_trace(&self, sink: &obs::TraceSink, label: &str) {
         self.inner.lock().trace = Some((sink.with_clock(self.clock.clone()), label.to_string()));
+    }
+
+    /// Installs (or, with a default/zeroed config, removes) media-fault
+    /// injection. Takes effect immediately; the fault stream restarts
+    /// from `inject.seed`, so re-installing the same config replays the
+    /// same fault sequence.
+    pub fn set_fault_injection(&self, inject: FaultInjection) {
+        let mut inner = self.inner.lock();
+        inner.fault = inject;
+        inner.fault_rng = inject.seed | 1;
+    }
+
+    /// The currently installed fault-injection config (all-zero when
+    /// disabled).
+    pub fn fault_injection(&self) -> FaultInjection {
+        self.inner.lock().fault
     }
 
     /// Device geometry.
@@ -321,6 +393,13 @@ impl Device {
         }
         inner.counters.host_write_bytes += npages as u64 * geo.page_size as u64;
         latency += inner.cfg.latency.program(npages);
+        let program_fail = inner.fault.program_fail_one_in;
+        if inner.fault_roll(program_fail) {
+            // Firmware masks the failed program by retrying on a spare
+            // page: one extra program latency, no host-visible error.
+            inner.counters.program_failures += 1;
+            latency += inner.cfg.latency.program(1);
+        }
         drop(inner);
         self.clock.advance(latency);
         Ok(latency)
@@ -335,6 +414,22 @@ impl Device {
         }
         let mut inner = self.inner.lock();
         let geo = inner.cfg.geometry;
+        let read_fail = inner.fault.read_fail_one_in;
+        if inner.fault_roll(read_fail) {
+            // ECC gave up on one of the requested pages: the transfer
+            // fails as a whole after the retry latency was spent. The
+            // address reported is the first page of the request (when it
+            // is mapped at all — an unmapped address stays that error).
+            let ppa = inner.ftl.lookup(lpa).ok_or(SsdError::UnmappedLpa(lpa))?;
+            inner.counters.uncorrectable_reads += 1;
+            let latency = inner.cfg.latency.read(npages);
+            drop(inner);
+            self.clock.advance(latency);
+            return Err(SsdError::UncorrectableRead {
+                block: ppa.block,
+                page: ppa.page,
+            });
+        }
         let mut out = vec![0u8; npages as usize * geo.page_size];
         for i in 0..npages {
             let ppa = inner
@@ -424,7 +519,12 @@ impl Device {
             Self::program_page(&mut inner, ppa, &data[start..end]);
         }
         inner.counters.host_write_bytes += npages as u64 * geo.page_size as u64;
-        let latency = inner.cfg.latency.program(npages);
+        let mut latency = inner.cfg.latency.program(npages);
+        let program_fail = inner.fault.program_fail_one_in;
+        if inner.fault_roll(program_fail) {
+            inner.counters.program_failures += 1;
+            latency += inner.cfg.latency.program(1);
+        }
         drop(inner);
         self.clock.advance(latency);
         Ok((first, latency))
@@ -458,6 +558,17 @@ impl Device {
                 block,
                 page: last_page,
             }));
+        }
+        let read_fail = inner.fault.read_fail_one_in;
+        if inner.fault_roll(read_fail) {
+            inner.counters.uncorrectable_reads += 1;
+            let latency = inner.cfg.latency.read(last_page - first_page + 1);
+            drop(inner);
+            self.clock.advance(latency);
+            return Err(SsdError::UncorrectableRead {
+                block,
+                page: first_page,
+            });
         }
         let mut out = vec![0u8; len];
         for page in first_page..=last_page {
@@ -1019,6 +1130,91 @@ mod tests {
         d.raw_erase(a).unwrap();
         assert_eq!(d.raw_blocks(), vec![b]);
         assert_eq!(d.raw_next_page(a).unwrap_err(), SsdError::NotRawBlock(a));
+    }
+
+    #[test]
+    fn default_fault_injection_changes_nothing() {
+        let healthy = dev();
+        let injected = dev();
+        injected.set_fault_injection(FaultInjection::default());
+        assert!(injected.fault_injection().is_disabled());
+        for d in [&healthy, &injected] {
+            d.ftl_write(0, &page()).unwrap();
+            let b = d.raw_alloc().unwrap();
+            d.raw_program(b, &page()).unwrap();
+            d.raw_read(b, 0, 4096).unwrap();
+            d.ftl_read(0, 1).unwrap();
+        }
+        assert_eq!(healthy.counters(), injected.counters());
+        assert_eq!(healthy.clock().now(), injected.clock().now());
+        assert_eq!(injected.counters().uncorrectable_reads, 0);
+        assert_eq!(injected.counters().program_failures, 0);
+    }
+
+    #[test]
+    fn injected_read_faults_are_transient_deterministic_and_counted() {
+        let run = || {
+            let d = dev();
+            let b = d.raw_alloc().unwrap();
+            d.raw_program(b, &vec![3u8; 4096 * 4]).unwrap();
+            d.set_fault_injection(FaultInjection {
+                read_fail_one_in: 3,
+                program_fail_one_in: 0,
+                seed: 0xC0FFEE,
+            });
+            let mut pattern = Vec::new();
+            for i in 0..32u32 {
+                match d.raw_read(b, (i as usize % 4) * 4096, 4096) {
+                    Ok((data, _)) => {
+                        assert_eq!(data, vec![3u8; 4096]);
+                        pattern.push(false);
+                    }
+                    Err(SsdError::UncorrectableRead { block, .. }) => {
+                        assert_eq!(block, b);
+                        pattern.push(true);
+                    }
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+            (pattern, d.counters().uncorrectable_reads)
+        };
+        let (pattern, failures) = run();
+        assert!(failures > 0, "1-in-3 over 32 reads must fire");
+        assert!(pattern.iter().any(|&f| !f), "most reads still succeed");
+        assert_eq!(
+            failures,
+            pattern.iter().filter(|&&f| f).count() as u64,
+            "every failure is counted exactly once"
+        );
+        // Same seed, same workload → byte-identical fault pattern.
+        assert_eq!(run(), (pattern, failures));
+    }
+
+    #[test]
+    fn injected_program_failures_are_masked_but_counted_and_cost_latency() {
+        let healthy = dev();
+        let faulty = dev();
+        faulty.set_fault_injection(FaultInjection {
+            read_fail_one_in: 0,
+            program_fail_one_in: 2,
+            seed: 99,
+        });
+        for lpa in 0..40u64 {
+            healthy.ftl_write(lpa, &page()).unwrap();
+            faulty.ftl_write(lpa, &page()).unwrap();
+        }
+        let snap = faulty.counters();
+        assert!(snap.program_failures > 0, "1-in-2 over 40 writes must fire");
+        assert_eq!(healthy.counters().program_failures, 0);
+        // The retries are invisible to the host except in time: same
+        // host-byte accounting, strictly more elapsed device time.
+        assert_eq!(snap.host_write_bytes, healthy.counters().host_write_bytes);
+        assert!(faulty.clock().now() > healthy.clock().now());
+        // Every write still reads back intact.
+        for lpa in 0..40u64 {
+            let (out, _) = faulty.ftl_read(lpa, 1).unwrap();
+            assert_eq!(out, page());
+        }
     }
 
     #[test]

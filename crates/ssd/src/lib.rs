@@ -48,7 +48,7 @@ mod ftl;
 mod geometry;
 
 pub use counters::{CounterSnapshot, Counters};
-pub use device::{Device, DeviceConfig, LatencyModel};
+pub use device::{Device, DeviceConfig, FaultInjection, LatencyModel};
 pub use ftl::Lpa;
 pub use geometry::{BlockId, Geometry, PageAddr};
 
@@ -78,6 +78,11 @@ pub enum SsdError {
     OutOfRange,
     /// An I/O length was not a whole number of pages, or was zero.
     BadLength(usize),
+    /// The media returned an uncorrectable error for a host read (ECC
+    /// exhausted). Only produced under [`FaultInjection`]; the fault is
+    /// transient in the simulator (a retry re-rolls), matching a marginal
+    /// cell that reads correctly on a later attempt.
+    UncorrectableRead { block: BlockId, page: u32 },
 }
 
 impl fmt::Display for SsdError {
@@ -96,6 +101,9 @@ impl fmt::Display for SsdError {
             SsdError::UnmappedLpa(l) => write!(f, "read of unmapped LPA {l}"),
             SsdError::OutOfRange => write!(f, "address out of device range"),
             SsdError::BadLength(n) => write!(f, "bad I/O length {n}"),
+            SsdError::UncorrectableRead { block, page } => {
+                write!(f, "uncorrectable read error at block {block} page {page}")
+            }
         }
     }
 }
