@@ -17,6 +17,9 @@ struct Ctx {
     quick: bool,
     fig5_runs: Option<(fig5::EngineRun, fig5::EngineRun)>,
     month: Option<month::MonthReport>,
+    /// Headline rows, mirrored into `target/figures/figures_results.json`
+    /// through the same canonical writer as `BENCH_RESULTS.json`.
+    rows: perfrec::BenchReport,
 }
 
 impl Ctx {
@@ -39,6 +42,11 @@ impl Ctx {
             self.fig5_runs = Some((q, l));
         }
         self.fig5_runs.as_ref().expect("just set")
+    }
+
+    fn row(&mut self, figure: &str, metric: &str, value: f64, unit: &str) {
+        // Everything the figures print is sim-time-derived and seeded.
+        self.rows.push(figure, metric, value, unit, true);
     }
 
     fn month(&mut self) -> &month::MonthReport {
@@ -78,6 +86,12 @@ fn fig5(ctx: &mut Ctx) {
             r.engine, r.user_write_mbps, r.sys_write_mbps, sys_read, r.total_waf, r.elapsed_sec
         );
     }
+    for r in [&l, &w, &q] {
+        let fig = format!("fig5/{}", r.engine);
+        ctx.row(&fig, "user_write_mbps", r.user_write_mbps, "MB/s");
+        ctx.row(&fig, "sys_write_mbps", r.sys_write_mbps, "MB/s");
+        ctx.row(&fig, "total_waf", r.total_waf, "ratio");
+    }
     println!(
         "paper: LevelDB user ≈1.5 MB/s vs sys 30–50 MB/s (20–25×); QinDB user 3.5 vs sys 7.5 (≈2.1×)"
     );
@@ -92,10 +106,9 @@ fn fig6(ctx: &mut Ctx) {
     println!("{:<14} {:>14}", "engine", "stddev MB/s");
     println!("{:<14} {:>14.4}", l.engine, l.user_write_stddev);
     println!("{:<14} {:>14.4}", q.engine, q.user_write_stddev);
-    println!(
-        "ratio (LevelDB/QinDB): {:.1}x   (paper: 0.6616 vs 0.0501 ≈ 13x)",
-        l.user_write_stddev / q.user_write_stddev.max(f64::MIN_POSITIVE)
-    );
+    let ratio = l.user_write_stddev / q.user_write_stddev.max(f64::MIN_POSITIVE);
+    println!("ratio (LevelDB/QinDB): {ratio:.1}x   (paper: 0.6616 vs 0.0501 ≈ 13x)");
+    ctx.row("fig6", "stddev_ratio", ratio, "ratio");
 }
 
 fn fig7(ctx: &mut Ctx) {
@@ -172,6 +185,8 @@ fn fig9(ctx: &mut Ctx) {
         );
     }
     println!("paper: ~23% dedup → 130 min; ~80% dedup → ~30 min (anti-correlated)");
+    let mean_dedup = m.days.iter().map(|d| d.dedup_ratio).sum::<f64>() / m.days.len().max(1) as f64;
+    ctx.row("fig9", "mean_dedup_ratio", mean_dedup, "ratio");
 }
 
 fn fig10a(ctx: &mut Ctx) {
@@ -194,6 +209,18 @@ fn fig10a(ctx: &mut Ctx) {
         "mean ratio {:.2}x, peak {:.2}x   (paper: up to 5x)",
         m.mean_throughput_ratio, m.peak_throughput_ratio
     );
+    ctx.row(
+        "fig10a",
+        "mean_throughput_ratio",
+        m.mean_throughput_ratio,
+        "ratio",
+    );
+    ctx.row(
+        "fig10a",
+        "peak_throughput_ratio",
+        m.peak_throughput_ratio,
+        "ratio",
+    );
 }
 
 fn fig10b(ctx: &mut Ctx) {
@@ -207,6 +234,7 @@ fn fig10b(ctx: &mut Ctx) {
         "month-wide miss ratio {:.3}%   (paper: 0.24% against a 0.6% SLO)",
         m.miss_ratio * 100.0
     );
+    ctx.row("fig10b", "miss_ratio", m.miss_ratio, "ratio");
 }
 
 fn headline(ctx: &mut Ctx) {
@@ -232,6 +260,19 @@ fn headline(ctx: &mut Ctx) {
             "write_throughput_ratio": q.user_write_mbps / l.user_write_mbps,
             "cycle_ratio": m.cycle_legacy_min / m.cycle_directload_min,
         }),
+    );
+    ctx.row("headline", "bandwidth_saved", m.bandwidth_saved, "ratio");
+    ctx.row(
+        "headline",
+        "write_throughput_ratio",
+        q.user_write_mbps / l.user_write_mbps,
+        "ratio",
+    );
+    ctx.row(
+        "headline",
+        "cycle_ratio",
+        m.cycle_legacy_min / m.cycle_directload_min,
+        "ratio",
     );
 }
 
@@ -431,6 +472,7 @@ fn main() {
         quick,
         fig5_runs: None,
         month: None,
+        rows: perfrec::BenchReport::new(if quick { "quick" } else { "full" }),
     };
     for item in selected {
         match item {
@@ -450,6 +492,19 @@ fn main() {
             other => eprintln!(
                 "unknown figure '{other}' (try: all, fig5..fig10b, headline, rum, ablations)"
             ),
+        }
+    }
+    // Mirror the headline rows through the perf report writer so figure
+    // numbers are greppable in the same schema as BENCH_RESULTS.json.
+    if !ctx.rows.results.is_empty() {
+        let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/figures/figures_results.json");
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match ctx.rows.write_to(&path) {
+            Ok(()) => eprintln!("[figures] wrote {}", path.display()),
+            Err(e) => eprintln!("[figures] could not write {}: {e}", path.display()),
         }
     }
 }

@@ -15,6 +15,11 @@
 //! to `target/figures/*.json`. Criterion micro-benchmarks of the
 //! underlying data structures live under `benches/`.
 //!
+//! [`perf`] is the perf flight recorder: a seeded macro-benchmark suite
+//! across every layer, a phase-time profiler for the pipeline round, and
+//! the regression gate behind `BENCH_BASELINE.json` (`cargo run -p
+//! directload-bench --release --bin perf -- all`).
+//!
 //! Absolute numbers will not match the paper (its testbed was a physical
 //! Xeon + SATA SSD fleet; ours is a simulator), but the comparisons the
 //! paper draws — who wins, by roughly what factor, where the knees fall —
@@ -25,6 +30,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod month;
+pub mod perf;
 
 use serde::Serialize;
 use std::path::PathBuf;

@@ -1,0 +1,132 @@
+//! End-to-end checks of the perf flight recorder: same-seed byte
+//! stability of the deterministic counters, the negative control for the
+//! regression gate, and the phase-attribution floor for the profiler.
+
+use bifrost::{Bifrost, BifrostConfig};
+use bytes::Bytes;
+use directload_bench::perf::{pipeline_profile, run_scenario, run_suite, PerfConfig};
+use indexgen::{CorpusConfig, CrawlSimulator};
+use mint::{Mint, MintConfig, WriteOp};
+use perfrec::{compare, DriftKind, WALL_TOLERANCE};
+use simclock::SimClock;
+
+fn test_cfg() -> PerfConfig {
+    PerfConfig {
+        quick: true,
+        reps: 1,
+    }
+}
+
+#[test]
+fn deterministic_lines_are_byte_identical_across_same_seed_runs() {
+    // The cheap half of the suite, twice. Canonical JSON lines of the
+    // deterministic cells must match byte for byte — this is the
+    // contract that makes BENCH_BASELINE.json diffable and the gate's
+    // bit-equality comparison meaningful.
+    let names = ["bifrost_delivery", "mint_kv", "pipeline_round"];
+    let cfg = test_cfg();
+    let a = run_suite(&names, &cfg);
+    let b = run_suite(&names, &cfg);
+    assert!(
+        a.deterministic_lines()
+            .iter()
+            .any(|l| l.contains("bifrost_delivery")),
+        "suite produced no bifrost cells"
+    );
+    assert_eq!(
+        a.deterministic_lines(),
+        b.deterministic_lines(),
+        "same-seed runs must render identical deterministic counters"
+    );
+}
+
+#[test]
+fn gate_negative_control_catches_a_perturbed_counter() {
+    let cfg = test_cfg();
+    let baseline = run_scenario("mint_kv", &cfg).unwrap();
+    let mut current = baseline.clone();
+
+    // Unperturbed: the gate passes.
+    assert!(compare(&baseline, &current, WALL_TOLERANCE)
+        .unwrap()
+        .is_empty());
+
+    // Nudge one deterministic counter by one ULP-scale unit: the gate
+    // must fail, and must name the right cell.
+    let cell = current
+        .results
+        .iter_mut()
+        .find(|r| r.deterministic && r.metric == "engine_puts")
+        .expect("mint_kv reports engine_puts");
+    cell.value += 1.0;
+    let drifts = compare(&baseline, &current, WALL_TOLERANCE).unwrap();
+    assert_eq!(drifts.len(), 1);
+    assert_eq!(drifts[0].kind, DriftKind::DeterministicChanged);
+    assert_eq!(drifts[0].metric, "engine_puts");
+}
+
+#[test]
+fn raw_counters_match_across_same_seed_runs() {
+    // Below the report layer: the full underlying stats structs must be
+    // equal, not merely the few fields the suite samples.
+    fn mint_run() -> (qindb::EngineStats, ssdsim::CounterSnapshot) {
+        let mut cluster = Mint::new(MintConfig::tiny());
+        let ops: Vec<WriteOp> = (0..200)
+            .map(|i| WriteOp {
+                key: Bytes::from(format!("stable:{i:05}")),
+                version: 1,
+                value: Some(Bytes::from(vec![0xAB; 512])),
+            })
+            .collect();
+        cluster.apply(&ops).expect("apply");
+        (
+            cluster.aggregate_stats(),
+            cluster.aggregate_device_counters(),
+        )
+    }
+    let (stats_a, dev_a) = mint_run();
+    let (stats_b, dev_b) = mint_run();
+    assert_eq!(
+        stats_a, stats_b,
+        "EngineStats diverged across same-seed runs"
+    );
+    assert_eq!(
+        dev_a, dev_b,
+        "ssd CounterSnapshot diverged across same-seed runs"
+    );
+
+    fn bifrost_run() -> (u64, usize, usize, u64) {
+        let clock = SimClock::new();
+        let mut crawler = CrawlSimulator::new(CorpusConfig {
+            num_docs: 80,
+            ..CorpusConfig::tiny()
+        });
+        let mut bifrost = Bifrost::new(BifrostConfig::default(), clock.clone());
+        let version = crawler.advance_round(1.0);
+        let (report, entries) = bifrost.deliver_version(&version, clock.now());
+        (
+            report.uplink_bytes,
+            report.slices,
+            report.missed,
+            entries.len() as u64,
+        )
+    }
+    assert_eq!(
+        bifrost_run(),
+        bifrost_run(),
+        "bifrost delivery totals diverged across same-seed runs"
+    );
+}
+
+#[test]
+fn pipeline_profile_attributes_at_least_90_percent() {
+    let (report, attributed) = pipeline_profile(&test_cfg());
+    assert!(
+        attributed >= 0.9,
+        "only {:.1}% of the round attributed to named phases:\n{report}",
+        attributed * 100.0
+    );
+    for phase in ["build", "dedup", "slice", "deliver", "load", "publish"] {
+        assert!(report.contains(phase), "missing phase `{phase}`:\n{report}");
+    }
+}

@@ -134,6 +134,9 @@ pub struct Bifrost {
     rng: u64,
     totals: DeliveryTotals,
     trace: Option<obs::TraceSink>,
+    /// Wall-clock counterpart of `trace` for the phase-time profiler:
+    /// dedup/slice/deliver spans measured in real nanoseconds of compute.
+    wall_trace: Option<obs::TraceSink>,
 }
 
 impl Bifrost {
@@ -153,6 +156,7 @@ impl Bifrost {
             rng: cfg.seed | 1,
             totals: DeliveryTotals::default(),
             trace: None,
+            wall_trace: None,
         }
     }
 
@@ -161,6 +165,15 @@ impl Bifrost {
     /// delivery clock.
     pub fn attach_trace(&mut self, sink: &obs::TraceSink) {
         self.trace = Some(sink.with_clock(self.sim.clock().clone()));
+    }
+
+    /// Attaches a wall-clock trace sink; subsequent deliveries emit
+    /// dedup/slice/deliver spans measuring the real compute each phase
+    /// cost (the sim trace measures simulated WAN time instead). The sink
+    /// is not rebound — all wall sinks share one epoch, so these spans
+    /// nest inside the pipeline's phase spans.
+    pub fn attach_wall_trace(&mut self, sink: &obs::TraceSink) {
+        self.wall_trace = Some(sink.clone());
     }
 
     /// Schedules background traffic: at `at`, every trunk's available
@@ -251,9 +264,13 @@ impl Bifrost {
         version: &IndexVersion,
         at: SimTime,
     ) -> (DeliveryReport, Vec<UpdateEntry>) {
-        // Clone the sink handle so span guards borrow this local rather
-        // than `self` (the loop below needs `&mut self`).
+        // Clone the sink handles so span guards borrow these locals
+        // rather than `self` (the loop below needs `&mut self`).
         let tracer = self.trace.clone();
+        let wall = self.wall_trace.clone();
+        let mut wall_dedup = wall
+            .as_ref()
+            .map(|t| t.span(obs::SpanKind::Dedup, "bifrost"));
         let (mut entries, mut dedup_stats) = self.dedup.process(version);
         if !self.cfg.dedup_enabled {
             // Baseline: ship every value. Restore stripped entries from
@@ -279,6 +296,17 @@ impl Bifrost {
                     .saturating_sub(dedup_stats.bytes_after),
             );
         }
+        if let Some(span) = wall_dedup.as_mut() {
+            span.set_amount(
+                dedup_stats
+                    .bytes_before
+                    .saturating_sub(dedup_stats.bytes_after),
+            );
+        }
+        drop(wall_dedup);
+        let mut wall_slice = wall
+            .as_ref()
+            .map(|t| t.span(obs::SpanKind::Slice, "bifrost"));
         // Split the wire stream into the two reserved classes.
         let mut summary_slices = SliceBuilder::new(self.cfg.slice_bytes);
         let mut inverted_slices = SliceBuilder::new(self.cfg.slice_bytes);
@@ -313,9 +341,16 @@ impl Bifrost {
                 streams.iter().map(|(_, s, _)| s.len() as u64).sum(),
             );
         }
+        if let Some(span) = wall_slice.as_mut() {
+            span.set_amount(streams.iter().map(|(_, s, _)| s.len() as u64).sum());
+        }
+        drop(wall_slice);
         // The Deliver span covers everything that advances the simulated
         // clock: flow scheduling, the WAN run, and the P2P second hop.
         let mut deliver_span = tracer
+            .as_ref()
+            .map(|t| t.span(obs::SpanKind::Deliver, "bifrost"));
+        let mut wall_deliver = wall
             .as_ref()
             .map(|t| t.span(obs::SpanKind::Deliver, "bifrost"));
         let mut flows: Vec<(FlowId, DataCenterId, SimTime)> = Vec::new();
@@ -396,6 +431,10 @@ impl Bifrost {
             span.set_amount(uplink_bytes);
         }
         drop(deliver_span);
+        if let Some(span) = &mut wall_deliver {
+            span.set_amount(uplink_bytes);
+        }
+        drop(wall_deliver);
         // The relay groups report back: close the monitoring window with
         // the observed busy time.
         self.monitor

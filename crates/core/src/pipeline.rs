@@ -106,6 +106,11 @@ pub struct DirectLoad {
     /// The system-wide trace ring. Handed to every subsystem at
     /// construction; each re-binds it to its own clock.
     trace: obs::TraceSink,
+    /// The wall-clock trace ring for the phase-time profiler. Every
+    /// subsystem shares the one epoch (no clock rebinding), so spans from
+    /// different layers nest coherently and [`obs::profile`] can
+    /// attribute a pipeline round's real time to phases.
+    wall_trace: obs::TraceSink,
     /// Lifetime pipeline totals for the metrics export.
     keys_stored_total: u64,
     versions_retired_total: u64,
@@ -119,13 +124,17 @@ impl DirectLoad {
         let clock = SimClock::new();
         let crawler = CrawlSimulator::new(cfg.corpus);
         let trace = obs::TraceSink::sim(TRACE_CAPACITY, clock.clone());
+        let wall_trace = obs::TraceSink::wall(TRACE_CAPACITY);
         let mut bifrost = Bifrost::new(cfg.bifrost, clock.clone());
         bifrost.attach_trace(&trace);
+        bifrost.attach_wall_trace(&wall_trace);
         let dcs: Vec<(DataCenterId, Mint)> = DataCenterId::all()
             .into_iter()
             .map(|dc| {
                 let mut cluster = Mint::new(cfg.mint);
-                cluster.attach_trace(&trace, &format!("dc{}.{}", dc.region.0, dc.slot));
+                let label = format!("dc{}.{}", dc.region.0, dc.slot);
+                cluster.attach_trace(&trace, &label);
+                cluster.attach_wall_trace(&wall_trace, &label);
                 (dc, cluster)
             })
             .collect();
@@ -138,6 +147,7 @@ impl DirectLoad {
             history: VecDeque::new(),
             registry: obs::Registry::new(),
             trace,
+            wall_trace,
             keys_stored_total: 0,
             versions_retired_total: 0,
         }
@@ -159,6 +169,13 @@ impl DirectLoad {
     /// in one bounded buffer.
     pub fn trace(&self) -> &obs::TraceSink {
         &self.trace
+    }
+
+    /// The wall-clock trace ring: the same phases as [`Self::trace`] but
+    /// measured in real nanoseconds on one shared epoch, which is what
+    /// [`obs::profile`] consumes to attribute a round's wall time.
+    pub fn wall_trace(&self) -> &obs::TraceSink {
+        &self.wall_trace
     }
 
     /// Mutable access to the delivery subsystem (e.g. to schedule
@@ -193,13 +210,21 @@ impl DirectLoad {
     /// version.
     pub fn run_version(&mut self, change_fraction: f64) -> Result<VersionReport> {
         let start = self.clock.now();
+        // Wall-clock phase spans for the profiler; each subsystem nests
+        // its own spans (dedup/slice/deliver, per-cluster loads, engine
+        // flush/GC) inside these.
+        let wall = self.wall_trace.clone();
+        let mut build_span = wall.span(obs::SpanKind::Build, "pipeline");
         let index = self.crawler.advance_round(change_fraction);
         // Index building is pure computation on the crawl side — it does
         // not advance the simulated clock, so it traces as an event whose
         // amount is the pairs built.
         self.trace
             .event(obs::SpanKind::Build, "indexgen", index.total_pairs() as u64);
+        build_span.set_amount(index.total_pairs() as u64);
+        drop(build_span);
         let (delivery, entries) = self.bifrost.deliver_version(&index, start);
+        let mut load_span = wall.span(obs::SpanKind::Load, "pipeline");
         // Partition the wire entries into the per-DC write streams.
         let summary_ops: Vec<WriteOp> = entries
             .iter()
@@ -228,6 +253,9 @@ impl DirectLoad {
         // count (per-node flush spans carry the node-level timing).
         self.trace
             .event(obs::SpanKind::Load, "mint", entries.len() as u64);
+        load_span.set_amount(entries.len() as u64);
+        drop(load_span);
+        let mut publish_span = wall.span(obs::SpanKind::Publish, "pipeline");
         // Retention: drop the oldest version beyond the window.
         self.history.push_back((
             index.version,
@@ -252,6 +280,8 @@ impl DirectLoad {
         // The version is now queryable everywhere: the publish point.
         self.trace
             .event(obs::SpanKind::Publish, "pipeline", index.version);
+        publish_span.set_amount(index.version);
+        drop(publish_span);
         self.keys_stored_total += keys_stored;
         self.versions_retired_total += versions_retired;
         let secs = update_time.as_secs_f64();

@@ -110,6 +110,10 @@ pub struct Mint {
     /// Trace sink plus cluster label prefix, kept so recovered or added
     /// nodes get re-instrumented.
     trace: Option<(obs::TraceSink, String)>,
+    /// Wall-clock counterpart of `trace` for the phase-time profiler:
+    /// engine maintenance spans in real nanoseconds, plus a `load` span
+    /// around each [`Mint::apply`] batch.
+    wall_trace: Option<(obs::TraceSink, String)>,
 }
 
 impl Mint {
@@ -148,6 +152,7 @@ impl Mint {
             groups,
             alive,
             trace: None,
+            wall_trace: None,
         }
     }
 
@@ -164,13 +169,33 @@ impl Mint {
         }
     }
 
+    /// Attaches a wall-clock trace sink to every node's engine, labeled
+    /// `<prefix>/n<id>`, and records a `load` span around every
+    /// [`Mint::apply`] batch. Recovered or added nodes are re-instrumented
+    /// with the same sink, exactly like [`Mint::attach_trace`].
+    pub fn attach_wall_trace(&mut self, sink: &obs::TraceSink, prefix: &str) {
+        self.wall_trace = Some((sink.clone(), prefix.to_string()));
+        for node in &self.nodes {
+            let mut guard = node.engine.write();
+            if let Some(engine) = guard.as_mut() {
+                engine.attach_wall_trace(sink, &format!("{prefix}/n{}", node.id.0));
+            }
+        }
+    }
+
     /// Re-instruments one node's engine after recovery or addition.
     fn reattach_trace(&self, node: NodeId) {
+        let state = &self.nodes[node.0 as usize];
         if let Some((sink, prefix)) = &self.trace {
-            let state = &self.nodes[node.0 as usize];
             let mut guard = state.engine.write();
             if let Some(engine) = guard.as_mut() {
                 engine.attach_trace(sink, &format!("{prefix}/n{}", node.0));
+            }
+        }
+        if let Some((sink, prefix)) = &self.wall_trace {
+            let mut guard = state.engine.write();
+            if let Some(engine) = guard.as_mut() {
+                engine.attach_wall_trace(sink, &format!("{prefix}/n{}", node.0));
             }
         }
     }
@@ -198,6 +223,8 @@ impl Mint {
     /// Applies a batch of writes, replicating each op. Returns the batch
     /// report; wall time is max per-node busy time.
     pub fn apply(&mut self, ops: &[WriteOp]) -> Result<ApplyReport> {
+        let wall = self.wall_trace.clone();
+        let mut wspan = wall.as_ref().map(|(s, l)| s.span(obs::SpanKind::Load, l));
         // Route ops to per-node work lists.
         let mut per_node: Vec<Vec<&WriteOp>> = (0..self.nodes.len()).map(|_| Vec::new()).collect();
         let mut report = ApplyReport::default();
@@ -264,6 +291,9 @@ impl Mint {
             .map(|(n, b)| n.clock.now().saturating_sub(b))
             .max()
             .unwrap_or(SimTime::ZERO);
+        if let Some(wspan) = wspan.as_mut() {
+            wspan.set_amount(report.bytes);
+        }
         Ok(report)
     }
 

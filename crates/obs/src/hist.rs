@@ -10,7 +10,9 @@
 //!
 //! This module lived in `serve::hist` originally; it moved here so every
 //! layer can record histograms without depending on the serving crate.
-//! `serve` re-exports it for compatibility.
+//! `obs::hist` is the one path (`serve` still re-exports the
+//! [`LatencyHistogram`] type itself, since `ServeReport` is made of
+//! them).
 
 /// Linear sub-bucket bits per power-of-two group.
 const SUB_BITS: u32 = 5;

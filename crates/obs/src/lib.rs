@@ -11,13 +11,18 @@
 //!   `bifrost.link.0.backlog_bytes`, `serve.shed_total`). A
 //!   [`Registry::snapshot`] renders both a structured [`MetricsReport`]
 //!   and a Prometheus-style text exposition.
-//! * [`hist`] — the log-bucketed [`LatencyHistogram`] (moved here from
-//!   `serve::hist`; `serve` re-exports it for compatibility).
+//! * [`hist`] — the log-bucketed [`LatencyHistogram`] (originally
+//!   `serve::hist`; it lives here now and `obs::hist` is the one path).
 //! * [`trace`] — a bounded ring-buffer [`TraceSink`] of typed spans and
 //!   events ([`SpanGuard`] RAII over sim-time or wall-time) emitted by the
 //!   pipeline stages (build → dedup → slice → deliver → load → publish)
 //!   and by engine maintenance (flush, checkpoint, GC, traceback),
-//!   dumpable as JSONL.
+//!   dumpable as JSONL. [`breakdown`] aggregates a window per kind;
+//!   [`profile`] turns it into a phase-time profile with *self-time*
+//!   attribution (nested spans subtract from their parent, so `load`
+//!   stops absorbing the `flush`/`engine_gc` spans inside it) plus the
+//!   unattributed remainder, and [`top_self_time`] ranks the individual
+//!   spans that dominate the critical path.
 //!
 //! `obs` sits at the bottom of the dependency graph (only `simclock` and
 //! the vendored `serde_json` below it) so every other crate can wire its
@@ -29,4 +34,7 @@ pub mod trace;
 
 pub use hist::LatencyHistogram;
 pub use registry::{Counter, Gauge, MetricSample, MetricValue, MetricsReport, Registry};
-pub use trace::{breakdown, SpanBreakdown, SpanGuard, SpanKind, TraceEvent, TraceSink};
+pub use trace::{
+    breakdown, profile, profile_window, top_self_time, Profile, SelfTime, SpanBreakdown, SpanGuard,
+    SpanKind, TraceEvent, TraceSink,
+};

@@ -400,6 +400,196 @@ pub fn breakdown(events: &[TraceEvent]) -> Vec<SpanBreakdown> {
         .collect()
 }
 
+/// One [`SpanKind`]'s share of a [`Profile`].
+///
+/// `total_ns` sums raw span durations (a parent includes its children);
+/// `self_ns` is the *exclusive* time — duration minus the time covered by
+/// spans nested inside, which is what a phase-time profile wants: the
+/// `load` phase's self time no longer includes the `flush` and
+/// `engine_gc` spans that ran within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfTime {
+    /// The kind aggregated.
+    pub kind: SpanKind,
+    /// Events of this kind inside the window (spans and instants).
+    pub count: u64,
+    /// Summed inclusive durations, nanoseconds (window-clipped).
+    pub total_ns: u64,
+    /// Summed exclusive (self) durations, nanoseconds.
+    pub self_ns: u64,
+}
+
+/// A phase-time profile of a trace window: per-kind self time plus the
+/// window time no span covered. Produced by [`profile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Window start, nanoseconds on the events' time source.
+    pub start_ns: u64,
+    /// Window end.
+    pub end_ns: u64,
+    /// Per-kind self-time aggregates, sorted by descending `self_ns`.
+    pub entries: Vec<SelfTime>,
+    /// Window nanoseconds covered by at least one span (the union of all
+    /// span intervals, clipped to the window).
+    pub attributed_ns: u64,
+}
+
+impl Profile {
+    /// Window length in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Window time covered by no span at all — the "unattributed" bucket
+    /// a healthy phase-instrumented trace keeps small.
+    pub fn unattributed_ns(&self) -> u64 {
+        self.window_ns().saturating_sub(self.attributed_ns)
+    }
+
+    /// Fraction of the window covered by named spans, in `[0, 1]`
+    /// (1.0 for an empty window).
+    pub fn attributed_fraction(&self) -> f64 {
+        let w = self.window_ns();
+        if w == 0 {
+            1.0
+        } else {
+            self.attributed_ns as f64 / w as f64
+        }
+    }
+
+    /// The aggregate for one kind, if it appeared in the window.
+    pub fn get(&self, kind: SpanKind) -> Option<&SelfTime> {
+        self.entries.iter().find(|e| e.kind == kind)
+    }
+}
+
+/// Computes a phase-time [`Profile`] over `events`, windowed to the span
+/// extent of the events themselves (earliest start to latest end).
+///
+/// Attribution assumes the spans come from one logical timeline (one
+/// time source): a span that starts inside another and ends inside it is
+/// *nested* and its duration is subtracted from the direct parent's self
+/// time. Partially overlapping spans (from concurrent threads) subtract
+/// only the overlap from whichever span was open when they started, so
+/// self time never goes negative; the union-based `attributed_ns` is
+/// exact either way.
+pub fn profile(events: &[TraceEvent]) -> Profile {
+    let start = events.iter().map(|e| e.start_ns).min().unwrap_or(0);
+    let end = events.iter().map(|e| e.end_ns).max().unwrap_or(0);
+    profile_window(events, start, end)
+}
+
+/// [`profile`] over an explicit `[start_ns, end_ns]` window; events are
+/// clipped to the window and events entirely outside it are ignored.
+pub fn profile_window(events: &[TraceEvent], start_ns: u64, end_ns: u64) -> Profile {
+    // Clip to the window, keeping (start, end, kind); instants keep
+    // zero length and only contribute to counts.
+    let mut clipped: Vec<(u64, u64, SpanKind)> = events
+        .iter()
+        .filter(|e| e.start_ns <= end_ns && e.end_ns >= start_ns)
+        .map(|e| (e.start_ns.max(start_ns), e.end_ns.min(end_ns), e.kind))
+        .collect();
+    // Parent before child: by start ascending, then end descending.
+    clipped.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+
+    let mut counts: Vec<(SpanKind, u64, u64, u64)> = Vec::new(); // kind, count, total, self
+    fn slot(counts: &mut Vec<(SpanKind, u64, u64, u64)>, kind: SpanKind) -> usize {
+        if let Some(i) = counts.iter().position(|(k, ..)| *k == kind) {
+            i
+        } else {
+            counts.push((kind, 0, 0, 0));
+            counts.len() - 1
+        }
+    }
+
+    // Stack of open spans: (end_ns, index into counts). Subtracting each
+    // span's (overlapping) duration from the directly enclosing span
+    // turns inclusive durations into self times.
+    let mut stack: Vec<(u64, usize)> = Vec::new();
+    let mut attributed = 0u64;
+    let mut covered_until = start_ns;
+    for &(s, e, kind) in &clipped {
+        let i = slot(&mut counts, kind);
+        counts[i].1 += 1;
+        let dur = e - s;
+        counts[i].2 += dur;
+        counts[i].3 += dur;
+        if dur == 0 {
+            continue; // instants don't participate in attribution
+        }
+        while let Some(&(top_end, _)) = stack.last() {
+            if top_end <= s {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(top_end, top_i)) = stack.last() {
+            let overlap = e.min(top_end) - s;
+            counts[top_i].3 = counts[top_i].3.saturating_sub(overlap);
+        }
+        stack.push((e, i));
+        // Union coverage (spans arrive sorted by start).
+        if e > covered_until {
+            attributed += e - covered_until.max(s);
+            covered_until = e;
+        }
+    }
+    let mut entries: Vec<SelfTime> = counts
+        .into_iter()
+        .map(|(kind, count, total_ns, self_ns)| SelfTime {
+            kind,
+            count,
+            total_ns,
+            self_ns,
+        })
+        .collect();
+    entries.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.count.cmp(&b.count)));
+    Profile {
+        start_ns,
+        end_ns,
+        entries,
+        attributed_ns: attributed,
+    }
+}
+
+/// The `n` spans with the largest *self* time (exclusive of nested
+/// spans), largest first — the top of the critical path through a
+/// single-timeline trace. Returns `(event, self_ns)` pairs.
+pub fn top_self_time(events: &[TraceEvent], n: usize) -> Vec<(TraceEvent, u64)> {
+    let mut spans: Vec<(usize, u64, u64)> = Vec::new(); // event idx, start, end
+    for (i, e) in events.iter().enumerate() {
+        if e.duration_ns() > 0 {
+            spans.push((i, e.start_ns, e.end_ns));
+        }
+    }
+    spans.sort_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)));
+    let mut self_ns: Vec<u64> = spans.iter().map(|&(_, s, e)| e - s).collect();
+    let mut stack: Vec<(u64, usize)> = Vec::new(); // end, position in `spans`
+    for (pos, &(_, s, e)) in spans.iter().enumerate() {
+        while let Some(&(top_end, _)) = stack.last() {
+            if top_end <= s {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(top_end, top_pos)) = stack.last() {
+            let overlap = e.min(top_end) - s;
+            self_ns[top_pos] = self_ns[top_pos].saturating_sub(overlap);
+        }
+        stack.push((e, pos));
+    }
+    let mut ranked: Vec<(TraceEvent, u64)> = spans
+        .iter()
+        .zip(self_ns)
+        .map(|(&(i, ..), sns)| (events[i].clone(), sns))
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.seq.cmp(&b.0.seq)));
+    ranked.truncate(n);
+    ranked
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,5 +653,110 @@ mod tests {
         let a = sink.now_ns();
         let b = sink.now_ns();
         assert!(b >= a);
+    }
+
+    /// Builds a span event directly (tests drive the profiler with exact
+    /// intervals rather than real clocks).
+    fn ev(seq: u64, kind: SpanKind, start_ns: u64, end_ns: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            kind,
+            label: String::new(),
+            start_ns,
+            end_ns,
+            amount: 0,
+        }
+    }
+
+    #[test]
+    fn profile_subtracts_nested_spans_from_parents() {
+        // load [0, 100] containing flush [10, 30] and engine_gc [40, 90],
+        // with engine_gc itself containing device_gc [50, 70].
+        let events = vec![
+            ev(0, SpanKind::Load, 0, 100),
+            ev(1, SpanKind::Flush, 10, 30),
+            ev(2, SpanKind::EngineGc, 40, 90),
+            ev(3, SpanKind::DeviceGc, 50, 70),
+        ];
+        let p = profile(&events);
+        assert_eq!(p.window_ns(), 100);
+        assert_eq!(p.attributed_ns, 100);
+        assert_eq!(p.unattributed_ns(), 0);
+        assert_eq!(p.get(SpanKind::Load).unwrap().total_ns, 100);
+        assert_eq!(p.get(SpanKind::Load).unwrap().self_ns, 30); // 100-20-50
+        assert_eq!(p.get(SpanKind::Flush).unwrap().self_ns, 20);
+        assert_eq!(p.get(SpanKind::EngineGc).unwrap().self_ns, 30); // 50-20
+        assert_eq!(p.get(SpanKind::DeviceGc).unwrap().self_ns, 20);
+        // Self times partition the attributed window exactly.
+        let total_self: u64 = p.entries.iter().map(|e| e.self_ns).sum();
+        assert_eq!(total_self, 100);
+    }
+
+    #[test]
+    fn profile_reports_uncovered_window_time() {
+        let events = vec![
+            ev(0, SpanKind::Build, 0, 40),
+            ev(1, SpanKind::Deliver, 60, 100),
+        ];
+        let p = profile_window(&events, 0, 120);
+        assert_eq!(p.window_ns(), 120);
+        assert_eq!(p.attributed_ns, 80);
+        assert_eq!(p.unattributed_ns(), 40);
+        assert!((p.attributed_fraction() - 80.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_clips_to_the_window_and_skips_outsiders() {
+        let events = vec![
+            ev(0, SpanKind::Build, 0, 50),    // clipped to [20, 50]
+            ev(1, SpanKind::Load, 90, 130),   // clipped to [90, 100]
+            ev(2, SpanKind::Serve, 200, 300), // outside entirely
+        ];
+        let p = profile_window(&events, 20, 100);
+        assert_eq!(p.get(SpanKind::Build).unwrap().total_ns, 30);
+        assert_eq!(p.get(SpanKind::Load).unwrap().total_ns, 10);
+        assert!(p.get(SpanKind::Serve).is_none());
+        assert_eq!(p.attributed_ns, 40);
+    }
+
+    #[test]
+    fn profile_counts_instants_without_attributing_time() {
+        let events = vec![
+            ev(0, SpanKind::Load, 0, 100),
+            ev(1, SpanKind::Publish, 50, 50),
+        ];
+        let p = profile(&events);
+        assert_eq!(p.get(SpanKind::Publish).unwrap().count, 1);
+        assert_eq!(p.get(SpanKind::Publish).unwrap().self_ns, 0);
+        assert_eq!(p.get(SpanKind::Load).unwrap().self_ns, 100);
+    }
+
+    #[test]
+    fn profile_entries_sorted_by_self_time() {
+        let events = vec![
+            ev(0, SpanKind::Build, 0, 10),
+            ev(1, SpanKind::Deliver, 10, 100),
+            ev(2, SpanKind::Load, 100, 130),
+        ];
+        let p = profile(&events);
+        let kinds: Vec<SpanKind> = p.entries.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, [SpanKind::Deliver, SpanKind::Load, SpanKind::Build]);
+    }
+
+    #[test]
+    fn top_self_time_ranks_by_exclusive_duration() {
+        // deliver [0, 100] encloses flush [10, 90]: the child carries 80
+        // of the 100, so it outranks its parent (self 20).
+        let events = vec![
+            ev(0, SpanKind::Deliver, 0, 100),
+            ev(1, SpanKind::Flush, 10, 90),
+            ev(2, SpanKind::Build, 200, 230),
+        ];
+        let top = top_self_time(&events, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0.kind, SpanKind::Flush);
+        assert_eq!(top[0].1, 80);
+        assert_eq!(top[1].0.kind, SpanKind::Build);
+        assert_eq!(top[1].1, 30);
     }
 }

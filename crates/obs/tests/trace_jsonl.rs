@@ -1,0 +1,69 @@
+//! The trace dump format must round-trip: `TraceSink::to_jsonl` output,
+//! parsed back line by line with the vendored `serde_json`
+//! recursive-descent parser, must reproduce the buffered events exactly.
+//! A flight recorder whose dump loses or distorts events is worse than
+//! none — this pins serialize → parse as the identity, over every span
+//! kind in the taxonomy.
+
+use obs::{SpanKind, TraceEvent, TraceSink};
+use simclock::{SimClock, SimTime};
+
+#[test]
+fn jsonl_dump_round_trips_every_span_kind() {
+    let clock = SimClock::new();
+    let sink = TraceSink::sim(256, clock.clone());
+    // One span per kind, each with a distinct label, duration, and
+    // payload; labels exercise characters the JSON writer must escape.
+    for (i, kind) in SpanKind::ALL.into_iter().enumerate() {
+        let label = format!("dc{i}/n{i} \"quoted\\path\"\t#{i}");
+        let mut span = sink.span(kind, &label);
+        clock.advance(SimTime::from_micros(1 + i as u64 * 7));
+        span.set_amount(i as u64 * 1000 + 1);
+    }
+    // Plus an instantaneous event per kind (start == end).
+    for (i, kind) in SpanKind::ALL.into_iter().enumerate() {
+        sink.event(kind, &format!("instant {i}"), i as u64);
+    }
+
+    let original = sink.snapshot();
+    assert_eq!(original.len(), 2 * SpanKind::ALL.len());
+
+    let dump = sink.to_jsonl();
+    let parsed: Vec<TraceEvent> = dump
+        .lines()
+        .map(|line| {
+            TraceEvent::from_json(line).unwrap_or_else(|| panic!("line failed to parse: {line}"))
+        })
+        .collect();
+
+    assert_eq!(parsed.len(), original.len());
+    for (a, b) in original.iter().zip(&parsed) {
+        assert_eq!(a, b, "event seq {} did not round-trip", a.seq);
+    }
+}
+
+#[test]
+fn jsonl_lines_are_self_contained() {
+    let sink = TraceSink::wall(16);
+    sink.event(SpanKind::Publish, "newline \n inside", 7);
+    let dump = sink.to_jsonl();
+    // One event, one line: embedded newlines must be escaped, or the
+    // JSONL framing breaks.
+    assert_eq!(dump.lines().count(), 1);
+    let back = TraceEvent::from_json(dump.lines().next().unwrap()).unwrap();
+    assert_eq!(back.label, "newline \n inside");
+    assert_eq!(back.amount, 7);
+}
+
+#[test]
+fn malformed_lines_parse_to_none() {
+    assert!(TraceEvent::from_json("not json").is_none());
+    assert!(TraceEvent::from_json("{}").is_none());
+    assert!(
+        TraceEvent::from_json(
+            r#"{"seq":0,"kind":"warp","label":"x","start_ns":0,"end_ns":0,"amount":0}"#
+        )
+        .is_none(),
+        "unknown span kind must be rejected"
+    );
+}

@@ -1,0 +1,211 @@
+//! The regression gate: baseline-driven comparison of two reports.
+//!
+//! The baseline is authoritative: every cell it contains must be present
+//! in the current report and within tolerance. Deterministic cells get
+//! *zero* tolerance — they are pure functions of the seed, so any drift
+//! is a real behaviour change (different write amplification, different
+//! dedup outcome), not noise. Wall-clock cells get a wide relative
+//! band ([`WALL_TOLERANCE`]) because CI machines vary.
+//!
+//! Cells present only in the current report are *not* failures: new
+//! metrics appear when scenarios grow, and enter the gate at the next
+//! `--rebaseline`.
+
+use crate::report::{BenchReport, BenchResult};
+
+/// Allowed relative drift for wall-clock medians (0.30 = ±30%).
+pub const WALL_TOLERANCE: f64 = 0.30;
+
+/// Why a cell failed the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// Deterministic cell changed at all.
+    DeterministicChanged,
+    /// Wall-clock cell moved beyond the tolerance band.
+    WallOutOfBand,
+    /// The baseline cell is absent from the current report.
+    Missing,
+}
+
+/// One gate failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Scenario of the failing cell.
+    pub scenario: String,
+    /// Metric of the failing cell.
+    pub metric: String,
+    /// The baseline value.
+    pub baseline: f64,
+    /// The current value (`None` when the cell is missing).
+    pub current: Option<f64>,
+    /// What kind of failure this is.
+    pub kind: DriftKind,
+}
+
+impl Drift {
+    /// One-line human rendering, e.g. for the `--check` failure list.
+    pub fn render(&self) -> String {
+        match self.kind {
+            DriftKind::Missing => format!(
+                "{}/{}: missing from current results (baseline {})",
+                self.scenario, self.metric, self.baseline
+            ),
+            DriftKind::DeterministicChanged => format!(
+                "{}/{}: deterministic counter changed: baseline {} -> current {}",
+                self.scenario,
+                self.metric,
+                self.baseline,
+                self.current.unwrap_or(f64::NAN)
+            ),
+            DriftKind::WallOutOfBand => {
+                let cur = self.current.unwrap_or(f64::NAN);
+                let rel = if self.baseline != 0.0 {
+                    (cur - self.baseline) / self.baseline * 100.0
+                } else {
+                    f64::INFINITY
+                };
+                format!(
+                    "{}/{}: wall median {:+.1}% off baseline ({} -> {}, tolerance ±{:.0}%)",
+                    self.scenario,
+                    self.metric,
+                    rel,
+                    self.baseline,
+                    cur,
+                    WALL_TOLERANCE * 100.0
+                )
+            }
+        }
+    }
+}
+
+/// Compares `current` against `baseline`. Returns the drift list (empty
+/// = gate passes) or an error when the reports are not comparable at
+/// all (different modes).
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    wall_tolerance: f64,
+) -> Result<Vec<Drift>, String> {
+    if baseline.mode != current.mode {
+        return Err(format!(
+            "mode mismatch: baseline measured in `{}` mode, current in `{}` — \
+             rerun with matching scale or re-baseline",
+            baseline.mode, current.mode
+        ));
+    }
+    let mut drifts = Vec::new();
+    for b in baseline.sorted() {
+        match current.get(&b.scenario, &b.metric) {
+            None => drifts.push(drift(b, None, DriftKind::Missing)),
+            Some(c) if b.deterministic => {
+                // Bit equality: deterministic cells travel through the
+                // same JSON writer/parser on both sides, so identical
+                // behaviour gives identical bits (NaN included).
+                if c.value.to_bits() != b.value.to_bits() {
+                    drifts.push(drift(b, Some(c.value), DriftKind::DeterministicChanged));
+                }
+            }
+            Some(c) => {
+                let rel = if b.value != 0.0 {
+                    ((c.value - b.value) / b.value).abs()
+                } else if c.value == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                };
+                if rel > wall_tolerance {
+                    drifts.push(drift(b, Some(c.value), DriftKind::WallOutOfBand));
+                }
+            }
+        }
+    }
+    Ok(drifts)
+}
+
+fn drift(b: &BenchResult, current: Option<f64>, kind: DriftKind) -> Drift {
+    Drift {
+        scenario: b.scenario.clone(),
+        metric: b.metric.clone(),
+        baseline: b.value,
+        current,
+        kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cells: &[(&str, &str, f64, bool)]) -> BenchReport {
+        let mut r = BenchReport::new("quick");
+        for &(s, m, v, det) in cells {
+            r.push(s, m, v, "u", det);
+        }
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let b = report(&[("a", "x", 1.5, true), ("a", "y", 10.0, false)]);
+        assert_eq!(compare(&b, &b.clone(), WALL_TOLERANCE).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn deterministic_drift_fails_at_any_magnitude() {
+        let b = report(&[("a", "x", 1.5, true)]);
+        let c = report(&[("a", "x", 1.5000000000000002, true)]);
+        let drifts = compare(&b, &c, WALL_TOLERANCE).unwrap();
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].kind, DriftKind::DeterministicChanged);
+        assert!(drifts[0].render().contains("a/x"));
+    }
+
+    #[test]
+    fn wall_tolerance_band_is_inclusive() {
+        let b = report(&[("a", "w", 100.0, false)]);
+        // Exactly at the band edge: passes (strict `>` comparison).
+        let at_edge = report(&[("a", "w", 130.0, false)]);
+        assert!(compare(&b, &at_edge, 0.30).unwrap().is_empty());
+        let beyond = report(&[("a", "w", 131.0, false)]);
+        let drifts = compare(&b, &beyond, 0.30).unwrap();
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].kind, DriftKind::WallOutOfBand);
+        // Slowdowns and speedups both trip the gate (a large "speedup"
+        // usually means the scenario stopped doing the work).
+        let faster = report(&[("a", "w", 60.0, false)]);
+        assert_eq!(compare(&b, &faster, 0.30).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn missing_cell_fails() {
+        let b = report(&[("a", "x", 1.0, true)]);
+        let c = report(&[("a", "other", 1.0, true)]);
+        let drifts = compare(&b, &c, WALL_TOLERANCE).unwrap();
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].kind, DriftKind::Missing);
+    }
+
+    #[test]
+    fn extra_current_cells_are_not_failures() {
+        let b = report(&[("a", "x", 1.0, true)]);
+        let c = report(&[("a", "x", 1.0, true), ("a", "new", 5.0, true)]);
+        assert!(compare(&b, &c, WALL_TOLERANCE).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mode_mismatch_is_an_error() {
+        let b = report(&[("a", "x", 1.0, true)]);
+        let mut c = report(&[("a", "x", 1.0, true)]);
+        c.mode = "full".to_string();
+        assert!(compare(&b, &c, WALL_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn zero_baseline_wall_cell_tolerates_only_zero() {
+        let b = report(&[("a", "w", 0.0, false)]);
+        let same = report(&[("a", "w", 0.0, false)]);
+        assert!(compare(&b, &same, 0.30).unwrap().is_empty());
+        let moved = report(&[("a", "w", 0.1, false)]);
+        assert_eq!(compare(&b, &moved, 0.30).unwrap().len(), 1);
+    }
+}

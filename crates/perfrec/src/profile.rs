@@ -1,0 +1,128 @@
+//! Rendering the phase-time profile.
+//!
+//! Turns [`obs::profile`]'s self-time attribution into the report the
+//! `perf` binary prints for a pipeline round: one line per span kind
+//! (count, inclusive total, exclusive self time, share of the window),
+//! the unattributed remainder, and the top-N individual spans on the
+//! critical path. Phase lines start with the span kind's stable name
+//! (`build`, `deliver`, `load`, ...), which is what CI greps for.
+
+use obs::{profile, top_self_time, TraceEvent};
+use std::fmt::Write as _;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders the phase-time report over `events` (one shared timeline —
+/// in practice the pipeline's wall-clock trace), listing the `top_n`
+/// largest self-time spans at the end.
+pub fn phase_report(events: &[TraceEvent], top_n: usize) -> String {
+    let p = profile(events);
+    let window = p.window_ns();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "phase-time profile: window {:.3} ms, attributed {:.1}% across {} phase kinds",
+        ms(window),
+        p.attributed_fraction() * 100.0,
+        p.entries.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>12} {:>12} {:>7}",
+        "phase", "count", "total ms", "self ms", "share"
+    );
+    for e in &p.entries {
+        let share = if window == 0 {
+            0.0
+        } else {
+            e.self_ns as f64 / window as f64 * 100.0
+        };
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>7} {:>12.3} {:>12.3} {:>6.1}%",
+            e.kind.as_str(),
+            e.count,
+            ms(e.total_ns),
+            ms(e.self_ns),
+            share
+        );
+    }
+    let un_share = if window == 0 {
+        0.0
+    } else {
+        p.unattributed_ns() as f64 / window as f64 * 100.0
+    };
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:>12} {:>12.3} {:>6.1}%",
+        "(none)",
+        "",
+        "",
+        ms(p.unattributed_ns()),
+        un_share
+    );
+    let top = top_self_time(events, top_n);
+    if !top.is_empty() {
+        let _ = writeln!(out, "top {} self-time spans:", top.len());
+        for (i, (e, self_ns)) in top.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {:>2}. {:<12} {:<16} {:>10.3} ms self ({:.3} ms total)",
+                i + 1,
+                e.kind.as_str(),
+                e.label,
+                ms(*self_ns),
+                ms(e.duration_ns())
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::SpanKind;
+
+    fn ev(seq: u64, kind: SpanKind, label: &str, start_ns: u64, end_ns: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            kind,
+            label: label.to_string(),
+            start_ns,
+            end_ns,
+            amount: 0,
+        }
+    }
+
+    #[test]
+    fn report_names_every_phase_and_the_critical_path() {
+        let events = vec![
+            ev(0, SpanKind::Build, "pipeline", 0, 2_000_000),
+            ev(1, SpanKind::Deliver, "bifrost", 2_000_000, 8_000_000),
+            ev(2, SpanKind::Load, "pipeline", 8_000_000, 12_000_000),
+            ev(3, SpanKind::Flush, "dc0.0/n0", 9_000_000, 10_000_000),
+        ];
+        let text = phase_report(&events, 3);
+        for phase in ["build", "deliver", "load", "flush"] {
+            assert!(text.contains(phase), "missing phase `{phase}`:\n{text}");
+        }
+        // Fully covered window: 100.0% attributed, nothing unattributed.
+        assert!(text.contains("attributed 100.0%"), "{text}");
+        // The deliver span dominates the critical path.
+        assert!(text.contains("top 3 self-time spans"), "{text}");
+        let top_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("1."))
+            .unwrap();
+        assert!(top_line.contains("deliver"), "{top_line}");
+    }
+
+    #[test]
+    fn empty_trace_renders_without_panicking() {
+        let text = phase_report(&[], 5);
+        assert!(text.contains("phase-time profile"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Wall-clock measurement discipline.
+//!
+//! Wall times on a shared machine are contaminated by scheduler noise in
+//! one direction (things only ever get slower), so the suite reports the
+//! *median* over K repetitions with the median absolute deviation as the
+//! spread — both robust to the occasional 10× outlier that would wreck
+//! a mean ± stddev summary (the methodological point Didona et al. make
+//! about storage benchmarks).
+
+use std::time::Instant;
+
+/// Median of `xs` (not in place; empty input gives 0).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in measurements"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation from the median — the robust spread.
+pub fn median_abs_deviation(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let med = median(xs);
+    let devs: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&devs)
+}
+
+/// Summary of K repeated wall-clock measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallMeasurement {
+    /// Median duration in milliseconds.
+    pub median_ms: f64,
+    /// Median absolute deviation in milliseconds.
+    pub mad_ms: f64,
+    /// Repetitions measured.
+    pub reps: usize,
+}
+
+/// Runs `f` `reps` times (at least once), timing each run; returns the
+/// median/MAD summary plus the *first* run's output (every repetition is
+/// the same seeded computation, so any run's output would do — the first
+/// is the one whose deterministic counters the caller reports).
+pub fn measure<T>(reps: usize, mut f: impl FnMut() -> T) -> (WallMeasurement, T) {
+    let reps = reps.max(1);
+    let mut times = Vec::with_capacity(reps);
+    let start = Instant::now();
+    let mut out = Some(f());
+    times.push(start.elapsed().as_secs_f64() * 1e3);
+    for _ in 1..reps {
+        let start = Instant::now();
+        let _ = f();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (
+        WallMeasurement {
+            median_ms: median(&times),
+            mad_ms: median_abs_deviation(&times),
+            reps,
+        },
+        out.take().expect("first run recorded"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        // Nine quiet runs and one 100× outlier: the MAD stays near zero
+        // where a stddev would explode.
+        let mut xs = vec![10.0; 9];
+        xs.push(1000.0);
+        assert_eq!(median(&xs), 10.0);
+        assert_eq!(median_abs_deviation(&xs), 0.0);
+    }
+
+    #[test]
+    fn measure_runs_the_requested_repetitions() {
+        let mut calls = 0;
+        let (m, first) = measure(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(first, 1, "returns the first run's output");
+        assert_eq!(m.reps, 5);
+        assert!(m.median_ms >= 0.0 && m.mad_ms >= 0.0);
+    }
+
+    #[test]
+    fn measure_clamps_zero_reps_to_one() {
+        let (m, ()) = measure(0, || {});
+        assert_eq!(m.reps, 1);
+    }
+}

@@ -50,6 +50,10 @@ pub struct QinDb {
     /// Optional trace sink (timestamped on this engine's device clock)
     /// and the label maintenance events are emitted under.
     trace: Option<(obs::TraceSink, String)>,
+    /// Optional wall-clock trace sink for the phase-time profiler; emits
+    /// the same maintenance spans stamped in real nanoseconds so they
+    /// nest coherently inside the pipeline's wall-time phases.
+    wall_trace: Option<(obs::TraceSink, String)>,
 }
 
 impl QinDb {
@@ -66,6 +70,7 @@ impl QinDb {
             ckpt: None,
             recovered_via_checkpoint: false,
             trace: None,
+            wall_trace: None,
         }
     }
 
@@ -271,16 +276,33 @@ impl QinDb {
         self.trace = Some((sink, label.to_string()));
     }
 
+    /// Attaches a wall-clock trace sink: the same maintenance spans
+    /// (flush, checkpoint, engine GC) are also emitted in real
+    /// nanoseconds under `label`. Unlike [`QinDb::attach_trace`] the sink
+    /// is *not* rebound to the device clock — all wall sinks cloned from
+    /// one [`obs::TraceSink::wall`] share a single epoch, which is what
+    /// lets the phase profiler nest engine spans inside pipeline phases.
+    pub fn attach_wall_trace(&mut self, sink: &obs::TraceSink, label: &str) {
+        self.wall_trace = Some((sink.clone(), label.to_string()));
+    }
+
     /// Cheap clone of the attached sink (an `Arc` bump) so span guards
     /// can outlive `&mut self` calls made while they are open.
     fn tracer(&self) -> Option<(obs::TraceSink, String)> {
         self.trace.clone()
     }
 
+    /// Like [`QinDb::tracer`] for the wall-clock sink.
+    fn wall_tracer(&self) -> Option<(obs::TraceSink, String)> {
+        self.wall_trace.clone()
+    }
+
     /// Forces buffered appends onto flash.
     pub fn flush(&mut self) -> Result<()> {
         let t = self.tracer();
+        let w = self.wall_tracer();
         let _span = t.as_ref().map(|(s, l)| s.span(obs::SpanKind::Flush, l));
+        let _wspan = w.as_ref().map(|(s, l)| s.span(obs::SpanKind::Flush, l));
         self.aof.flush()?;
         Ok(())
     }
@@ -295,7 +317,11 @@ impl QinDb {
     /// checkpoints right after GC activity maximizes their usefulness.
     pub fn checkpoint(&mut self) -> Result<u64> {
         let t = self.tracer();
+        let w = self.wall_tracer();
         let mut span = t
+            .as_ref()
+            .map(|(s, l)| s.span(obs::SpanKind::Checkpoint, l));
+        let mut wspan = w
             .as_ref()
             .map(|(s, l)| s.span(obs::SpanKind::Checkpoint, l));
         self.flush()?;
@@ -322,6 +348,9 @@ impl QinDb {
         }
         if let Some(span) = span.as_mut() {
             span.set_amount(blocks.len() as u64);
+        }
+        if let Some(wspan) = wspan.as_mut() {
+            wspan.set_amount(blocks.len() as u64);
         }
         self.ckpt = Some((id, blocks));
         Ok(id)
@@ -414,6 +443,7 @@ impl QinDb {
             ckpt: Some((state.id, state.blocks)),
             recovered_via_checkpoint: true,
             trace: None,
+            wall_trace: None,
         };
         for key in touched {
             engine.recompute_liveness(&key);
@@ -454,6 +484,7 @@ impl QinDb {
             ckpt: None,
             recovered_via_checkpoint: false,
             trace: None,
+            wall_trace: None,
         };
         // Recompute disk-liveness for every key to rebuild occupancy.
         let keys: Vec<Bytes> = {
@@ -545,7 +576,9 @@ impl QinDb {
     /// candidate. Returns the number of files reclaimed.
     pub fn force_gc(&mut self) -> Result<usize> {
         let t = self.tracer();
+        let w = self.wall_tracer();
         let mut span: Option<obs::SpanGuard<'_>> = None;
+        let mut wspan: Option<obs::SpanGuard<'_>> = None;
         let mut reclaimed = 0;
         let mut seen: HashSet<FileId> = HashSet::new();
         loop {
@@ -561,10 +594,14 @@ impl QinDb {
             seen.insert(file);
             if span.is_none() {
                 span = t.as_ref().map(|(s, l)| s.span(obs::SpanKind::EngineGc, l));
+                wspan = w.as_ref().map(|(s, l)| s.span(obs::SpanKind::EngineGc, l));
             }
             self.gc_file(file)?;
             if let Some(span) = span.as_mut() {
                 span.add_amount(1);
+            }
+            if let Some(wspan) = wspan.as_mut() {
+                wspan.add_amount(1);
             }
             reclaimed += 1;
         }
@@ -579,7 +616,9 @@ impl QinDb {
     fn maybe_gc(&mut self) -> Result<()> {
         let geo = self.aof.device().geometry();
         let t = self.tracer();
+        let w = self.wall_tracer();
         let mut span: Option<obs::SpanGuard<'_>> = None;
+        let mut wspan: Option<obs::SpanGuard<'_>> = None;
         let mut ran = false;
         let mut seen: HashSet<FileId> = HashSet::new();
         loop {
@@ -596,10 +635,14 @@ impl QinDb {
             seen.insert(file);
             if span.is_none() {
                 span = t.as_ref().map(|(s, l)| s.span(obs::SpanKind::EngineGc, l));
+                wspan = w.as_ref().map(|(s, l)| s.span(obs::SpanKind::EngineGc, l));
             }
             self.gc_file(file)?;
             if let Some(span) = span.as_mut() {
                 span.add_amount(1);
+            }
+            if let Some(wspan) = wspan.as_mut() {
+                wspan.add_amount(1);
             }
             ran = true;
         }

@@ -326,6 +326,7 @@ fn worker_loop(
     cache: &SummaryCache,
     responses: &ResponseCache,
     queue: &ShardQueue,
+    trace: Option<(&obs::TraceSink, &str)>,
 ) -> WorkerOut {
     let mut out = WorkerOut {
         served: 0,
@@ -333,6 +334,9 @@ fn worker_loop(
         hist: LatencyHistogram::new(),
     };
     while let Some(req) = queue.pop() {
+        // One wall-clock span per response: the profiler's view of time
+        // spent serving (excludes queue wait, which starts at enqueue).
+        let mut span = trace.map(|(t, l)| t.span(obs::SpanKind::Serve, l));
         let term_refs: Vec<&[u8]> = req.terms.iter().map(|t| t.as_ref()).collect();
         // Rank errors (e.g. quorum loss mid-run) degrade to an empty
         // ranking; the request still gets a response.
@@ -358,6 +362,9 @@ fn worker_loop(
             responses.insert(key, Arc::new(hits));
             out.stale += 1;
             out.hist.record(req.enqueued.elapsed().as_micros() as u64);
+            if let Some(span) = span.as_mut() {
+                span.set_amount(1);
+            }
             continue;
         }
         let mut misses = 0u32;
@@ -383,6 +390,9 @@ fn worker_loop(
         responses.insert(key, Arc::new(hits));
         out.served += 1;
         out.hist.record(req.enqueued.elapsed().as_micros() as u64);
+        if let Some(span) = span.as_mut() {
+            span.set_amount(1);
+        }
     }
     out
 }
@@ -398,6 +408,22 @@ pub fn run<F>(
     engine: &DirectLoad,
     cfg: &FrontendConfig,
     cache: &SummaryCache,
+    generator: F,
+) -> ServeReport
+where
+    F: FnOnce(&Submitter<'_>),
+{
+    run_traced(engine, cfg, cache, None, generator)
+}
+
+/// [`run`] with an optional wall-clock trace sink: each worker emits a
+/// `serve` span per response, labeled `serve/w<worker>`, so the phase
+/// profiler can attribute serving time alongside the pipeline phases.
+pub fn run_traced<F>(
+    engine: &DirectLoad,
+    cfg: &FrontendConfig,
+    cache: &SummaryCache,
+    trace: Option<&obs::TraceSink>,
     generator: F,
 ) -> ServeReport
 where
@@ -421,12 +447,19 @@ where
     };
     let hits_before = cache.hits();
     let misses_before = cache.misses();
+    let labels: Vec<String> = (0..workers).map(|i| format!("serve/w{i}")).collect();
     let start = Instant::now();
     let responses_ref = &responses;
     let outs: Vec<WorkerOut> = std::thread::scope(|s| {
         let handles: Vec<_> = queues
             .iter()
-            .map(|q| s.spawn(move || worker_loop(engine, cfg, cache, responses_ref, q)))
+            .zip(&labels)
+            .map(|(q, label)| {
+                s.spawn(move || {
+                    let t = trace.map(|t| (t, label.as_str()));
+                    worker_loop(engine, cfg, cache, responses_ref, q, t)
+                })
+            })
             .collect();
         generator(&submitter);
         for q in &queues {

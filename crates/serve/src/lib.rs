@@ -13,8 +13,10 @@
 //! * [`cache`] — sharded LRU over summary values keyed
 //!   `(region, url, version)`, read-through, invalidated below the
 //!   minimum live version on publish;
-//! * [`hist`] — mergeable log-bucketed latency histograms
-//!   (p50/p90/p99/p99.9), re-exported from [`obs`] where they now live;
+//! * latency measurement — the mergeable log-bucketed
+//!   [`obs::LatencyHistogram`] (p50/p90/p99/p99.9), which lives in
+//!   `obs::hist` and is re-exported here because [`ServeReport`] is made
+//!   of them;
 //! * [`driver`] — seeded open-loop QPS generator over [`indexgen`]'s
 //!   Zipf/VIP query workload.
 //!
@@ -41,9 +43,6 @@
 pub mod cache;
 pub mod driver;
 pub mod frontend;
-/// The histogram module moved to `obs::hist`; this alias keeps the old
-/// `serve::hist::LatencyHistogram` path working.
-pub use obs::hist;
 
 pub use cache::{ShardedLru, SummaryCache, SummaryKey};
 pub use driver::DriverConfig;
@@ -72,6 +71,16 @@ pub trait ServeExt {
     /// Same, but against a caller-owned cache (keep it warm across runs;
     /// call [`SummaryCache::invalidate_below`] after each publish).
     fn serve_with_cache(&self, cfg: &ServeConfig, cache: &SummaryCache) -> ServeReport;
+
+    /// Like [`ServeExt::serve_with_cache`], additionally emitting a
+    /// wall-clock `serve` span per response into `trace` (labeled
+    /// `serve/w<worker>`) for the phase-time profiler.
+    fn serve_traced(
+        &self,
+        cfg: &ServeConfig,
+        cache: &SummaryCache,
+        trace: &obs::TraceSink,
+    ) -> ServeReport;
 }
 
 impl ServeExt for DirectLoad {
@@ -82,5 +91,14 @@ impl ServeExt for DirectLoad {
 
     fn serve_with_cache(&self, cfg: &ServeConfig, cache: &SummaryCache) -> ServeReport {
         driver::run_open_loop(self, &cfg.frontend, cache, &cfg.driver)
+    }
+
+    fn serve_traced(
+        &self,
+        cfg: &ServeConfig,
+        cache: &SummaryCache,
+        trace: &obs::TraceSink,
+    ) -> ServeReport {
+        driver::run_open_loop_traced(self, &cfg.frontend, cache, &cfg.driver, Some(trace))
     }
 }
