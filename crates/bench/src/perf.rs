@@ -1,6 +1,6 @@
 //! The macro-benchmark scenario suite behind the `perf` binary.
 //!
-//! Six seeded scenarios cover every layer of the stack, each measured
+//! Seven seeded scenarios cover every layer of the stack, each measured
 //! twice: once in simulated time / firmware counters (fully
 //! deterministic — same seed, same bytes, on any machine) and once in
 //! wall-clock time (median + MAD over `reps` repetitions, robust to
@@ -16,6 +16,7 @@
 //! | `mint_kv` | mint | replicated PUT batches + GET fan-out |
 //! | `pipeline_round` | core (all layers) | two end-to-end update rounds |
 //! | `serve_qps` | serve | open-loop QPS burst with p50/p99 |
+//! | `rebalance` | placement + mint | throttled scale-out then decommission |
 
 use crate::fig5::{self, Fig5Config};
 use bifrost::{Bifrost, BifrostConfig, DataCenterId, TrunkCapacities};
@@ -28,13 +29,14 @@ use serve::{ServeConfig, ServeExt, SummaryCache};
 use simclock::{SimClock, SimTime};
 
 /// Scenario names, in suite order. `perf -- all` runs exactly these.
-pub const SCENARIOS: [&str; 6] = [
+pub const SCENARIOS: [&str; 7] = [
     "qindb_write",
     "lsm_write",
     "bifrost_delivery",
     "mint_kv",
     "pipeline_round",
     "serve_qps",
+    "rebalance",
 ];
 
 /// Suite-wide knobs.
@@ -109,6 +111,7 @@ pub fn run_scenario(name: &str, cfg: &PerfConfig) -> Option<BenchReport> {
         "mint_kv" => mint_kv(cfg),
         "pipeline_round" => pipeline_round(cfg),
         "serve_qps" => serve_qps(cfg),
+        "rebalance" => rebalance(cfg),
         _ => return None,
     })
 }
@@ -380,6 +383,90 @@ fn serve_qps(cfg: &PerfConfig) -> BenchReport {
         false,
     );
     r.push(name, "shed", report.shed as f64, "count", false);
+    push_wall(&mut r, name, wall);
+    r
+}
+
+fn rebalance(cfg: &PerfConfig) -> BenchReport {
+    let keys = if cfg.quick { 400 } else { 2000 };
+    let mcfg = placement::MigratorConfig {
+        throttle_bytes_per_sec: 8 * 1024 * 1024,
+        step_bytes: 64 * 1024,
+    };
+    let write = move |cluster: &mut Mint, version: u64| {
+        let ops: Vec<WriteOp> = (0..keys)
+            .map(|i| WriteOp {
+                key: Bytes::from(format!("key:{i:06}")),
+                version,
+                value: Some(Bytes::from(vec![b'a' + (i % 23) as u8; 256])),
+            })
+            .collect();
+        cluster.apply(&ops).expect("apply");
+    };
+    let scenario = || {
+        let mut cluster = Mint::new(MintConfig::tiny());
+        let registry = obs::Registry::new();
+        write(&mut cluster, 1);
+        // Grow the hottest group by one node (the newcomer anti-entropies
+        // the whole group footprint through the throttle)…
+        let report = placement::LoadReport::snapshot(&cluster);
+        let grown = report.hottest_group();
+        let built = placement::plan(
+            &report,
+            placement::TopologyGoal::AddCapacity { group: grown },
+        )
+        .expect("plan join");
+        let join = placement::Migration::execute(built, mcfg, &mut cluster, &registry, None)
+            .expect("join");
+        // …land a version at the wider width so replica sets diverge…
+        write(&mut cluster, 2);
+        // …then drain the grown group's busiest member back out.
+        let report = placement::LoadReport::snapshot(&cluster);
+        let victim = report.busiest_member(grown).expect("grown group serves");
+        let built = placement::plan(
+            &report,
+            placement::TopologyGoal::Decommission { node: victim },
+        )
+        .expect("plan drain");
+        let drain = placement::Migration::execute(built, mcfg, &mut cluster, &registry, None)
+            .expect("drain");
+        (join, drain)
+    };
+    let (wall, (join, drain)) = measure(cfg.reps, scenario);
+    let name = "rebalance";
+    let bytes = join.bytes_moved + drain.bytes_moved;
+    let busy_sec = join.busy.as_secs_f64() + drain.busy.as_secs_f64();
+    let mut r = BenchReport::new(cfg.mode());
+    r.push(
+        name,
+        "join_bytes_moved",
+        join.bytes_moved as f64,
+        "bytes",
+        true,
+    );
+    r.push(
+        name,
+        "drain_bytes_moved",
+        drain.bytes_moved as f64,
+        "bytes",
+        true,
+    );
+    r.push(
+        name,
+        "items_moved",
+        (join.items_moved + drain.items_moved) as f64,
+        "count",
+        true,
+    );
+    r.push(
+        name,
+        "steps",
+        (join.steps + drain.steps) as f64,
+        "count",
+        true,
+    );
+    r.push(name, "migrate_sim_sec", busy_sec, "s", true);
+    r.push(name, "throughput_bps", bytes as f64 / busy_sec, "B/s", true);
     push_wall(&mut r, name, wall);
     r
 }

@@ -7,13 +7,22 @@
 //! 1. **No acked write lost** — every `(url, version)` the pipeline
 //!    published and the checker successfully read back must keep
 //!    returning byte-identical values from every data center that
-//!    stores it, for as long as the version is retained.
-//! 2. **Replica convergence** — the alive members of a key's group hold
+//!    stores it, for as long as the version is retained. This holds
+//!    *across topology churn*: a live scale-out or decommission must
+//!    never lose an acked value.
+//! 2. **No stale reads** — once retention drops a version below the
+//!    live floor, reading it must return absent from every data center.
+//!    A value resurfacing here means some replica served state it should
+//!    have learned was deleted — the classic stale-read failure of a
+//!    crash recovery or live migration that skipped anti-entropy.
+//! 3. **Replica convergence** — the alive members of a key's group hold
 //!    identical `(version, deleted)` chains (compared by digest), at
-//!    every data center. A recovered node that skipped anti-entropy
-//!    would diverge here — which is also what catches a node serving
-//!    stale chains (invariant 3: recovery syncs *before* serving, so a
-//!    serving replica with a short chain is a violation, not a race).
+//!    every data center, whenever the group sits at base width. (A group
+//!    an in-flight scale-out widened beyond the replication factor
+//!    legitimately diverges: writes land on the top-R of the wider
+//!    member set.) A recovered node that skipped anti-entropy diverges
+//!    here — recovery syncs *before* serving, so a serving replica with
+//!    a short chain is a violation, not a race.
 //! 4. **Missed-deadline accounting** — the per-round delivery reports'
 //!    missed-slice counts must sum to exactly the `bifrost.missed_total`
 //!    metric: no missed slice is dropped from or double-counted in the
@@ -189,12 +198,50 @@ impl InvariantChecker {
     }
 
     /// Invariant 1: every retained acked sample reads back identical
-    /// bytes from every data center that stores it.
+    /// bytes from every data center that stores it. Invariant 2: a
+    /// sample retention just dropped must now read back absent
+    /// everywhere — a value resurfacing after its deletion is a stale
+    /// read (the deletion fanned out to every alive replica this round,
+    /// and recovery/migration anti-entropy replicates deletion marks).
     fn check_acked_stable(&mut self, system: &DirectLoad, round: u32) {
         let min_live = system.min_live_version();
-        self.samples.retain(|s| s.version >= min_live);
+        let (kept, dropped): (Vec<AckedSample>, Vec<AckedSample>) =
+            std::mem::take(&mut self.samples)
+                .into_iter()
+                .partition(|s| s.version >= min_live);
+        self.samples = kept;
         let summary_hosts = bifrost::DataCenterId::summary_hosts();
         let all_dcs = system.dc_ids();
+        for s in &dropped {
+            for &dc in &summary_hosts {
+                if let Ok((Some(v), _)) = system.get_summary(dc, &s.url, s.version) {
+                    self.violations.push(Violation {
+                        round,
+                        invariant: "no_stale_reads",
+                        detail: format!(
+                            "summary {:?}@v{} at {dc:?} still readable ({} bytes) after retention dropped it",
+                            s.url,
+                            s.version,
+                            v.len()
+                        ),
+                    });
+                }
+            }
+            for &dc in &all_dcs {
+                if let Ok((Some(v), _)) = system.get_forward(dc, &s.url, s.version) {
+                    self.violations.push(Violation {
+                        round,
+                        invariant: "no_stale_reads",
+                        detail: format!(
+                            "forward {:?}@v{} at {dc:?} still readable ({} bytes) after retention dropped it",
+                            s.url,
+                            s.version,
+                            v.len()
+                        ),
+                    });
+                }
+            }
+        }
         for s in &self.samples {
             for &dc in &summary_hosts {
                 match system.get_summary(dc, &s.url, s.version) {
@@ -229,8 +276,12 @@ impl InvariantChecker {
         }
     }
 
-    /// Invariants 2 & 3: alive replicas of every sampled key hold
-    /// identical version chains, in every data center.
+    /// Invariant 3: alive replicas of every sampled key hold identical
+    /// version chains, in every data center — for groups at base width.
+    /// A group a scale-out widened beyond the replication factor
+    /// legitimately diverges (writes land on the top-R of the wider
+    /// member set), so those groups are skipped until a drain brings
+    /// them back to width.
     fn check_convergence(&mut self, system: &DirectLoad, round: u32) {
         let summary_hosts = bifrost::DataCenterId::summary_hosts();
         for &dc in &system.dc_ids() {
@@ -241,6 +292,10 @@ impl InvariantChecker {
                     keys.push(routed_key(IndexKind::Summary, url));
                 }
                 for key in keys {
+                    let group = cluster.key_group(&key);
+                    if cluster.group_members(group).len() > cluster.replicas() {
+                        continue;
+                    }
                     let digests = cluster.chain_digests(&key);
                     if digests.windows(2).any(|w| w[0].1 != w[1].1) {
                         self.violations.push(Violation {

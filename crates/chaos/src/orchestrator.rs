@@ -2,8 +2,9 @@
 //!
 //! Each round the orchestrator (1) applies the schedule's due events
 //! through the real injection hooks — `Mint::fail_node`/`recover_node`,
-//! `Bifrost::schedule_link_scale`/`set_corruption_rate`, and
-//! `Device::set_fault_injection` — (2) runs a full update cycle, and
+//! `Bifrost::schedule_link_scale`/`set_corruption_rate`,
+//! `Device::set_fault_injection`, and for topology churn a live
+//! throttled `placement::Migration` — (2) runs a full update cycle, and
 //! (3) hands the outcome to the [`InvariantChecker`]. Every fault and
 //! repair is emitted three ways: a line in the human-readable timeline
 //! (the determinism artifact), a [`obs::SpanKind::Fault`]/`Repair`
@@ -20,6 +21,14 @@ use directload::DirectLoad;
 use mint::NodeId;
 use netsim::LinkId;
 use simclock::SimTime;
+
+/// Throttle for churn migrations: fast enough that a storm round's churn
+/// settles promptly, slow enough to span many batches on the sim clock.
+const CHURN_THROTTLE_BPS: u64 = 8 * 1024 * 1024;
+/// Batch budget for churn migrations — small enough that a storm-scale
+/// join or drain spans several throttled batches (and thus several
+/// `migrate`/`drain` spans), as a production rebalance would.
+const CHURN_STEP_BYTES: u64 = 16 * 1024;
 
 /// Orchestrator knobs.
 #[derive(Debug, Clone, Copy)]
@@ -237,6 +246,68 @@ impl Orchestrator {
                 );
                 self.emit_fault(round, kind);
             }
+            FaultKind::GroupScaleOut { dc, group } => {
+                self.apply_churn(
+                    round,
+                    kind,
+                    dc,
+                    placement::PlanOp::Join {
+                        group: group as usize,
+                    },
+                    checker,
+                );
+            }
+            FaultKind::Decommission { dc, node } => {
+                self.apply_churn(
+                    round,
+                    kind,
+                    dc,
+                    placement::PlanOp::Drain { node: NodeId(node) },
+                    checker,
+                );
+            }
+        }
+    }
+
+    /// Executes one topology-churn op as a live throttled migration,
+    /// synchronously, against the DC's cluster. The migrator writes its
+    /// `migrate`/`drain` spans and `placement.*` counters into the
+    /// system's shared trace ring and registry, so churn shows up in
+    /// `introspect()` exactly as an operator-driven rebalance would.
+    fn apply_churn(
+        &mut self,
+        round: u32,
+        kind: FaultKind,
+        dc: usize,
+        op: placement::PlanOp,
+        checker: &mut InvariantChecker,
+    ) {
+        let id = self.dc_id(dc);
+        let registry = self.system.registry().clone();
+        let trace = self.system.trace().clone();
+        let plan = placement::MigrationPlan {
+            ops: vec![op],
+            estimated_bytes: 0,
+        };
+        let mcfg = placement::MigratorConfig {
+            throttle_bytes_per_sec: CHURN_THROTTLE_BPS,
+            step_bytes: CHURN_STEP_BYTES,
+        };
+        let cluster = self.system.cluster_mut(id).expect("deployment DC exists");
+        match placement::Migration::execute(plan, mcfg, cluster, &registry, Some(&trace)) {
+            Ok(report) => {
+                self.emit_fault(round, kind);
+                self.timeline.push(format!(
+                    "round={round:02} migrate dc={dc} steps={} bytes={} items={}",
+                    report.steps, report.bytes_moved, report.items_moved
+                ));
+            }
+            Err(e) => self.note_violation(
+                checker,
+                round,
+                "schedule_valid",
+                format!("churn {kind} rejected: {e}"),
+            ),
         }
     }
 

@@ -12,10 +12,18 @@
 //! already runs at minimum live membership, never crashes a node that is
 //! already down or under media-fault injection (recovery replays the AOF
 //! from flash — injected read faults would make the recovery itself
-//! flaky), and always schedules the matching recovery.
+//! flaky), and always schedules the matching recovery. The model also
+//! tracks topology churn: scale-outs add nodes with deterministic dense
+//! ids, decommissions are only rolled against groups an earlier
+//! scale-out lifted above the replication floor, and retired nodes drop
+//! out of every later candidate pool.
 
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// Scale-out cap per DC per storm: churn should reshape the topology,
+/// not grow it without bound (each join syncs a full group's footprint).
+const MAX_SCALE_OUTS_PER_DC: u32 = 2;
 
 /// One typed fault (or its repair), addressed to a specific layer.
 ///
@@ -62,17 +70,30 @@ pub enum FaultKind {
         one_in: u64,
         rounds: u32,
     },
+    /// Placement layer: grow group `group` of DC `dc` by one node via a
+    /// live throttled migration (join, batched anti-entropy, cutover).
+    /// Applied synchronously before the round runs, mid-storm — crashes
+    /// and media faults in surrounding rounds land on the churned
+    /// topology.
+    GroupScaleOut { dc: usize, group: u32 },
+    /// Placement layer: drain node `node` of DC `dc` to the survivors
+    /// and retire it via a live throttled migration; reads fail over to
+    /// the remaining replicas. Only scheduled for groups an earlier
+    /// scale-out lifted above the replication floor.
+    Decommission { dc: usize, node: u32 },
 }
 
 impl FaultKind {
     /// The subsystem the fault lands in — `mint`, `netsim`, `bifrost`,
-    /// or `ssd`. The chaos example asserts a storm spans several layers.
+    /// `ssd`, or `placement`. The chaos example asserts a storm spans
+    /// several layers.
     pub fn layer(&self) -> &'static str {
         match self {
             FaultKind::NodeCrash { .. } | FaultKind::NodeRecover { .. } => "mint",
             FaultKind::LinkOutage { .. } | FaultKind::LinkDegrade { .. } => "netsim",
             FaultKind::CorruptionBurst { .. } => "bifrost",
             FaultKind::SsdReadFaults { .. } | FaultKind::SsdProgramFaults { .. } => "ssd",
+            FaultKind::GroupScaleOut { .. } | FaultKind::Decommission { .. } => "placement",
         }
     }
 
@@ -86,6 +107,8 @@ impl FaultKind {
             FaultKind::CorruptionBurst { .. } => "corruption_burst",
             FaultKind::SsdReadFaults { .. } => "ssd_read_faults",
             FaultKind::SsdProgramFaults { .. } => "ssd_program_faults",
+            FaultKind::GroupScaleOut { .. } => "group_scale_out",
+            FaultKind::Decommission { .. } => "decommission",
         }
     }
 }
@@ -131,6 +154,12 @@ impl fmt::Display for FaultKind {
                 f,
                 "ssd_program_faults dc={dc} node={node} one_in={one_in} rounds={rounds}"
             ),
+            FaultKind::GroupScaleOut { dc, group } => {
+                write!(f, "group_scale_out dc={dc} group={group}")
+            }
+            FaultKind::Decommission { dc, node } => {
+                write!(f, "decommission dc={dc} node={node}")
+            }
         }
     }
 }
@@ -158,9 +187,10 @@ pub struct ScheduleConfig {
     pub num_dcs: usize,
     /// Storage nodes per data center.
     pub nodes_per_dc: u32,
-    /// Nodes per Mint group (node `n` belongs to group
-    /// `n / nodes_per_group`). The generator keeps at least
-    /// `min_alive_per_group` of each group alive.
+    /// Nodes per Mint group at deployment time (node `n` starts in group
+    /// `n / nodes_per_group`; churn reshapes membership from there). The
+    /// generator keeps at least `min_alive_per_group` of each group
+    /// alive.
     pub nodes_per_group: u32,
     /// Minimum alive nodes per group at all times (≥ 1; the default of 2
     /// keeps reads replicated even mid-crash).
@@ -175,6 +205,11 @@ pub struct ScheduleConfig {
     pub corruption_permille: u32,
     /// Per-DC, per-round SSD fault probability (permille).
     pub ssd_permille: u32,
+    /// Per-DC, per-round topology-churn probability (permille): a
+    /// scale-out of a random group or, once an earlier scale-out left a
+    /// group above the replication floor, a decommission of one of its
+    /// healthy members.
+    pub churn_permille: u32,
 }
 
 impl ScheduleConfig {
@@ -194,6 +229,7 @@ impl ScheduleConfig {
             link_permille: 500,
             corruption_permille: 350,
             ssd_permille: 260,
+            churn_permille: 140,
         }
     }
 }
@@ -247,6 +283,7 @@ impl Schedule {
     pub fn generate(cfg: &ScheduleConfig) -> Self {
         assert!(cfg.nodes_per_group > 0 && cfg.nodes_per_dc.is_multiple_of(cfg.nodes_per_group));
         assert!(cfg.min_alive_per_group >= 1 && cfg.min_alive_per_group <= cfg.nodes_per_group);
+        let num_groups = (cfg.nodes_per_dc / cfg.nodes_per_group) as usize;
         let mut rng = Rng::new(cfg.seed);
         let mut events = Vec::new();
         // (dc, node) currently crashed, and when each recovers.
@@ -254,6 +291,18 @@ impl Schedule {
         let mut recoveries: Vec<(u32, usize, u32)> = Vec::new();
         // (dc, node) under SSD fault injection, with expiry round.
         let mut ssd_active: Vec<(u32, usize, u32)> = Vec::new();
+        // Live group membership per DC — the churned topology. Churn
+        // applies synchronously in the orchestrator, so node ids are
+        // deterministic: a scale-out always creates the next dense id.
+        let mut members: Vec<Vec<Vec<u32>>> = (0..cfg.num_dcs)
+            .map(|_| {
+                (0..num_groups as u32)
+                    .map(|g| (g * cfg.nodes_per_group..(g + 1) * cfg.nodes_per_group).collect())
+                    .collect()
+            })
+            .collect();
+        let mut next_node: Vec<u32> = vec![cfg.nodes_per_dc; cfg.num_dcs];
+        let mut scale_outs: Vec<u32> = vec![0; cfg.num_dcs];
         for round in 0..cfg.rounds {
             // Fire due recoveries first so a node can crash again later.
             recoveries.retain(|&(at, dc, node)| {
@@ -274,15 +323,20 @@ impl Schedule {
                     // Pick a crashable node: alive, its group above the
                     // floor, and not under media-fault injection (the
                     // recovery AOF scan must be able to read flash).
-                    let candidates: Vec<u32> = (0..cfg.nodes_per_dc)
-                        .filter(|&n| {
-                            let group = n / cfg.nodes_per_group;
-                            let down_in_group = crashed
+                    let candidates: Vec<u32> = members[dc]
+                        .iter()
+                        .flat_map(|group| {
+                            let alive = group
                                 .iter()
-                                .filter(|&&(d, c)| d == dc && c / cfg.nodes_per_group == group)
+                                .filter(|&&m| !crashed.contains(&(dc, m)))
                                 .count() as u32;
+                            group
+                                .iter()
+                                .copied()
+                                .filter(move |_| alive > cfg.min_alive_per_group)
+                        })
+                        .filter(|&n| {
                             !crashed.contains(&(dc, n))
-                                && cfg.nodes_per_group - down_in_group > cfg.min_alive_per_group
                                 && !ssd_active.iter().any(|&(_, d, c)| d == dc && c == n)
                         })
                         .collect();
@@ -299,7 +353,10 @@ impl Schedule {
                     }
                 }
                 if rng.permille() < cfg.ssd_permille {
-                    let candidates: Vec<u32> = (0..cfg.nodes_per_dc)
+                    let candidates: Vec<u32> = members[dc]
+                        .iter()
+                        .flatten()
+                        .copied()
                         .filter(|&n| {
                             !crashed.contains(&(dc, n))
                                 && !ssd_active.iter().any(|&(_, d, c)| d == dc && c == n)
@@ -324,6 +381,50 @@ impl Schedule {
                         };
                         events.push(FaultEvent { round, kind });
                         ssd_active.push((round + rounds, dc, node));
+                    }
+                }
+                if rng.permille() < cfg.churn_permille {
+                    // Decommission when an earlier scale-out left a group
+                    // above the floor and it has a healthy member to
+                    // drain (alive, not under media-fault injection, and
+                    // leaving at least `min_alive_per_group` behind);
+                    // otherwise grow a random group, capped so the storm
+                    // does not turn into pure expansion.
+                    let mut eligible: Vec<u32> = Vec::new();
+                    for group in &members[dc] {
+                        if group.len() as u32 <= cfg.nodes_per_group {
+                            continue;
+                        }
+                        let alive = group
+                            .iter()
+                            .filter(|&&m| !crashed.contains(&(dc, m)))
+                            .count() as u32;
+                        if alive <= cfg.min_alive_per_group {
+                            continue;
+                        }
+                        eligible.extend(group.iter().copied().filter(|&m| {
+                            !crashed.contains(&(dc, m))
+                                && !ssd_active.iter().any(|&(_, d, c)| d == dc && c == m)
+                        }));
+                    }
+                    if !eligible.is_empty() {
+                        let node = eligible[rng.below(eligible.len())];
+                        for group in members[dc].iter_mut() {
+                            group.retain(|&m| m != node);
+                        }
+                        events.push(FaultEvent {
+                            round,
+                            kind: FaultKind::Decommission { dc, node },
+                        });
+                    } else if scale_outs[dc] < MAX_SCALE_OUTS_PER_DC {
+                        let group = rng.below(num_groups) as u32;
+                        members[dc][group as usize].push(next_node[dc]);
+                        next_node[dc] += 1;
+                        scale_outs[dc] += 1;
+                        events.push(FaultEvent {
+                            round,
+                            kind: FaultKind::GroupScaleOut { dc, group },
+                        });
                     }
                 }
             }
@@ -416,23 +517,62 @@ mod tests {
     fn crashes_always_leave_group_quorum_and_get_recoveries() {
         let cfg = ScheduleConfig::storm(0xDEAD_BEEF, 20);
         let s = Schedule::generate(&cfg);
+        // Replay the events against an independent membership model —
+        // the schedule must stay valid under its own churn.
+        let num_groups = (cfg.nodes_per_dc / cfg.nodes_per_group) as usize;
+        let mut members: Vec<Vec<Vec<u32>>> = (0..cfg.num_dcs)
+            .map(|_| {
+                (0..num_groups as u32)
+                    .map(|g| (g * cfg.nodes_per_group..(g + 1) * cfg.nodes_per_group).collect())
+                    .collect()
+            })
+            .collect();
+        let mut next_node: Vec<u32> = vec![cfg.nodes_per_dc; cfg.num_dcs];
         let mut crashed: BTreeSet<(usize, u32)> = BTreeSet::new();
+        let group_of = |members: &Vec<Vec<Vec<u32>>>, dc: usize, node: u32| {
+            members[dc].iter().position(|g| g.contains(&node))
+        };
+        let alive_in = |members: &Vec<Vec<Vec<u32>>>,
+                        crashed: &BTreeSet<(usize, u32)>,
+                        dc: usize,
+                        g: usize| {
+            members[dc][g]
+                .iter()
+                .filter(|&&m| !crashed.contains(&(dc, m)))
+                .count() as u32
+        };
         for e in s.events() {
             match e.kind {
                 FaultKind::NodeCrash { dc, node } => {
+                    let g = group_of(&members, dc, node).expect("crash of a member node");
                     assert!(crashed.insert((dc, node)), "double crash {e:?}");
-                    let group = node / cfg.nodes_per_group;
-                    let down = crashed
-                        .iter()
-                        .filter(|&&(d, n)| d == dc && n / cfg.nodes_per_group == group)
-                        .count() as u32;
                     assert!(
-                        cfg.nodes_per_group - down >= cfg.min_alive_per_group,
+                        alive_in(&members, &crashed, dc, g) >= cfg.min_alive_per_group,
                         "group under quorum after {e:?}"
                     );
                 }
                 FaultKind::NodeRecover { dc, node } => {
                     assert!(crashed.remove(&(dc, node)), "recover of alive node {e:?}");
+                }
+                FaultKind::GroupScaleOut { dc, group } => {
+                    members[dc][group as usize].push(next_node[dc]);
+                    next_node[dc] += 1;
+                }
+                FaultKind::Decommission { dc, node } => {
+                    assert!(
+                        !crashed.contains(&(dc, node)),
+                        "decommission of a crashed node {e:?}"
+                    );
+                    let g = group_of(&members, dc, node).expect("decommission of a member node");
+                    assert!(
+                        members[dc][g].len() as u32 > cfg.nodes_per_group,
+                        "decommission would breach the replication floor {e:?}"
+                    );
+                    members[dc][g].retain(|&m| m != node);
+                    assert!(
+                        alive_in(&members, &crashed, dc, g) >= cfg.min_alive_per_group,
+                        "group under quorum after {e:?}"
+                    );
                 }
                 _ => {}
             }
@@ -440,6 +580,34 @@ mod tests {
         // Whatever is still crashed recovers in the orchestrator's final
         // settle phase — but the schedule itself must never recover a
         // node twice or out of order, which the loop above asserted.
+    }
+
+    #[test]
+    fn storms_churn_the_topology() {
+        // Across a handful of seeds, churny storms must exercise both
+        // scale-out and decommission, and every decommission must be
+        // preceded by a scale-out in the same DC (the floor rule).
+        let mut outs = 0u32;
+        let mut decoms = 0u32;
+        for seed in 1..=8u64 {
+            let s = Schedule::generate(&ScheduleConfig::storm(seed, 16));
+            let mut grown: BTreeSet<usize> = BTreeSet::new();
+            for e in s.events() {
+                match e.kind {
+                    FaultKind::GroupScaleOut { dc, .. } => {
+                        grown.insert(dc);
+                        outs += 1;
+                    }
+                    FaultKind::Decommission { dc, .. } => {
+                        assert!(grown.contains(&dc), "decommission before scale-out {e:?}");
+                        decoms += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(outs > 0, "storms never scaled out");
+        assert!(decoms > 0, "storms never decommissioned");
     }
 
     #[test]

@@ -37,6 +37,54 @@ fn same_seed_storms_replay_byte_identically_with_zero_violations() {
 }
 
 #[test]
+fn churn_migrates_live_without_violations() {
+    use chaos::{FaultEvent, FaultKind};
+    // An explicit churn timeline: scale out group 0 of DC 0 mid-storm,
+    // then decommission one of its original members two rounds later —
+    // with pipeline rounds (writes, retention, reads) in between. No
+    // acked write may be lost and no stale version may resurface.
+    let schedule = Schedule::from_events(vec![
+        FaultEvent {
+            round: 1,
+            kind: FaultKind::GroupScaleOut { dc: 0, group: 0 },
+        },
+        FaultEvent {
+            round: 3,
+            kind: FaultKind::Decommission { dc: 0, node: 0 },
+        },
+    ]);
+    let system = DirectLoad::new(DirectLoadConfig::small());
+    let cfg = ChaosConfig {
+        rounds: 5,
+        ..ChaosConfig::default()
+    };
+    let report = Orchestrator::new(system, schedule, cfg).run();
+    assert!(
+        report.violations.is_empty(),
+        "live churn must keep every invariant: {:?}",
+        report.violations
+    );
+    assert!(report
+        .timeline
+        .iter()
+        .any(|l| l.contains("fault=group_scale_out dc=0 group=0")));
+    assert!(report
+        .timeline
+        .iter()
+        .any(|l| l.contains("fault=decommission dc=0 node=0")));
+    assert!(
+        report
+            .timeline
+            .iter()
+            .filter(|l| l.contains(" migrate dc=0 "))
+            .count()
+            == 2,
+        "both churn ops run as live migrations: {:?}",
+        report.timeline
+    );
+}
+
+#[test]
 fn different_seeds_produce_different_storms() {
     let a = Schedule::generate(&ScheduleConfig::storm(7, 8));
     let b = Schedule::generate(&ScheduleConfig::storm(8, 8));

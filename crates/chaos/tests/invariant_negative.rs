@@ -39,6 +39,72 @@ fn checker_flags_a_lost_acked_write() {
     );
 }
 
+/// A resurrected deleted version must be caught as a stale read: once
+/// retention drops a version below the live floor, no replica may serve
+/// it again.
+#[test]
+fn checker_flags_a_stale_read() {
+    let mut system = DirectLoad::new(DirectLoadConfig::small());
+    let mut checker = InvariantChecker::new(&system, 4);
+    // small() retains 4 versions: v1 stays live through v4 and retention
+    // drops it while v5 is published.
+    for round in 0..4 {
+        let report = system.run_version(0.5).unwrap();
+        checker.observe_round(&system, &report, round);
+    }
+    assert!(checker.violations().is_empty(), "clean rounds must pass");
+    let report = system.run_version(0.5).unwrap();
+    // Reach under the pipeline and resurrect v1 of one sampled forward
+    // key after retention deleted it — exactly what a replica that lost
+    // the deletion mark would serve.
+    let url = system.urls()[0].clone();
+    let key = routed_key(IndexKind::Forward, &url);
+    let dc = system.dc_ids()[0];
+    system
+        .cluster_mut(dc)
+        .unwrap()
+        .apply(&[mint::WriteOp {
+            key,
+            version: 1,
+            value: Some(bytes::Bytes::from_static(b"stale resurrected value")),
+        }])
+        .unwrap();
+    checker.observe_round(&system, &report, 4);
+    assert!(
+        checker
+            .violations()
+            .iter()
+            .any(|v| v.invariant == "no_stale_reads"),
+        "resurrected version must be flagged: {:?}",
+        checker.violations()
+    );
+}
+
+/// Decommissioning a node of a base-width group would breach the
+/// replication floor; the cluster refuses and the orchestrator must
+/// record the invalid schedule, not ignore it.
+#[test]
+fn orchestrator_flags_decommission_at_the_floor() {
+    let schedule = Schedule::from_events(vec![FaultEvent {
+        round: 0,
+        kind: FaultKind::Decommission { dc: 0, node: 0 },
+    }]);
+    let system = DirectLoad::new(DirectLoadConfig::small());
+    let cfg = ChaosConfig {
+        rounds: 1,
+        ..ChaosConfig::default()
+    };
+    let report = Orchestrator::new(system, schedule, cfg).run();
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "schedule_valid" && v.detail.contains("replication floor")),
+        "floor-breaching decommission must be flagged: {:?}",
+        report.violations
+    );
+}
+
 /// A schedule that recovers a node that never crashed is invalid; the
 /// orchestrator must surface it as a violation, not ignore it.
 #[test]

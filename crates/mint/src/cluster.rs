@@ -14,9 +14,50 @@ use ssdsim::{CounterSnapshot, Device, DeviceConfig};
 /// retry re-reads the device).
 pub const READ_RETRIES: usize = 3;
 
+/// Bandwidth of the anti-entropy stream a node syncs over (peer reads
+/// are charged to the peers' clocks by their engines; this charges the
+/// transfer itself to the receiving node, so join and catch-up cost is
+/// visible in its busy time).
+pub const SYNC_BYTES_PER_SEC: u64 = 128 * 1024 * 1024;
+
 /// Identifier of a storage node (dense, cluster-wide).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
+
+/// Where a node stands in the topology life cycle.
+///
+/// Only `Serving` and `Draining` nodes are in the routing table
+/// (`groups`); a `Joining` node receives catch-up batches but no routed
+/// traffic, and a `Retired` node keeps its device (flash survives) but
+/// is permanently out of service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// In the routing table, serving reads and writes.
+    Serving,
+    /// Created by [`Mint::begin_join`]: catching up on `group`'s data,
+    /// invisible to routing until [`Mint::cutover_join`].
+    Joining {
+        /// The group the node is joining.
+        group: usize,
+    },
+    /// Still routed, but pushing its data to the post-removal owners;
+    /// leaves the routing table at [`Mint::cutover_drain`].
+    Draining,
+    /// Decommissioned: engine dropped, device retained, never routed.
+    Retired,
+}
+
+/// Progress of one bounded anti-entropy or drain batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStep {
+    /// Payload bytes copied this batch (key + materialized value, per
+    /// target replica).
+    pub bytes: u64,
+    /// Items copied this batch (per target replica).
+    pub items: u64,
+    /// True when a full scan found nothing left to copy.
+    pub done: bool,
+}
 
 /// One write as routed by Mint (the wire shape Bifrost delivers).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,8 +146,11 @@ pub struct Mint {
     nodes: Vec<NodeState>,
     /// Node ids per group.
     groups: Vec<Vec<u32>>,
-    /// Alive flags, indexed by node id.
+    /// Alive flags, indexed by node id (true only while the node's
+    /// engine is up *and* the node is in service).
     alive: Vec<bool>,
+    /// Topology life-cycle state, indexed by node id.
+    roles: Vec<NodeRole>,
     /// Trace sink plus cluster label prefix, kept so recovered or added
     /// nodes get re-instrumented.
     trace: Option<(obs::TraceSink, String)>,
@@ -146,11 +190,13 @@ impl Mint {
             groups.push(members);
         }
         let alive = vec![true; nodes.len()];
+        let roles = vec![NodeRole::Serving; nodes.len()];
         Mint {
             cfg,
             nodes,
             groups,
             alive,
+            roles,
             trace: None,
             wall_trace: None,
         }
@@ -297,10 +343,14 @@ impl Mint {
         Ok(report)
     }
 
-    /// Deletes `key/version` on its replicas (used to retire old index
-    /// versions; at most four stay on disk in production).
+    /// Deletes `key/version` on every alive member of its group (used to
+    /// retire old index versions; at most four stay on disk in
+    /// production). Fanning out beyond the current top-R replicas is a
+    /// no-op at base group width, but once a group has scaled out, copies
+    /// held by former owners must be retired too — `del` of an unknown
+    /// item is a safe no-op in the engine.
     pub fn delete(&mut self, key: &[u8], version: u64) -> Result<()> {
-        for r in self.replicas_of(key) {
+        for r in self.group_readers(key) {
             let node = &self.nodes[r.0 as usize];
             let mut guard = node.engine.write();
             if let Some(engine) = guard.as_mut() {
@@ -422,6 +472,14 @@ impl Mint {
             .nodes
             .get(node.0 as usize)
             .ok_or(MintError::NoSuchNode(node.0))?;
+        if !matches!(
+            self.roles[node.0 as usize],
+            NodeRole::Serving | NodeRole::Draining
+        ) {
+            // Joining and retired nodes are not in service; crashing
+            // them is a scheduling error, not a storm.
+            return Err(MintError::BadNodeState(node.0));
+        }
         let mut guard = state.engine.write();
         if guard.take().is_none() || !self.alive[node.0 as usize] {
             return Err(MintError::BadNodeState(node.0));
@@ -441,6 +499,14 @@ impl Mint {
             .nodes
             .get(node.0 as usize)
             .ok_or(MintError::NoSuchNode(node.0))?;
+        if !matches!(
+            self.roles[node.0 as usize],
+            NodeRole::Serving | NodeRole::Draining
+        ) {
+            // A retired node's flash is intact but it must never rejoin
+            // through the crash-recovery path.
+            return Err(MintError::BadNodeState(node.0));
+        }
         let mut guard = state.engine.write();
         if guard.is_some() || self.alive[node.0 as usize] {
             return Err(MintError::BadNodeState(node.0));
@@ -473,12 +539,28 @@ impl Mint {
     /// from its group peers. Live items materialize as full values (the
     /// peer resolves deduplication locally); deletions replicate as
     /// put-then-delete so the node's deletion knowledge is authoritative.
-    fn sync_node(&mut self, node: NodeId) -> Result<()> {
-        let group = self
-            .groups
-            .iter()
-            .position(|g| g.contains(&node.0))
-            .expect("node belongs to a group");
+    /// Returns the payload bytes copied.
+    fn sync_node(&mut self, node: NodeId) -> Result<u64> {
+        let group = match self.roles[node.0 as usize] {
+            NodeRole::Joining { group } => group,
+            _ => self
+                .groups
+                .iter()
+                .position(|g| g.contains(&node.0))
+                .expect("node belongs to a group"),
+        };
+        let step = self.sync_from_group(node, group, u64::MAX)?;
+        debug_assert!(step.done, "an unbounded sync pass always finishes");
+        Ok(step.bytes)
+    }
+
+    /// One bounded anti-entropy batch: copies up to `max_bytes` of the
+    /// items the node is missing from the alive members of `group` (at
+    /// least one item per call, so progress is guaranteed), flushes, and
+    /// charges the transfer to the node's clock at
+    /// [`SYNC_BYTES_PER_SEC`]. `done` is true when a full scan found
+    /// nothing left to copy.
+    fn sync_from_group(&mut self, node: NodeId, group: usize, max_bytes: u64) -> Result<SyncStep> {
         // Gather the union of peer items (key, version, deleted) plus the
         // resolved value for live ones.
         let mut wanted: std::collections::BTreeMap<(Bytes, u64), (bool, Option<Bytes>)> =
@@ -521,6 +603,10 @@ impl Mint {
         let state = &self.nodes[node.0 as usize];
         let mut guard = state.engine.write();
         let engine = guard.as_mut().ok_or(MintError::BadNodeState(node.0))?;
+        let mut step = SyncStep {
+            done: true,
+            ..SyncStep::default()
+        };
         for ((key, version), (deleted, value)) in wanted {
             let known = engine
                 .versions_of(&key)
@@ -528,6 +614,12 @@ impl Mint {
                 .any(|&(v, _, d)| v == version && (d || !deleted));
             if known {
                 continue;
+            }
+            if step.items > 0 && step.bytes >= max_bytes {
+                // Budget spent with work left: the caller comes back for
+                // another batch.
+                step.done = false;
+                break;
             }
             let map_err = |error| MintError::Node {
                 node: node.0,
@@ -547,21 +639,40 @@ impl Mint {
             if deleted {
                 engine.del(&key, version).map_err(map_err)?;
             }
+            step.items += 1;
+            step.bytes += (key.len() + value.as_ref().map_or(0, |v| v.len())) as u64;
         }
         engine.flush().map_err(|error| MintError::Node {
             node: node.0,
             error,
         })?;
-        Ok(())
+        drop(guard);
+        self.charge_transfer(node, step.bytes);
+        Ok(step)
     }
 
-    /// Adds a fresh node to `group`. Existing data is not bulk-moved off
-    /// other nodes ("without redistributing the stored key-value pairs"),
-    /// but the newcomer anti-entropies the group's current items before
-    /// serving, so every serving replica holds complete version chains.
-    /// Returns its id.
-    pub fn add_node(&mut self, group: usize) -> NodeId {
-        assert!(group < self.groups.len());
+    /// Charges `bytes` of anti-entropy transfer to the node's clock at
+    /// [`SYNC_BYTES_PER_SEC`].
+    fn charge_transfer(&self, node: NodeId, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let ns = bytes
+            .saturating_mul(1_000_000_000)
+            .div_ceil(SYNC_BYTES_PER_SEC);
+        self.nodes[node.0 as usize]
+            .clock
+            .advance(SimTime::from_nanos(ns));
+    }
+
+    /// Creates a fresh node that will join `group`. The newcomer is not
+    /// yet in the routing table — reads and writes keep going to the old
+    /// replica set — and catches up via [`Mint::join_sync_step`] batches
+    /// until [`Mint::cutover_join`] flips it to serving.
+    pub fn begin_join(&mut self, group: usize) -> Result<NodeId> {
+        if group >= self.groups.len() {
+            return Err(MintError::NoSuchGroup(group));
+        }
         let id = NodeId(self.nodes.len() as u32);
         let clock = SimClock::new();
         let device = Device::new(self.cfg.device, clock.clone());
@@ -572,12 +683,240 @@ impl Mint {
             device,
             engine: RwLock::new(Some(engine)),
         });
-        self.alive.push(true);
-        self.groups[group].push(id.0);
+        self.alive.push(false);
+        self.roles.push(NodeRole::Joining { group });
         self.reattach_trace(id);
-        self.sync_node(id)
-            .expect("sync of a fresh node cannot fail");
-        id
+        Ok(id)
+    }
+
+    /// One bounded catch-up batch for a joining node: copies up to
+    /// `max_bytes` of the group items it is still missing (at least one
+    /// item per call). Re-scans the peers each call, so writes that
+    /// landed since the previous batch are picked up. `done` means a
+    /// full scan found nothing missing — the node is ready for
+    /// [`Mint::cutover_join`].
+    pub fn join_sync_step(&mut self, node: NodeId, max_bytes: u64) -> Result<SyncStep> {
+        let role = *self
+            .roles
+            .get(node.0 as usize)
+            .ok_or(MintError::NoSuchNode(node.0))?;
+        let NodeRole::Joining { group } = role else {
+            return Err(MintError::BadNodeState(node.0));
+        };
+        self.sync_from_group(node, group, max_bytes)
+    }
+
+    /// Flips a caught-up joining node into the routing table: one final
+    /// (normally empty) catch-up pass, then the node starts taking
+    /// rendezvous-ranked writes and serving group reads.
+    pub fn cutover_join(&mut self, node: NodeId) -> Result<()> {
+        let role = *self
+            .roles
+            .get(node.0 as usize)
+            .ok_or(MintError::NoSuchNode(node.0))?;
+        let NodeRole::Joining { group } = role else {
+            return Err(MintError::BadNodeState(node.0));
+        };
+        self.sync_from_group(node, group, u64::MAX)?;
+        self.groups[group].push(node.0);
+        self.roles[node.0 as usize] = NodeRole::Serving;
+        self.alive[node.0 as usize] = true;
+        Ok(())
+    }
+
+    /// Adds a fresh node to `group`. Existing data is not bulk-moved off
+    /// other nodes ("without redistributing the stored key-value pairs"),
+    /// but the newcomer anti-entropies the group's current items before
+    /// serving, so every serving replica holds complete version chains.
+    /// The catch-up transfer is charged to the newcomer's clock. For a
+    /// throttled, read-serving-throughout version of the same transition
+    /// see the `placement` crate's live migrator.
+    pub fn add_node(&mut self, group: usize) -> Result<NodeId> {
+        let id = self.begin_join(group)?;
+        if let Err(error) = self.cutover_join(id) {
+            // The newcomer never entered the routing table; retire the
+            // husk so the cluster state stays consistent.
+            self.roles[id.0 as usize] = NodeRole::Retired;
+            self.nodes[id.0 as usize].engine.write().take();
+            return Err(error);
+        }
+        Ok(id)
+    }
+
+    /// Starts decommissioning a serving node: it keeps serving reads and
+    /// taking routed writes, while [`Mint::drain_step`] batches push its
+    /// items to the nodes that will own them after removal. Fails if the
+    /// group would drop below the replication factor.
+    pub fn begin_drain(&mut self, node: NodeId) -> Result<()> {
+        let role = *self
+            .roles
+            .get(node.0 as usize)
+            .ok_or(MintError::NoSuchNode(node.0))?;
+        if role != NodeRole::Serving || !self.alive[node.0 as usize] {
+            return Err(MintError::BadNodeState(node.0));
+        }
+        let group = self
+            .groups
+            .iter()
+            .position(|g| g.contains(&node.0))
+            .expect("serving node belongs to a group");
+        let remaining = self.groups[group].iter().filter(|&&n| n != node.0).count();
+        if remaining < self.cfg.replicas {
+            return Err(MintError::GroupAtFloor(group));
+        }
+        self.roles[node.0 as usize] = NodeRole::Draining;
+        Ok(())
+    }
+
+    /// One bounded drain batch: pushes up to `max_bytes` of the draining
+    /// node's items to the post-removal replica owners that are missing
+    /// them (at least one item per call). The transfer is charged to the
+    /// draining node's clock. `done` means a full scan found every item
+    /// already covered — the node is ready for [`Mint::cutover_drain`].
+    pub fn drain_step(&mut self, node: NodeId, max_bytes: u64) -> Result<SyncStep> {
+        let role = *self
+            .roles
+            .get(node.0 as usize)
+            .ok_or(MintError::NoSuchNode(node.0))?;
+        if role != NodeRole::Draining {
+            return Err(MintError::BadNodeState(node.0));
+        }
+        let group = self
+            .groups
+            .iter()
+            .position(|g| g.contains(&node.0))
+            .expect("draining node is still routed");
+        // The membership the group will have once this node is gone.
+        let survivors: Vec<u32> = self.groups[group]
+            .iter()
+            .copied()
+            .filter(|&n| n != node.0 && self.alive[n as usize])
+            .collect();
+        // Snapshot the draining node's items, resolving values locally
+        // (its own traceback) with the usual read retries.
+        let mut outgoing: Vec<(Bytes, u64, bool, Option<Bytes>)> = Vec::new();
+        {
+            let state = &self.nodes[node.0 as usize];
+            let guard = state.engine.read();
+            let engine = guard.as_ref().ok_or(MintError::BadNodeState(node.0))?;
+            let items: Vec<(Bytes, u64, bool, bool)> = engine.iter_items().collect();
+            for (key, version, _dedup, deleted) in items {
+                let value = if deleted {
+                    None
+                } else {
+                    let mut attempt = 0;
+                    loop {
+                        match engine.get(&key, version) {
+                            Ok(v) => break v,
+                            Err(error) => {
+                                attempt += 1;
+                                if attempt >= READ_RETRIES {
+                                    return Err(MintError::Node {
+                                        node: node.0,
+                                        error,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                };
+                outgoing.push((key, version, deleted, value));
+            }
+        }
+        let mut step = SyncStep {
+            done: true,
+            ..SyncStep::default()
+        };
+        let mut touched: Vec<u32> = Vec::new();
+        'items: for (key, version, deleted, value) in outgoing {
+            let owners: Vec<u32> = rendezvous_rank(&key, &survivors)
+                .into_iter()
+                .take(self.cfg.replicas)
+                .collect();
+            for owner in owners {
+                let target = &self.nodes[owner as usize];
+                let mut guard = target.engine.write();
+                let engine = guard.as_mut().ok_or(MintError::BadNodeState(owner))?;
+                let known = engine
+                    .versions_of(&key)
+                    .iter()
+                    .any(|&(v, _, d)| v == version && (d || !deleted));
+                if known {
+                    continue;
+                }
+                if step.items > 0 && step.bytes >= max_bytes {
+                    step.done = false;
+                    break 'items;
+                }
+                let map_err = |error| MintError::Node { node: owner, error };
+                if let Some(value) = &value {
+                    engine.put(&key, version, Some(value)).map_err(map_err)?;
+                } else if engine
+                    .versions_of(&key)
+                    .iter()
+                    .all(|&(v, _, _)| v != version)
+                {
+                    engine.put(&key, version, Some(b"")).map_err(map_err)?;
+                }
+                if deleted {
+                    engine.del(&key, version).map_err(map_err)?;
+                }
+                step.items += 1;
+                step.bytes += (key.len() + value.as_ref().map_or(0, |v| v.len())) as u64;
+                if !touched.contains(&owner) {
+                    touched.push(owner);
+                }
+            }
+        }
+        for owner in touched {
+            let target = &self.nodes[owner as usize];
+            let mut guard = target.engine.write();
+            if let Some(engine) = guard.as_mut() {
+                engine
+                    .flush()
+                    .map_err(|error| MintError::Node { node: owner, error })?;
+            }
+        }
+        self.charge_transfer(node, step.bytes);
+        Ok(step)
+    }
+
+    /// Retires a fully drained node: one final (normally empty) drain
+    /// pass, then the node leaves the routing table, its engine is
+    /// dropped, and reads fail over to the surviving group members. The
+    /// device is kept — flash outlives decommission, as it does a crash.
+    pub fn cutover_drain(&mut self, node: NodeId) -> Result<()> {
+        loop {
+            let step = self.drain_step(node, u64::MAX)?;
+            if step.done {
+                break;
+            }
+        }
+        let group = self
+            .groups
+            .iter()
+            .position(|g| g.contains(&node.0))
+            .expect("draining node is still routed");
+        self.groups[group].retain(|&n| n != node.0);
+        self.roles[node.0 as usize] = NodeRole::Retired;
+        self.alive[node.0 as usize] = false;
+        self.nodes[node.0 as usize].engine.write().take();
+        Ok(())
+    }
+
+    /// Decommissions a serving node in one call: drain everything, then
+    /// cut over. Returns how long the drain kept the node busy. The
+    /// `placement` crate's migrator does the same transition in
+    /// throttled batches against live traffic.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<SimTime> {
+        self.begin_drain(node)?;
+        let t0 = self.nodes[node.0 as usize].clock.now();
+        if let Err(error) = self.cutover_drain(node) {
+            // Roll the role back so the caller can retry the drain.
+            self.roles[node.0 as usize] = NodeRole::Serving;
+            return Err(error);
+        }
+        Ok(self.nodes[node.0 as usize].clock.now().saturating_sub(t0))
     }
 
     /// Checkpoints every alive node's engine (the paper's periodic
@@ -631,9 +970,80 @@ impl Mint {
         self.alive.iter().filter(|&&a| a).count()
     }
 
-    /// True when every node is serving (no outstanding failures).
+    /// True when every node that should be serving is (no outstanding
+    /// failures). Joining newcomers and retired nodes are not in service
+    /// by design and do not count against this.
     pub fn all_alive(&self) -> bool {
-        self.alive.iter().all(|&a| a)
+        self.roles
+            .iter()
+            .zip(&self.alive)
+            .all(|(role, &alive)| match role {
+                NodeRole::Serving | NodeRole::Draining => alive,
+                NodeRole::Joining { .. } | NodeRole::Retired => true,
+            })
+    }
+
+    /// The configured replication factor.
+    pub fn replicas(&self) -> usize {
+        self.cfg.replicas
+    }
+
+    /// Number of replication groups (fixed for the cluster's lifetime —
+    /// Mint scales inside groups, never by resharding).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Current routed members of `group` (serving and draining nodes;
+    /// joining newcomers are not yet routed).
+    pub fn group_members(&self, group: usize) -> &[u32] {
+        &self.groups[group]
+    }
+
+    /// The replication group `key` routes to.
+    pub fn key_group(&self, key: &[u8]) -> usize {
+        group_of(key, self.groups.len())
+    }
+
+    /// The lifecycle role of `node`.
+    pub fn node_role(&self, node: NodeId) -> Result<NodeRole> {
+        self.roles
+            .get(node.0 as usize)
+            .copied()
+            .ok_or(MintError::NoSuchNode(node.0))
+    }
+
+    /// Engine stats for a single node, `None` while its engine is down
+    /// (crashed or retired).
+    pub fn node_stats(&self, node: NodeId) -> Result<Option<EngineStats>> {
+        let state = self
+            .nodes
+            .get(node.0 as usize)
+            .ok_or(MintError::NoSuchNode(node.0))?;
+        Ok(state.engine.read().as_ref().map(QinDb::stats))
+    }
+
+    /// Flash bytes occupied on a single node (0 while its engine is
+    /// down).
+    pub fn node_disk_bytes(&self, node: NodeId) -> Result<u64> {
+        let state = self
+            .nodes
+            .get(node.0 as usize)
+            .ok_or(MintError::NoSuchNode(node.0))?;
+        Ok(state
+            .engine
+            .read()
+            .as_ref()
+            .map(QinDb::disk_bytes)
+            .unwrap_or(0))
+    }
+
+    /// The simulation clock of a single node.
+    pub fn node_clock(&self, node: NodeId) -> Result<SimClock> {
+        self.nodes
+            .get(node.0 as usize)
+            .map(|n| n.clock.clone())
+            .ok_or(MintError::NoSuchNode(node.0))
     }
 
     /// The simulated device backing `node` (available even while the node
@@ -809,7 +1219,7 @@ mod tests {
         let snapshot: Vec<Vec<NodeId>> = (0..40u32)
             .map(|i| m.replicas_of(format!("key-{i:04}").as_bytes()))
             .collect();
-        let new_node = m.add_node(0);
+        let new_node = m.add_node(0).unwrap();
         assert_eq!(m.num_nodes(), 7);
         // Old data stays readable (replica sets may gain the new node for
         // *future* writes, but group membership keeps old replicas valid).
@@ -1018,5 +1428,111 @@ mod tests {
         assert_eq!(s.puts, 25 * 3); // replicas
         assert!(s.user_write_bytes > 0);
         assert!(m.total_disk_bytes() > 0 || s.user_write_bytes < 8192);
+    }
+
+    #[test]
+    fn add_node_charges_catchup_to_newcomer_clock() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        let id = m.add_node(0).unwrap();
+        let busy = m.nodes[id.0 as usize].clock.now();
+        assert!(
+            busy > SimTime::ZERO,
+            "catch-up sync must cost the newcomer time"
+        );
+        assert_eq!(m.node_role(id).unwrap(), NodeRole::Serving);
+    }
+
+    #[test]
+    fn joining_node_is_invisible_until_cutover() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        let before: Vec<Vec<NodeId>> = (0..40u32)
+            .map(|i| m.replicas_of(format!("key-{i:04}").as_bytes()))
+            .collect();
+        let id = m.begin_join(0).unwrap();
+        assert_eq!(m.node_role(id).unwrap(), NodeRole::Joining { group: 0 });
+        assert!(!m.is_alive(id));
+        // No routing change while the newcomer catches up.
+        for (i, reps) in before.iter().enumerate() {
+            let now = m.replicas_of(format!("key-{i:04}").as_bytes());
+            assert_eq!(*reps, now, "joining node leaked into routing");
+        }
+        // Bounded batches make progress and eventually finish.
+        let mut steps = 0;
+        loop {
+            let step = m.join_sync_step(id, 64).unwrap();
+            steps += 1;
+            if step.done {
+                break;
+            }
+            assert!(step.items > 0, "a batch must move at least one item");
+        }
+        assert!(steps > 1, "64-byte budget must take several batches");
+        m.cutover_join(id).unwrap();
+        assert_eq!(m.node_role(id).unwrap(), NodeRole::Serving);
+        assert!(m.group_members(0).contains(&id.0));
+        for i in 0..40u32 {
+            let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 1).unwrap();
+            assert!(v.is_some());
+        }
+    }
+
+    #[test]
+    fn decommission_preserves_data_and_reads_fail_over() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        // Scale group 0 out so it is above the floor. Writes landing at
+        // the wider width pick top-3 of 4, so members legitimately
+        // diverge — the drain below has real data to move.
+        m.add_node(0).unwrap();
+        m.apply(&ops(40, 2)).unwrap();
+        let victim = NodeId(m.group_members(0)[0]);
+        let busy = m.remove_node(victim).unwrap();
+        assert!(busy > SimTime::ZERO, "drain must cost the leaver time");
+        assert_eq!(m.node_role(victim).unwrap(), NodeRole::Retired);
+        assert!(!m.group_members(0).contains(&victim.0));
+        for i in 0..40u32 {
+            let key = format!("key-{i:04}");
+            for version in [1, 2] {
+                let (v, _) = m.get(key.as_bytes(), version).unwrap();
+                assert!(v.is_some(), "key {key} v{version} lost after decommission");
+            }
+        }
+        // The retired node is out of the failure domain.
+        assert!(m.fail_node(victim).is_err());
+        assert!(m.recover_node(victim).is_err());
+        assert!(m.all_alive());
+    }
+
+    #[test]
+    fn decommission_at_replication_floor_is_rejected() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(20, 1)).unwrap();
+        // tiny() groups have exactly `replicas` members: no node may leave.
+        let err = m.begin_drain(NodeId(0)).unwrap_err();
+        assert_eq!(err, MintError::GroupAtFloor(0));
+        assert_eq!(m.node_role(NodeId(0)).unwrap(), NodeRole::Serving);
+    }
+
+    #[test]
+    fn drained_node_keeps_serving_reads_until_cutover() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        m.add_node(0).unwrap();
+        m.apply(&ops(40, 2)).unwrap();
+        let victim = NodeId(m.group_members(0)[0]);
+        m.begin_drain(victim).unwrap();
+        assert_eq!(m.node_role(victim).unwrap(), NodeRole::Draining);
+        // Mid-drain: still routed, every key still readable.
+        let step = m.drain_step(victim, 256).unwrap();
+        assert!(step.items > 0);
+        assert!(m.group_members(0).contains(&victim.0));
+        for i in 0..40u32 {
+            let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 1).unwrap();
+            assert!(v.is_some());
+        }
+        m.cutover_drain(victim).unwrap();
+        assert_eq!(m.node_role(victim).unwrap(), NodeRole::Retired);
     }
 }

@@ -40,7 +40,10 @@
 mod cluster;
 mod hash;
 
-pub use cluster::{ApplyReport, Mint, MintConfig, NodeId, WriteOp, READ_RETRIES};
+pub use cluster::{
+    ApplyReport, Mint, MintConfig, NodeId, NodeRole, SyncStep, WriteOp, READ_RETRIES,
+    SYNC_BYTES_PER_SEC,
+};
 pub use hash::{group_of, rendezvous_rank};
 
 use qindb::QinDbError;
@@ -58,6 +61,11 @@ pub enum MintError {
     /// The node is not in the state the operation requires (e.g. failing
     /// an already-failed node).
     BadNodeState(u32),
+    /// The addressed replication group does not exist.
+    NoSuchGroup(usize),
+    /// Decommissioning this group member would leave fewer members than
+    /// the replication factor.
+    GroupAtFloor(usize),
 }
 
 impl fmt::Display for MintError {
@@ -67,6 +75,10 @@ impl fmt::Display for MintError {
             MintError::NoReplicaAvailable => write!(f, "no alive replica"),
             MintError::NoSuchNode(n) => write!(f, "no such node {n}"),
             MintError::BadNodeState(n) => write!(f, "node {n} in wrong state"),
+            MintError::NoSuchGroup(g) => write!(f, "no such group {g}"),
+            MintError::GroupAtFloor(g) => {
+                write!(f, "group {g} is at the replication floor")
+            }
         }
     }
 }

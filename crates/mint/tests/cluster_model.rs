@@ -152,7 +152,7 @@ proptest! {
                 }
                 Op::AddNode => {
                     if nodes < 10 {
-                        cluster.add_node((nodes % 2) as usize);
+                        cluster.add_node((nodes % 2) as usize).unwrap();
                         nodes += 1;
                     }
                 }

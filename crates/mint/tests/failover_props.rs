@@ -11,6 +11,13 @@
 //! alive peers before the node serves — so *any* read of an acked
 //! `(key, version)` must return exactly the acked bytes, mid-storm or
 //! after the dust settles.
+//!
+//! A second property pins *routing stability under elastic topology*:
+//! across arbitrary add/decommission sequences, keys in untouched groups
+//! never reroute, a rerouted key swaps exactly one replica (the
+//! rendezvous ranks of surviving candidates are order-independent), and
+//! the rerouted fraction of the touched group stays within the
+//! rendezvous-hash expectation of `R/m` plus statistical slack.
 
 use bytes::Bytes;
 use mint::{Mint, MintConfig, MintError, NodeId, WriteOp};
@@ -145,6 +152,92 @@ proptest! {
                 got.as_deref(),
                 Some(v.as_slice()),
                 "acked write {}/{} lost after full recovery", k, t
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Elastic topology changes must disturb routing minimally: a group
+    /// change never reroutes keys of *other* groups; a rerouted key
+    /// swaps exactly one replica — the newcomer in (for an add) or the
+    /// departed node out (for a decommission); and the rerouted fraction
+    /// of the touched group is bounded by the rendezvous expectation
+    /// (`R/(m+1)` of keys adopt a newcomer into their top-R of `m+1`
+    /// candidates; `R/m` of keys held the departed node in their top-R
+    /// of `m`) plus slack for the finite key sample.
+    #[test]
+    fn elastic_topology_reroutes_only_the_rendezvous_fraction(
+        ops in proptest::collection::vec((any::<bool>(), 0u8..16), 1..10)
+    ) {
+        let mut cluster = Mint::new(MintConfig::tiny());
+        let replicas = cluster.replicas();
+        let keys: Vec<Bytes> = (0..64u32)
+            .map(|i| Bytes::from(format!("url-{i:03}")))
+            .collect();
+        for (add, sel) in ops {
+            let before: Vec<Vec<NodeId>> =
+                keys.iter().map(|k| cluster.replicas_of(k)).collect();
+            // Apply one topology change, remembering the candidate-set
+            // size the rendezvous expectation is computed against.
+            let (touched, denom, newcomer, removed);
+            if add {
+                let group = sel as usize % cluster.num_groups();
+                let m = cluster.group_members(group).len();
+                let id = cluster.add_node(group).unwrap();
+                (touched, denom, newcomer, removed) = (group, m + 1, Some(id), None);
+            } else {
+                let mut eligible: Vec<(usize, u32)> = Vec::new();
+                for g in 0..cluster.num_groups() {
+                    let members = cluster.group_members(g);
+                    if members.len() > replicas {
+                        eligible.extend(members.iter().map(|&n| (g, n)));
+                    }
+                }
+                if eligible.is_empty() {
+                    continue; // every group at the floor: nothing to drain
+                }
+                let (group, victim) = eligible[sel as usize % eligible.len()];
+                let m = cluster.group_members(group).len();
+                cluster.remove_node(NodeId(victim)).unwrap();
+                (touched, denom, newcomer, removed) = (group, m, None, Some(NodeId(victim)));
+            }
+            let mut group_keys = 0usize;
+            let mut changed = 0usize;
+            for (key, old) in keys.iter().zip(&before) {
+                let new = cluster.replicas_of(key);
+                prop_assert_eq!(new.len(), replicas, "replica sets keep full width");
+                if cluster.key_group(key) != touched {
+                    prop_assert_eq!(&new, old, "key of an untouched group rerouted");
+                    continue;
+                }
+                group_keys += 1;
+                if &new == old {
+                    continue;
+                }
+                changed += 1;
+                let entered: Vec<NodeId> =
+                    new.iter().filter(|n| !old.contains(n)).copied().collect();
+                let left: Vec<NodeId> =
+                    old.iter().filter(|n| !new.contains(n)).copied().collect();
+                prop_assert_eq!(entered.len(), 1, "reroute must swap exactly one replica in");
+                prop_assert_eq!(left.len(), 1, "reroute must swap exactly one replica out");
+                if let Some(id) = newcomer {
+                    prop_assert_eq!(entered[0], id, "only the newcomer may enter a set");
+                }
+                if let Some(id) = removed {
+                    prop_assert_eq!(left[0], id, "only the departed node may leave a set");
+                }
+            }
+            let p = replicas as f64 / denom as f64;
+            let expected = p * group_keys as f64;
+            let slack = (4.0 * (group_keys as f64 * p * (1.0 - p)).sqrt()).max(3.0);
+            prop_assert!(
+                (changed as f64) <= expected + slack,
+                "rerouted {} of {} keys; rendezvous expects {:.1} (±{:.1})",
+                changed, group_keys, expected, slack
             );
         }
     }

@@ -15,8 +15,10 @@
 //! Span taxonomy (see DESIGN.md "Observability"): the update pipeline
 //! emits `build → dedup → slice → deliver → load → publish`, the serving
 //! path emits `serve`, the storage engines emit `flush`, `checkpoint`,
-//! `engine_gc`, `device_gc`, and `traceback`, and the chaos subsystem
-//! emits `fault`/`repair` for every injected failure and its undo.
+//! `engine_gc`, `device_gc`, and `traceback`, the chaos subsystem
+//! emits `fault`/`repair` for every injected failure and its undo, and
+//! the placement subsystem emits `migrate`/`drain` for every throttled
+//! batch of a live topology change.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -57,11 +59,17 @@ pub enum SpanKind {
     /// A repair undoing an injected fault (node recovery, link restore,
     /// burst expiry).
     Repair,
+    /// One throttled catch-up batch copied to a node joining a Mint
+    /// group (placement live migration).
+    Migrate,
+    /// One throttled batch pushed off a node draining out of a Mint
+    /// group ahead of decommission.
+    Drain,
 }
 
 impl SpanKind {
     /// Every kind, in pipeline-then-maintenance order.
-    pub const ALL: [SpanKind; 14] = [
+    pub const ALL: [SpanKind; 16] = [
         SpanKind::Build,
         SpanKind::Dedup,
         SpanKind::Slice,
@@ -76,6 +84,8 @@ impl SpanKind {
         SpanKind::Traceback,
         SpanKind::Fault,
         SpanKind::Repair,
+        SpanKind::Migrate,
+        SpanKind::Drain,
     ];
 
     /// Stable lowercase name used in JSONL dumps.
@@ -95,6 +105,8 @@ impl SpanKind {
             SpanKind::Traceback => "traceback",
             SpanKind::Fault => "fault",
             SpanKind::Repair => "repair",
+            SpanKind::Migrate => "migrate",
+            SpanKind::Drain => "drain",
         }
     }
 

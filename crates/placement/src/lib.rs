@@ -1,0 +1,43 @@
+//! Placement — elastic shard placement for DirectLoad's Mint layer.
+//!
+//! Mint deliberately scales *inside* replication groups so that topology
+//! changes never reshard stored pairs (DESIGN §2), but scaling still
+//! moves data: a newcomer must anti-entropy the group's items before it
+//! serves, and a leaver must push its items to the survivors before it
+//! retires. Left unscheduled, that bulk replica traffic competes with
+//! foreground serving — the bottleneck studied for LSM replica sync in
+//! *Using RDMA for Efficient Index Replication in LSM Key-Value Stores*
+//! (PAPERS.md). This crate makes the transfer a first-class, measurable
+//! mechanism in three layers:
+//!
+//! * [`LoadReport`] — a deterministic snapshot of per-node and per-group
+//!   pressure assembled from signals the system already exports: engine
+//!   [`qindb` stats](mint::Mint::node_stats), device firmware counters,
+//!   per-node busy clocks, group sizes, and (optionally) the serving
+//!   front-end's latency histogram.
+//! * [`plan`] — turns a report plus a [`TopologyGoal`] (add capacity,
+//!   decommission a node, rebalance the hottest group) into an ordered
+//!   [`MigrationPlan`] of joins and drains, validated against the
+//!   replication floor.
+//! * [`Migration`] — executes the plan against a live cluster in bounded
+//!   batches, each throttled to a configurable bytes/sec budget charged
+//!   to the moving node's sim clock, so foreground reads keep serving
+//!   from the old replica set until cutover. Every batch is emitted as a
+//!   `migrate`/`drain` obs span and rolled into `placement.*` counters,
+//!   which surface through `DirectLoad::introspect()` like every other
+//!   layer's metrics.
+//!
+//! The errors are Mint's own ([`mint::MintError`]): placement adds no
+//! failure modes of its own, it only sequences topology operations the
+//! cluster already validates.
+
+mod load;
+mod migrate;
+mod planner;
+
+pub use load::{GroupLoad, LoadReport, NodeLoad};
+pub use migrate::{Migration, MigrationReport, MigratorConfig, TickOutcome};
+pub use planner::{plan, MigrationPlan, PlanOp, TopologyGoal};
+
+/// Placement operations fail with cluster errors.
+pub type Result<T> = mint::Result<T>;

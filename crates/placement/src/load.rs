@@ -1,0 +1,243 @@
+//! The load model: a deterministic snapshot of cluster pressure.
+//!
+//! Everything here is assembled from signals the layers already export —
+//! no new instrumentation inside the data path. Two snapshots of the
+//! same cluster state render byte-identically, which is what lets the
+//! planner and the perf suite treat a report as a value.
+
+use mint::{Mint, NodeId, NodeRole};
+use obs::LatencyHistogram;
+use simclock::SimTime;
+
+/// Pressure on one storage node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeLoad {
+    /// The node.
+    pub node: NodeId,
+    /// Its replication group (the group it is joining for newcomers;
+    /// `None` once retired).
+    pub group: Option<usize>,
+    /// Lifecycle role at snapshot time.
+    pub role: NodeRole,
+    /// Whether the node is currently serving.
+    pub alive: bool,
+    /// Flash bytes occupied (0 while the engine is down).
+    pub disk_bytes: u64,
+    /// Engine PUTs accepted since birth.
+    pub puts: u64,
+    /// Engine GETs served since birth.
+    pub gets: u64,
+    /// Application payload bytes written.
+    pub user_write_bytes: u64,
+    /// Host bytes written to the device (firmware counter — includes
+    /// flushes and GC the engine stats don't see).
+    pub device_write_bytes: u64,
+    /// How long the node's clock has run: its total busy time.
+    pub busy: SimTime,
+}
+
+/// Pressure on one replication group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupLoad {
+    /// The group.
+    pub group: usize,
+    /// Routed members (serving + draining).
+    pub members: usize,
+    /// Members currently alive.
+    pub alive: usize,
+    /// Flash bytes across members — the cost of a newcomer catching up.
+    pub disk_bytes: u64,
+    /// Payload write bytes across members — the write-pressure signal.
+    pub user_write_bytes: u64,
+}
+
+/// A deterministic snapshot of per-node and per-group pressure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// The cluster's replication factor (the floor a drain validates
+    /// against).
+    pub replicas: usize,
+    /// One entry per node ever created, in node-id order.
+    pub nodes: Vec<NodeLoad>,
+    /// One entry per group, in group order.
+    pub groups: Vec<GroupLoad>,
+    /// Read latency percentiles from the serving front-end's histogram
+    /// (`[p50, p99]`, microseconds), when one was attached.
+    pub read_latency_us: Option<[u64; 2]>,
+}
+
+impl LoadReport {
+    /// Snapshots the cluster. Read-only: engine stats, device counters,
+    /// clocks and topology are all observed, never mutated.
+    pub fn snapshot(cluster: &Mint) -> LoadReport {
+        let mut nodes = Vec::with_capacity(cluster.num_nodes());
+        for raw in 0..cluster.num_nodes() as u32 {
+            let node = NodeId(raw);
+            let role = cluster.node_role(node).expect("node exists");
+            let group = match role {
+                NodeRole::Joining { group } => Some(group),
+                NodeRole::Retired => None,
+                NodeRole::Serving | NodeRole::Draining => {
+                    (0..cluster.num_groups()).find(|&g| cluster.group_members(g).contains(&raw))
+                }
+            };
+            let stats = cluster.node_stats(node).expect("node exists");
+            let (puts, gets, user_write_bytes) = stats
+                .map(|s| (s.puts, s.gets, s.user_write_bytes))
+                .unwrap_or((0, 0, 0));
+            nodes.push(NodeLoad {
+                node,
+                group,
+                role,
+                alive: cluster.is_alive(node),
+                disk_bytes: cluster.node_disk_bytes(node).expect("node exists"),
+                puts,
+                gets,
+                user_write_bytes,
+                device_write_bytes: cluster
+                    .node_device(node)
+                    .expect("node exists")
+                    .counters()
+                    .host_write_bytes,
+                busy: cluster.node_clock(node).expect("node exists").now(),
+            });
+        }
+        let groups = (0..cluster.num_groups())
+            .map(|group| {
+                let members: Vec<&NodeLoad> = nodes
+                    .iter()
+                    .filter(|n| {
+                        n.group == Some(group) && !matches!(n.role, NodeRole::Joining { .. })
+                    })
+                    .collect();
+                GroupLoad {
+                    group,
+                    members: members.len(),
+                    alive: members.iter().filter(|n| n.alive).count(),
+                    disk_bytes: members.iter().map(|n| n.disk_bytes).sum(),
+                    user_write_bytes: members.iter().map(|n| n.user_write_bytes).sum(),
+                }
+            })
+            .collect();
+        LoadReport {
+            replicas: cluster.replicas(),
+            nodes,
+            groups,
+            read_latency_us: None,
+        }
+    }
+
+    /// Folds the serving front-end's read-latency histogram into the
+    /// report (the fourth pressure signal, optional because batch-only
+    /// deployments have no front-end).
+    pub fn attach_read_latency(&mut self, hist: &LatencyHistogram) {
+        self.read_latency_us = Some([hist.percentile(0.50), hist.percentile(0.99)]);
+    }
+
+    /// The group under the most write pressure, breaking ties by disk
+    /// footprint and then by lowest index — fully deterministic.
+    pub fn hottest_group(&self) -> usize {
+        self.groups
+            .iter()
+            .max_by_key(|g| (g.user_write_bytes, g.disk_bytes, std::cmp::Reverse(g.group)))
+            .map(|g| g.group)
+            .expect("a cluster has at least one group")
+    }
+
+    /// The busiest serving member of `group` (most payload bytes
+    /// written, ties to the lowest node id) — the drain candidate when
+    /// rebalancing.
+    pub fn busiest_member(&self, group: usize) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.group == Some(group) && n.role == NodeRole::Serving && n.alive)
+            .max_by_key(|n| (n.user_write_bytes, n.disk_bytes, std::cmp::Reverse(n.node)))
+            .map(|n| n.node)
+    }
+
+    /// Renders the report as a fixed-width table (deterministic — used
+    /// verbatim in example transcripts).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("load report: replicas={}\n", self.replicas));
+        if let Some([p50, p99]) = self.read_latency_us {
+            out.push_str(&format!("  read latency: p50={p50}us p99={p99}us\n"));
+        }
+        for g in &self.groups {
+            out.push_str(&format!(
+                "  group {}: members={} alive={} disk={}B written={}B\n",
+                g.group, g.members, g.alive, g.disk_bytes, g.user_write_bytes
+            ));
+        }
+        for n in &self.nodes {
+            out.push_str(&format!(
+                "  node {}: group={} role={:?} alive={} disk={}B puts={} busy={}us\n",
+                n.node.0,
+                n.group.map(|g| g.to_string()).unwrap_or_else(|| "-".into()),
+                n.role,
+                n.alive,
+                n.disk_bytes,
+                n.puts,
+                n.busy.as_micros(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mint::{MintConfig, WriteOp};
+
+    fn ops(n: u32, version: u64) -> Vec<WriteOp> {
+        (0..n)
+            .map(|i| WriteOp {
+                key: Bytes::from(format!("key-{i:04}")),
+                version,
+                value: Some(Bytes::from(format!("value-{i}-{version}"))),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_complete() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        let a = LoadReport::snapshot(&m);
+        let b = LoadReport::snapshot(&m);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.nodes.len(), 6);
+        assert_eq!(a.groups.len(), 2);
+        assert!(a.nodes.iter().all(|n| n.alive && n.puts > 0));
+        assert!(a.groups.iter().all(|g| g.members == 3 && g.alive == 3));
+    }
+
+    #[test]
+    fn hottest_group_breaks_ties_deterministically() {
+        let m = Mint::new(MintConfig::tiny());
+        let report = LoadReport::snapshot(&m);
+        // Empty cluster: all groups identical, lowest index wins.
+        assert_eq!(report.hottest_group(), 0);
+    }
+
+    #[test]
+    fn roles_and_groups_track_topology_changes() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(30, 1)).unwrap();
+        let joiner = m.begin_join(1).unwrap();
+        let report = LoadReport::snapshot(&m);
+        let n = &report.nodes[joiner.0 as usize];
+        assert_eq!(n.role, NodeRole::Joining { group: 1 });
+        assert_eq!(n.group, Some(1));
+        assert!(!n.alive);
+        // A joining node is not yet a member.
+        assert_eq!(report.groups[1].members, 3);
+        m.cutover_join(joiner).unwrap();
+        let report = LoadReport::snapshot(&m);
+        assert_eq!(report.groups[1].members, 4);
+        assert!(report.nodes[joiner.0 as usize].busy > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,162 @@
+//! The planner: topology goal + load report → ordered migration plan.
+//!
+//! Planning is pure — it reads a [`LoadReport`] value, never the live
+//! cluster — so a plan can be printed, inspected, and replayed
+//! deterministically. Validation happens here *and* again inside Mint
+//! when the migrator executes (the cluster re-checks the replication
+//! floor at `begin_drain`): the planner failing fast just gives better
+//! errors before any data moves.
+
+use crate::load::LoadReport;
+use crate::Result;
+use mint::{MintError, NodeId, NodeRole};
+
+/// What the operator wants the topology to look like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyGoal {
+    /// Grow `group` by one node.
+    AddCapacity {
+        /// The group to grow.
+        group: usize,
+    },
+    /// Retire `node`, draining its data to the survivors first.
+    Decommission {
+        /// The node to retire.
+        node: NodeId,
+    },
+    /// Shift load off the hottest group: grow it by one node, then
+    /// drain its busiest member onto the fresh capacity.
+    RebalanceHot,
+}
+
+/// One step of a migration plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Create a newcomer and anti-entropy it into `group`.
+    Join {
+        /// The group to join.
+        group: usize,
+    },
+    /// Drain `node` to the post-removal owners, then retire it.
+    Drain {
+        /// The node to drain.
+        node: NodeId,
+    },
+}
+
+/// An ordered sequence of topology steps, joins before drains — capacity
+/// always arrives before it is relied upon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The steps, in execution order.
+    pub ops: Vec<PlanOp>,
+    /// Rough payload bytes the plan will move (group footprint for a
+    /// join, node footprint for a drain) — the number the throttle turns
+    /// into a time budget.
+    pub estimated_bytes: u64,
+}
+
+/// Builds a validated plan for `goal` from the observed `report`.
+pub fn plan(report: &LoadReport, goal: TopologyGoal) -> Result<MigrationPlan> {
+    let mut ops = Vec::new();
+    let mut estimated_bytes = 0u64;
+    match goal {
+        TopologyGoal::AddCapacity { group } => {
+            let g = report
+                .groups
+                .get(group)
+                .ok_or(MintError::NoSuchGroup(group))?;
+            ops.push(PlanOp::Join { group });
+            estimated_bytes += g.disk_bytes;
+        }
+        TopologyGoal::Decommission { node } => {
+            let load = report
+                .nodes
+                .get(node.0 as usize)
+                .ok_or(MintError::NoSuchNode(node.0))?;
+            if load.role != NodeRole::Serving || !load.alive {
+                return Err(MintError::BadNodeState(node.0));
+            }
+            let group = load.group.ok_or(MintError::BadNodeState(node.0))?;
+            if report.groups[group].members <= report.replicas {
+                return Err(MintError::GroupAtFloor(group));
+            }
+            ops.push(PlanOp::Drain { node });
+            estimated_bytes += load.disk_bytes;
+        }
+        TopologyGoal::RebalanceHot => {
+            let group = report.hottest_group();
+            let victim = report
+                .busiest_member(group)
+                .ok_or(MintError::NoReplicaAvailable)?;
+            ops.push(PlanOp::Join { group });
+            ops.push(PlanOp::Drain { node: victim });
+            estimated_bytes += report.groups[group].disk_bytes;
+            estimated_bytes += report.nodes[victim.0 as usize].disk_bytes;
+        }
+    }
+    Ok(MigrationPlan {
+        ops,
+        estimated_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mint::{Mint, MintConfig, WriteOp};
+
+    fn loaded_cluster() -> Mint {
+        let mut m = Mint::new(MintConfig::tiny());
+        let ops: Vec<WriteOp> = (0..40u32)
+            .map(|i| WriteOp {
+                key: Bytes::from(format!("key-{i:04}")),
+                version: 1,
+                value: Some(Bytes::from(format!("value-{i}"))),
+            })
+            .collect();
+        m.apply(&ops).unwrap();
+        m
+    }
+
+    #[test]
+    fn add_capacity_plans_one_join() {
+        let m = loaded_cluster();
+        let report = LoadReport::snapshot(&m);
+        let built = plan(&report, TopologyGoal::AddCapacity { group: 1 }).unwrap();
+        assert_eq!(built.ops, vec![PlanOp::Join { group: 1 }]);
+        assert!(built.estimated_bytes > 0);
+        assert!(
+            plan(&report, TopologyGoal::AddCapacity { group: 9 }).is_err(),
+            "unknown group must be rejected"
+        );
+    }
+
+    #[test]
+    fn decommission_respects_the_replication_floor() {
+        let mut m = loaded_cluster();
+        let report = LoadReport::snapshot(&m);
+        // tiny(): every group sits exactly at the floor.
+        let err = plan(&report, TopologyGoal::Decommission { node: NodeId(0) }).unwrap_err();
+        assert_eq!(err, MintError::GroupAtFloor(0));
+        // One extra member lifts the floor.
+        m.add_node(0).unwrap();
+        let report = LoadReport::snapshot(&m);
+        let victim = NodeId(m.group_members(0)[0]);
+        let plan = plan(&report, TopologyGoal::Decommission { node: victim }).unwrap();
+        assert_eq!(plan.ops, vec![PlanOp::Drain { node: victim }]);
+    }
+
+    #[test]
+    fn rebalance_hot_joins_before_draining() {
+        let mut m = loaded_cluster();
+        m.add_node(0).unwrap();
+        let report = LoadReport::snapshot(&m);
+        let plan = plan(&report, TopologyGoal::RebalanceHot).unwrap();
+        assert_eq!(plan.ops.len(), 2);
+        let group = report.hottest_group();
+        assert_eq!(plan.ops[0], PlanOp::Join { group });
+        assert!(matches!(plan.ops[1], PlanOp::Drain { .. }));
+    }
+}

@@ -93,7 +93,7 @@ fn scale_out_mid_stream() {
     let mut cluster = Mint::new(MintConfig::tiny());
     cluster.apply(&to_ops(&stream[0])).unwrap();
     // Add capacity between versions; no data moves.
-    let added = cluster.add_node(0);
+    let added = cluster.add_node(0).unwrap();
     cluster.apply(&to_ops(&stream[1])).unwrap();
     // Everything written before and after the membership change resolves.
     for op in to_ops(&stream[0]) {
