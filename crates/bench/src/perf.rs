@@ -17,6 +17,7 @@
 //! | `pipeline_round` | core (all layers) | two end-to-end update rounds |
 //! | `serve_qps` | serve | open-loop QPS burst with p50/p99 |
 //! | `rebalance` | placement + mint | throttled scale-out then decommission |
+//! | `netbench` | net + serve | the serve path behind a real loopback socket |
 
 use crate::fig5::{self, Fig5Config};
 use bifrost::{Bifrost, BifrostConfig, DataCenterId, TrunkCapacities};
@@ -29,7 +30,7 @@ use serve::{ServeConfig, ServeExt, SummaryCache};
 use simclock::{SimClock, SimTime};
 
 /// Scenario names, in suite order. `perf -- all` runs exactly these.
-pub const SCENARIOS: [&str; 7] = [
+pub const SCENARIOS: [&str; 8] = [
     "qindb_write",
     "lsm_write",
     "bifrost_delivery",
@@ -37,6 +38,7 @@ pub const SCENARIOS: [&str; 7] = [
     "pipeline_round",
     "serve_qps",
     "rebalance",
+    "netbench",
 ];
 
 /// Suite-wide knobs.
@@ -112,6 +114,7 @@ pub fn run_scenario(name: &str, cfg: &PerfConfig) -> Option<BenchReport> {
         "pipeline_round" => pipeline_round(cfg),
         "serve_qps" => serve_qps(cfg),
         "rebalance" => rebalance(cfg),
+        "netbench" => netbench(cfg),
         _ => return None,
     })
 }
@@ -467,6 +470,70 @@ fn rebalance(cfg: &PerfConfig) -> BenchReport {
     );
     r.push(name, "migrate_sim_sec", busy_sec, "s", true);
     r.push(name, "throughput_bps", bytes as f64 / busy_sec, "B/s", true);
+    push_wall(&mut r, name, wall);
+    r
+}
+
+fn netbench(cfg: &PerfConfig) -> BenchReport {
+    // One engine behind a fresh server per repetition: the socket path
+    // (accept, frame decode, dispatch, responder write-back) is what
+    // this scenario times; the engine itself is exercised elsewhere.
+    let mut system = DirectLoad::new(pipeline_cfg(cfg));
+    system.run_version(1.0).expect("publish");
+    let engine = std::sync::Arc::new(system);
+    let bench_cfg = net::NetbenchConfig {
+        connections: if cfg.quick { 4 } else { 8 },
+        requests: if cfg.quick { 240 } else { 2000 },
+        qps: 0, // closed by server capacity, not the pacer
+        timeout: std::time::Duration::from_secs(30),
+        ..net::NetbenchConfig::default()
+    };
+    let scenario = || {
+        let server = net::Server::start(
+            std::sync::Arc::clone(&engine),
+            "127.0.0.1:0",
+            net::ServerConfig::default(),
+        )
+        .expect("bind loopback");
+        let report = net::run_netbench(
+            &server.local_addr().to_string(),
+            engine.crawler(),
+            bench_cfg,
+        );
+        server.shutdown();
+        report
+    };
+    let (wall, report) = measure(cfg.reps, scenario);
+    let name = "netbench";
+    let mut r = BenchReport::new(cfg.mode());
+    // Deterministic accounting: every offered request is answered on
+    // loopback — the wire never drops, corrupts, or double-answers.
+    r.push(name, "offered", report.offered as f64, "count", true);
+    r.push(
+        name,
+        "answered",
+        (report.completed + report.overloaded + report.errors) as f64,
+        "count",
+        true,
+    );
+    r.push(
+        name,
+        "protocol_errors",
+        report.protocol_errors as f64,
+        "count",
+        true,
+    );
+    r.push(
+        name,
+        "transport_errors",
+        report.transport_errors as f64,
+        "count",
+        true,
+    );
+    // Latency through the socket is machine-dependent: recorded, not gated.
+    r.push(name, "p50_ms", report.hist.p50() as f64 / 1e6, "ms", false);
+    r.push(name, "p99_ms", report.hist.p99() as f64 / 1e6, "ms", false);
+    r.push(name, "qps", report.qps(), "qps", false);
     push_wall(&mut r, name, wall);
     r
 }

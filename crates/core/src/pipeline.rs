@@ -4,7 +4,7 @@ use crate::{DirectLoadError, Result};
 use bifrost::{Bifrost, BifrostConfig, DataCenterId, DeliveryReport, UpdateEntry};
 use bytes::{BufMut, Bytes, BytesMut};
 use indexgen::{CorpusConfig, CrawlSimulator, IndexKind};
-use mint::{Mint, MintConfig, WriteOp};
+use mint::{Mint, MintConfig, ScanRow, WriteOp};
 use simclock::{SimClock, SimTime};
 use std::collections::VecDeque;
 
@@ -343,6 +343,32 @@ impl DirectLoad {
     ) -> Result<(Option<Bytes>, SimTime)> {
         let cluster = self.cluster(dc)?;
         Ok(cluster.get(&prefixed(kind, key), version)?)
+    }
+
+    /// Scans one index family at `dc` for keys starting with `prefix`,
+    /// as of `version`. The namespace tag is applied before the cluster
+    /// scan and stripped from the returned keys, so callers see plain
+    /// URLs/terms. Returns up to `limit` `(key, resolved_version, value)`
+    /// triples in key order plus a truncation flag. Errors if `dc` does
+    /// not host the family (summary indices live on two centers only).
+    pub fn scan_prefix(
+        &self,
+        dc: DataCenterId,
+        kind: IndexKind,
+        prefix: &[u8],
+        version: u64,
+        limit: usize,
+    ) -> Result<(Vec<ScanRow>, bool)> {
+        if kind == IndexKind::Summary && !DataCenterId::summary_hosts().contains(&dc) {
+            return Err(DirectLoadError::NotStoredHere { dc });
+        }
+        let cluster = self.cluster(dc)?;
+        let (items, truncated) = cluster.scan_prefix(&prefixed(kind, prefix), version, limit)?;
+        let stripped = items
+            .into_iter()
+            .map(|(key, resolved, value)| (Bytes::copy_from_slice(&key[2..]), resolved, value))
+            .collect();
+        Ok((stripped, truncated))
     }
 
     /// Shared access to one data center's cluster (the chaos invariant

@@ -20,6 +20,9 @@ pub const READ_RETRIES: usize = 3;
 /// visible in its busy time).
 pub const SYNC_BYTES_PER_SEC: u64 = 128 * 1024 * 1024;
 
+/// One row of a prefix scan: `(key, resolved_version, value)`.
+pub type ScanRow = (Bytes, u64, Bytes);
+
 /// Identifier of a storage node (dense, cluster-wide).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
@@ -158,6 +161,12 @@ pub struct Mint {
     /// engine maintenance spans in real nanoseconds, plus a `load` span
     /// around each [`Mint::apply`] batch.
     wall_trace: Option<(obs::TraceSink, String)>,
+    /// Routing generation: bumped on every change that alters which
+    /// nodes a key can route to (failure, recovery, join cutover, drain
+    /// cutover). `begin_join`/`begin_drain` deliberately do *not* bump —
+    /// they change roles but not routing. Serving-path caches key their
+    /// topology snapshots by this counter and re-resolve when it moves.
+    generation: u64,
 }
 
 impl Mint {
@@ -199,7 +208,15 @@ impl Mint {
             roles,
             trace: None,
             wall_trace: None,
+            generation: 0,
         }
+    }
+
+    /// The current routing generation. Monotone; moves exactly when the
+    /// set of routable nodes changes (see the field doc). Compare against
+    /// a cached value to decide whether a topology snapshot is stale.
+    pub fn routing_generation(&self) -> u64 {
+        self.generation
     }
 
     /// Attaches a trace sink to every node's engine (and device), labeled
@@ -464,6 +481,68 @@ impl Mint {
         }
     }
 
+    /// Scans every key starting with `prefix` as of `version`, merging
+    /// across the whole cluster: a prefix spans groups (keys hash to
+    /// groups individually), so every alive node is consulted and the
+    /// per-key reconciliation follows [`Mint::get`]'s rule — the copy
+    /// resolved through the highest version wins. Returns up to `limit`
+    /// `(key, resolved_version, value)` triples in key order, plus a flag
+    /// that is true when the limit cut the result short.
+    ///
+    /// A node whose engine errors mid-scan is dropped from the fan-out
+    /// (its group peers cover it), mirroring the read path's fault
+    /// masking; only when every node fails does the last error surface.
+    pub fn scan_prefix(
+        &self,
+        prefix: &[u8],
+        version: u64,
+        limit: usize,
+    ) -> Result<(Vec<ScanRow>, bool)> {
+        let mut merged: std::collections::BTreeMap<Bytes, (u64, Bytes)> = Default::default();
+        let mut responders = 0usize;
+        let mut consulted = 0usize;
+        let mut last_error: Option<MintError> = None;
+        for node in &self.nodes {
+            if !self.alive[node.id.0 as usize] {
+                continue;
+            }
+            let guard = node.engine.read();
+            let Some(engine) = guard.as_ref() else {
+                continue;
+            };
+            consulted += 1;
+            match engine.scan_prefix(prefix, version) {
+                Ok(items) => {
+                    responders += 1;
+                    for (key, resolved, value) in items {
+                        match merged.get(&key) {
+                            Some((best, _)) if *best >= resolved => {}
+                            _ => {
+                                merged.insert(key, (resolved, value));
+                            }
+                        }
+                    }
+                }
+                Err(error) => {
+                    last_error = Some(MintError::Node {
+                        node: node.id.0,
+                        error,
+                    });
+                }
+            }
+        }
+        if responders == 0 && consulted > 0 {
+            return Err(last_error.unwrap_or(MintError::NoReplicaAvailable));
+        }
+        let truncated = merged.len() > limit;
+        let out = merged
+            .into_iter()
+            .take(limit)
+            .map(|(key, (resolved, value))| (key, resolved, value))
+            .collect();
+        Ok((out, truncated))
+    }
+
     /// Simulates a node crash: host memory (memtable, GC table) is lost;
     /// the device contents survive. Reads fail over to other replicas and
     /// writes skip the node until [`Mint::recover_node`].
@@ -485,6 +564,7 @@ impl Mint {
             return Err(MintError::BadNodeState(node.0));
         }
         self.alive[node.0 as usize] = false;
+        self.generation += 1;
         Ok(())
     }
 
@@ -531,6 +611,7 @@ impl Mint {
             self.alive[node.0 as usize] = false;
             return Err(error);
         }
+        self.generation += 1;
         let state = &self.nodes[node.0 as usize];
         Ok(state.clock.now().saturating_sub(t0))
     }
@@ -721,6 +802,7 @@ impl Mint {
         self.groups[group].push(node.0);
         self.roles[node.0 as usize] = NodeRole::Serving;
         self.alive[node.0 as usize] = true;
+        self.generation += 1;
         Ok(())
     }
 
@@ -901,6 +983,7 @@ impl Mint {
         self.roles[node.0 as usize] = NodeRole::Retired;
         self.alive[node.0 as usize] = false;
         self.nodes[node.0 as usize].engine.write().take();
+        self.generation += 1;
         Ok(())
     }
 
@@ -1513,6 +1596,67 @@ mod tests {
         let err = m.begin_drain(NodeId(0)).unwrap_err();
         assert_eq!(err, MintError::GroupAtFloor(0));
         assert_eq!(m.node_role(NodeId(0)).unwrap(), NodeRole::Serving);
+    }
+
+    #[test]
+    fn routing_generation_moves_exactly_on_routing_changes() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        assert_eq!(m.routing_generation(), 0);
+        m.fail_node(NodeId(0)).unwrap();
+        assert_eq!(m.routing_generation(), 1);
+        m.recover_node(NodeId(0)).unwrap();
+        assert_eq!(m.routing_generation(), 2);
+        // Join: invisible to routing until cutover.
+        let id = m.begin_join(0).unwrap();
+        assert_eq!(m.routing_generation(), 2, "begin_join must not bump");
+        m.join_sync_step(id, 1024).unwrap();
+        assert_eq!(m.routing_generation(), 2, "catch-up must not bump");
+        m.cutover_join(id).unwrap();
+        assert_eq!(m.routing_generation(), 3);
+        // Drain: still routed until cutover.
+        let victim = NodeId(m.group_members(0)[0]);
+        m.begin_drain(victim).unwrap();
+        assert_eq!(m.routing_generation(), 3, "begin_drain must not bump");
+        m.cutover_drain(victim).unwrap();
+        assert_eq!(m.routing_generation(), 4);
+        // Failed operations leave the generation alone.
+        assert!(m.fail_node(victim).is_err());
+        assert_eq!(m.routing_generation(), 4);
+    }
+
+    #[test]
+    fn scan_prefix_merges_across_groups() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        // Rewrite half the keys at version 2; scans at v2 must resolve
+        // the newer copies and still see the untouched v1 copies.
+        let newer: Vec<WriteOp> = (0..20u32)
+            .map(|i| write(&format!("key-{i:04}"), 2, &format!("value-{i}-2")))
+            .collect();
+        m.apply(&newer).unwrap();
+        let (items, truncated) = m.scan_prefix(b"key-", 2, usize::MAX).unwrap();
+        assert!(!truncated);
+        assert_eq!(items.len(), 40, "prefix spans both groups");
+        let keys: Vec<&[u8]> = items.iter().map(|(k, _, _)| k.as_ref()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "results arrive in key order");
+        for (key, resolved, value) in &items {
+            let i: u32 = std::str::from_utf8(&key[4..]).unwrap().parse().unwrap();
+            let expect_v = if i < 20 { 2 } else { 1 };
+            assert_eq!(*resolved, expect_v, "key-{i:04} resolved wrong version");
+            assert_eq!(value.as_ref(), format!("value-{i}-{expect_v}").as_bytes());
+        }
+        // Limit cuts in key order and reports truncation.
+        let (head, truncated) = m.scan_prefix(b"key-", 2, 7).unwrap();
+        assert!(truncated);
+        assert_eq!(head.len(), 7);
+        assert_eq!(head, items[..7].to_vec());
+        // A scan survives a node failure: replicas cover the hole.
+        m.fail_node(NodeId(1)).unwrap();
+        let (after, _) = m.scan_prefix(b"key-", 2, usize::MAX).unwrap();
+        assert_eq!(after.len(), 40);
     }
 
     #[test]

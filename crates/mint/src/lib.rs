@@ -41,7 +41,7 @@ mod cluster;
 mod hash;
 
 pub use cluster::{
-    ApplyReport, Mint, MintConfig, NodeId, NodeRole, SyncStep, WriteOp, READ_RETRIES,
+    ApplyReport, Mint, MintConfig, NodeId, NodeRole, ScanRow, SyncStep, WriteOp, READ_RETRIES,
     SYNC_BYTES_PER_SEC,
 };
 pub use hash::{group_of, rendezvous_rank};

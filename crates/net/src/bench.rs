@@ -1,0 +1,347 @@
+//! Open-loop multi-connection load generator.
+//!
+//! Open-loop means arrivals follow a fixed schedule regardless of how
+//! fast responses come back — the honest way to measure a service under
+//! load (a closed loop self-throttles and hides queueing delay; see
+//! `serve::driver` for the same discipline in-process). Each connection
+//! gets a sender thread pacing requests off a pre-computed schedule and
+//! a receiver thread matching responses by id, so pipelining depth
+//! floats with server latency exactly as it would for a real caller.
+//!
+//! Latency is recorded send→receive into the same log-bucketed
+//! [`obs::LatencyHistogram`] the in-process driver uses, then merged
+//! across connections.
+
+use crate::wire::{self, ReadFrame, Request, Response};
+use bifrost::DataCenterId;
+use indexgen::{CrawlSimulator, QueryWorkload, QueryWorkloadConfig};
+use obs::LatencyHistogram;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Netbench knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct NetbenchConfig {
+    /// Concurrent TCP connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Aggregate offered load, requests/second (0 = as fast as possible).
+    pub qps: u64,
+    /// Workload shape for query terms.
+    pub workload: QueryWorkloadConfig,
+    /// Per-response read timeout on the receiver threads.
+    pub timeout: Duration,
+    /// Hits requested per query (0 = server default).
+    pub top_k: u32,
+    /// Target data center.
+    pub dc: DataCenterId,
+    /// Index version to pin (0 = server's current).
+    pub version: u64,
+}
+
+impl Default for NetbenchConfig {
+    fn default() -> Self {
+        NetbenchConfig {
+            connections: 8,
+            requests: 2_000,
+            qps: 2_000,
+            workload: QueryWorkloadConfig::default(),
+            timeout: Duration::from_secs(5),
+            top_k: 0,
+            dc: DataCenterId::all()[0],
+            version: 0,
+        }
+    }
+}
+
+/// What a netbench run saw.
+#[derive(Debug, Clone)]
+pub struct NetbenchReport {
+    /// Requests written to sockets.
+    pub offered: u64,
+    /// `Hits` responses received (degraded or not).
+    pub completed: u64,
+    /// Deadline-degraded `Hits` responses among `completed`.
+    pub degraded: u64,
+    /// `Overloaded` error responses (admission shed).
+    pub overloaded: u64,
+    /// Other error responses from the server.
+    pub errors: u64,
+    /// Locally detected protocol violations (should be 0).
+    pub protocol_errors: u64,
+    /// Receives that hit the read timeout or a dead socket.
+    pub transport_errors: u64,
+    /// Total hits across all completed responses.
+    pub hits_returned: u64,
+    /// Wall time from first send to last receive.
+    pub wall: Duration,
+    /// Send→receive latency, merged across connections.
+    pub hist: LatencyHistogram,
+}
+
+impl NetbenchReport {
+    /// Achieved responses/second (completed + overloaded, i.e. every
+    /// request the server answered).
+    pub fn qps(&self) -> f64 {
+        let answered = (self.completed + self.overloaded + self.errors) as f64;
+        if self.wall.as_secs_f64() > 0.0 {
+            answered / self.wall.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// Greppable summary, one fact per line (CI greps these).
+    pub fn render(&self, connections: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "netbench: conns={} offered={} completed={} degraded={} overloaded={} errors={} transport_errors={}\n",
+            connections,
+            self.offered,
+            self.completed,
+            self.degraded,
+            self.overloaded,
+            self.errors,
+            self.transport_errors,
+        ));
+        out.push_str(&format!(
+            "histogram: n={} mean_us={:.1} p50_us={} p90_us={} p99_us={} p999_us={}\n",
+            self.hist.count(),
+            self.hist.mean() / 1_000.0,
+            self.hist.p50() / 1_000,
+            self.hist.p90() / 1_000,
+            self.hist.p99() / 1_000,
+            self.hist.p999() / 1_000,
+        ));
+        out.push_str(&format!(
+            "wall_ms={:.1} qps={:.0} hits_returned={}\n",
+            self.wall.as_secs_f64() * 1_000.0,
+            self.qps(),
+            self.hits_returned,
+        ));
+        out.push_str(&format!("protocol_errors: {}\n", self.protocol_errors));
+        out
+    }
+}
+
+/// Per-connection tallies merged into the final report.
+#[derive(Default)]
+struct ConnTally {
+    completed: u64,
+    degraded: u64,
+    overloaded: u64,
+    errors: u64,
+    protocol_errors: u64,
+    transport_errors: u64,
+    hits_returned: u64,
+    hist: LatencyHistogram,
+}
+
+/// Drives `addr` with `cfg.requests` queries over `cfg.connections`
+/// pipelined connections. The workload comes from the same corpus
+/// simulator the server indexed, so queries hit real terms.
+pub fn run_netbench(addr: &str, crawler: &CrawlSimulator, cfg: NetbenchConfig) -> NetbenchReport {
+    let connections = cfg.connections.max(1);
+    let requests = cfg.requests.max(1);
+    // Pre-generate the whole term workload once, then split it
+    // round-robin so every connection sees the same mix.
+    let queries = QueryWorkload::new(crawler, cfg.workload).take(requests);
+    let mut per_conn: Vec<Vec<Request>> = (0..connections).map(|_| Vec::new()).collect();
+    for (i, q) in queries.into_iter().enumerate() {
+        per_conn[i % connections].push(Request::Get {
+            dc: cfg.dc,
+            terms: q.terms,
+            version: cfg.version,
+            top_k: cfg.top_k,
+        });
+    }
+    // Open-loop schedule: each connection paces at qps/connections.
+    let interval = if cfg.qps > 0 {
+        Duration::from_secs_f64(connections as f64 / cfg.qps as f64)
+    } else {
+        Duration::ZERO
+    };
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(connections);
+    for reqs in per_conn {
+        let addr = addr.to_string();
+        let timeout = cfg.timeout;
+        handles.push(std::thread::spawn(move || {
+            run_connection(&addr, reqs, interval, timeout)
+        }));
+    }
+
+    let mut report = NetbenchReport {
+        offered: 0,
+        completed: 0,
+        degraded: 0,
+        overloaded: 0,
+        errors: 0,
+        protocol_errors: 0,
+        transport_errors: 0,
+        hits_returned: 0,
+        wall: Duration::ZERO,
+        hist: LatencyHistogram::new(),
+    };
+    for h in handles {
+        if let Ok((offered, tally)) = h.join() {
+            report.offered += offered;
+            report.completed += tally.completed;
+            report.degraded += tally.degraded;
+            report.overloaded += tally.overloaded;
+            report.errors += tally.errors;
+            report.protocol_errors += tally.protocol_errors;
+            report.transport_errors += tally.transport_errors;
+            report.hits_returned += tally.hits_returned;
+            report.hist.merge(&tally.hist);
+        }
+    }
+    report.wall = started.elapsed();
+    report
+}
+
+/// One connection: a sender thread paces requests onto the socket, the
+/// calling thread receives until every in-flight id is answered.
+fn run_connection(
+    addr: &str,
+    reqs: Vec<Request>,
+    interval: Duration,
+    timeout: Duration,
+) -> (u64, ConnTally) {
+    let mut tally = ConnTally::default();
+    // Connect with a short backoff: the server may still be binding
+    // when the bench fleet starts.
+    let mut stream = None;
+    let mut delay = Duration::from_millis(10);
+    for attempt in 0..5 {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) if attempt < 4 => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(200));
+            }
+            Err(_) => {}
+        }
+    }
+    let stream = match stream {
+        Some(s) => s,
+        None => {
+            tally.transport_errors += reqs.len() as u64;
+            return (0, tally);
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            tally.transport_errors += reqs.len() as u64;
+            return (0, tally);
+        }
+    };
+
+    // Send→receive timestamps shared between the halves.
+    let in_flight: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let sender_flight = Arc::clone(&in_flight);
+    let sender = std::thread::spawn(move || {
+        let start = Instant::now();
+        let mut sent = 0u64;
+        for (i, req) in reqs.iter().enumerate() {
+            // Open loop: catch up if behind, never reschedule.
+            let due = interval * i as u32;
+            let elapsed = start.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+            let id = i as u64 + 1;
+            let frame = wire::encode_request(id, req);
+            sender_flight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(id, Instant::now());
+            if write_half.write_all(&frame).is_err() {
+                // Socket died; stop offering. Receiver sees EOF.
+                sender_flight
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&id);
+                break;
+            }
+            sent += 1;
+        }
+        sent
+    });
+
+    // Receive on this thread until every offered request is answered
+    // (in-flight set empty once the sender has finished), the peer
+    // closes, or the read timeout fires with responses still owed.
+    let mut reader = std::io::BufReader::new(stream);
+    loop {
+        let body = match wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME) {
+            Ok(ReadFrame::Frame(body)) => body,
+            Ok(ReadFrame::Eof) => break,
+            Err(e) => {
+                if matches!(e.kind(), std::io::ErrorKind::InvalidData) {
+                    tally.protocol_errors += 1;
+                }
+                // Timeouts and truncation leave unanswered ids in the
+                // in-flight set; they are tallied as transport losses
+                // below.
+                break;
+            }
+        };
+        let (id, resp) = match wire::decode_response(&body) {
+            Ok(pair) => pair,
+            Err(_) => {
+                tally.protocol_errors += 1;
+                break;
+            }
+        };
+        let sent_at = in_flight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id);
+        if let Some(t0) = sent_at {
+            tally.hist.record(t0.elapsed().as_nanos() as u64);
+        }
+        match resp {
+            Response::Hits { degraded, hits } => {
+                tally.completed += 1;
+                tally.hits_returned += hits.len() as u64;
+                if degraded {
+                    tally.degraded += 1;
+                }
+            }
+            Response::Error {
+                code: crate::ErrorCode::Overloaded,
+                ..
+            } => {
+                tally.overloaded += 1;
+            }
+            Response::Error { .. } => tally.errors += 1,
+            _ => tally.errors += 1,
+        }
+        if sender.is_finished()
+            && in_flight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        {
+            break;
+        }
+    }
+    let offered = sender.join().unwrap_or(0);
+    // Anything still in flight never got a response.
+    let lost = in_flight.lock().unwrap_or_else(|e| e.into_inner()).len() as u64;
+    tally.transport_errors += lost;
+    (offered, tally)
+}

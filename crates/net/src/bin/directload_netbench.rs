@@ -1,0 +1,69 @@
+//! `directload-netbench`: open-loop load against a running server.
+//!
+//! ```text
+//! directload-netbench --addr HOST:PORT [--connections N] [--requests N]
+//!                     [--qps N] [--timeout-secs N] [--top-k N] [--quick]
+//! ```
+//!
+//! `--quick` is the CI shape: 32 connections, 10 500 requests, 4 000
+//! aggregate qps — enough to prove pipelining and admission behave on a
+//! real socket without tying up a runner. The term workload is rebuilt
+//! from the same seeded corpus the server indexed, so queries hit real
+//! terms.
+//!
+//! Exits non-zero if any protocol error was observed; the report lines
+//! (`netbench:`, `histogram:`, `protocol_errors:`) are stable for
+//! scripts to grep.
+
+use directload::DirectLoadConfig;
+use indexgen::CrawlSimulator;
+use net::{run_netbench, NetbenchConfig};
+use std::time::Duration;
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = parse_flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4550".into());
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let mut cfg = NetbenchConfig::default();
+    if quick {
+        cfg.connections = 32;
+        cfg.requests = 10_500;
+        cfg.qps = 4_000;
+    }
+    if let Some(v) = parse_flag(&args, "--connections").and_then(|v| v.parse().ok()) {
+        cfg.connections = v;
+    }
+    if let Some(v) = parse_flag(&args, "--requests").and_then(|v| v.parse().ok()) {
+        cfg.requests = v;
+    }
+    if let Some(v) = parse_flag(&args, "--qps").and_then(|v| v.parse().ok()) {
+        cfg.qps = v;
+    }
+    if let Some(v) = parse_flag(&args, "--timeout-secs").and_then(|v| v.parse().ok()) {
+        cfg.timeout = Duration::from_secs(v);
+    }
+    if let Some(v) = parse_flag(&args, "--top-k").and_then(|v| v.parse().ok()) {
+        cfg.top_k = v;
+    }
+
+    // Same seeded corpus the server built its index from.
+    let crawler = CrawlSimulator::new(DirectLoadConfig::small().corpus);
+
+    eprintln!(
+        "[netbench] {} requests over {} connections at {} qps -> {addr}",
+        cfg.requests, cfg.connections, cfg.qps
+    );
+    let report = run_netbench(&addr, &crawler, cfg);
+    print!("{}", report.render(cfg.connections));
+
+    if report.protocol_errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,466 @@
+//! The blocking-socket server runtime.
+//!
+//! Threading model (DESIGN.md §11): one accept thread, one reader
+//! thread per connection, and the `serve` crate's worker pool doing the
+//! actual query work. A connection thread decodes frames and dispatches;
+//! `Get` requests go through [`serve::Frontend`]'s bounded queues with a
+//! per-request responder, so the answer is written back by whichever
+//! worker finishes it — pipelined responses leave in completion order
+//! and the client matches them by request id. `ScanPrefix`, `Status`,
+//! and `Introspect` are served inline on the connection thread (pure
+//! reads, no service-time model).
+//!
+//! Backpressure is admission control, not blocking: a full worker queue
+//! sheds the request and the client gets an `Overloaded` error frame
+//! immediately — the same reject-don't-buffer discipline the in-process
+//! front-end enforces, now visible on the wire.
+//!
+//! Topology awareness: every `Get` resolves its group binding through a
+//! [`RoutingView`] keyed by the cluster's routing generation, so the
+//! first request after a placement cutover (or failure/recovery)
+//! rebuilds the snapshot instead of serving a stale binding.
+
+use crate::wire::{self, DcGeneration, ErrorCode, ReadFrame, Request, Response, WireHit};
+use directload::DirectLoad;
+use obs::Counter;
+use serve::frontend::{Frontend, FrontendConfig, QueryReply, Responder, Submitted};
+use serve::{RoutingView, ServeReport, SummaryCache};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Server tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// The serve front-end behind the socket (workers, queues,
+    /// admission, service model).
+    pub frontend: FrontendConfig,
+    /// Ceiling on accepted frame sizes.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            frontend: FrontendConfig::default(),
+            max_frame: wire::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Pre-registered `net.*` counter handles (registration is not hot-path
+/// safe; updates are one relaxed atomic each).
+#[derive(Clone)]
+struct Metrics {
+    connections: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    requests: Counter,
+    protocol_errors: Counter,
+    gets: Counter,
+    scans: Counter,
+    statuses: Counter,
+    introspects: Counter,
+    overloaded: Counter,
+    write_errors: Counter,
+}
+
+impl Metrics {
+    fn new(reg: &obs::Registry) -> Metrics {
+        Metrics {
+            connections: reg.counter("net.connections_total"),
+            frames_in: reg.counter("net.frames_in_total"),
+            frames_out: reg.counter("net.frames_out_total"),
+            bytes_in: reg.counter("net.bytes_in_total"),
+            bytes_out: reg.counter("net.bytes_out_total"),
+            requests: reg.counter("net.requests_total"),
+            protocol_errors: reg.counter("net.protocol_errors_total"),
+            gets: reg.counter("net.op.get_total"),
+            scans: reg.counter("net.op.scan_total"),
+            statuses: reg.counter("net.op.status_total"),
+            introspects: reg.counter("net.op.introspect_total"),
+            overloaded: reg.counter("net.overloaded_total"),
+            write_errors: reg.counter("net.write_errors_total"),
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<DirectLoad>,
+    /// `None` only during shutdown; requests racing the teardown get a
+    /// clean `Internal` error instead of a hang.
+    frontend: RwLock<Option<Frontend>>,
+    routing: RoutingView,
+    cfg: ServerConfig,
+    metrics: Metrics,
+    trace: obs::TraceSink,
+    shutdown: AtomicBool,
+    /// Stream clones for forced close at shutdown (read loops block).
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running server. Dropping it does **not** stop the threads; call
+/// [`Server::shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_handle: std::thread::JoinHandle<()>,
+    conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an OS-assigned port), starts the
+    /// front-end workers and the accept thread, and returns immediately.
+    /// Counters register under `net.*` in the engine's registry; spans
+    /// go to the engine's wall-clock trace sink.
+    pub fn start(
+        engine: Arc<DirectLoad>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache = Arc::new(SummaryCache::new(
+            cfg.frontend.cache_capacity,
+            cfg.frontend.cache_shards,
+        ));
+        let trace = engine.wall_trace().clone();
+        let frontend = Frontend::start(
+            Arc::clone(&engine),
+            cfg.frontend,
+            cache,
+            Some(trace.clone()),
+        );
+        let metrics = Metrics::new(engine.registry());
+        let shared = Arc::new(Shared {
+            engine,
+            frontend: RwLock::new(Some(frontend)),
+            routing: RoutingView::new(),
+            cfg,
+            metrics,
+            trace,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            let handles = Arc::clone(&conn_handles);
+            std::thread::Builder::new()
+                .name("net-accept".into())
+                .spawn(move || accept_loop(listener, shared, handles))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_handle,
+            conn_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, closes every connection, drains the front-end
+    /// workers, and returns the serving report (same accounting as the
+    /// in-process front-end).
+    pub fn shutdown(self) -> ServeReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); poke it awake.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.accept_handle.join();
+        // Close both directions of every connection so reader threads
+        // fall out of their blocking reads.
+        for conn in self
+            .shared
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for h in self
+            .conn_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+        let frontend = self
+            .shared
+            .frontend
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("shutdown runs once");
+        frontend.shutdown()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break; // the wake-up connection itself lands here
+        }
+        shared.metrics.connections.inc();
+        shared
+            .trace
+            .event(obs::SpanKind::Accept, &format!("net/{peer}"), 1);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(clone);
+        }
+        let shared_conn = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("net-conn-{peer}"))
+            .spawn(move || connection_loop(stream, shared_conn))
+            .expect("spawn connection thread");
+        handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+}
+
+/// Writes one response frame to the connection, under the writer lock
+/// (workers and the connection thread interleave here).
+fn send_response(
+    writer: &Mutex<TcpStream>,
+    metrics: &Metrics,
+    trace: &obs::TraceSink,
+    req_id: u64,
+    resp: &Response,
+) {
+    let frame = wire::encode_response(req_id, resp);
+    let mut span = trace.span(obs::SpanKind::NetWrite, "net/write");
+    span.set_amount(frame.len() as u64);
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    match w.write_all(&frame) {
+        Ok(()) => {
+            metrics.frames_out.inc();
+            metrics.bytes_out.add(frame.len() as u64);
+        }
+        Err(_) => {
+            // The client went away mid-response; its next read (if any)
+            // sees the close. Nothing to unwind server-side.
+            metrics.write_errors.inc();
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => std::io::BufReader::new(s),
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    loop {
+        let body = match wire::read_frame(&mut reader, shared.cfg.max_frame) {
+            Ok(ReadFrame::Frame(body)) => body,
+            Ok(ReadFrame::Eof) => break,
+            Err(e) => {
+                // Distinguish protocol damage (count it) from a plain
+                // transport teardown (shutdown path, client kill).
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+                ) {
+                    shared.metrics.protocol_errors.inc();
+                }
+                break;
+            }
+        };
+        shared.metrics.frames_in.inc();
+        shared.metrics.bytes_in.add(body.len() as u64 + 4);
+        shared
+            .trace
+            .event(obs::SpanKind::NetRead, "net/read", body.len() as u64 + 4);
+        let (req_id, req) = match wire::decode_request(&body) {
+            Ok(decoded) => decoded,
+            Err(_) => {
+                // Framing is untrustworthy after a bad frame; close.
+                shared.metrics.protocol_errors.inc();
+                break;
+            }
+        };
+        shared.metrics.requests.inc();
+        dispatch(&shared, &writer, req_id, req);
+    }
+    // Drop our registered clone so the shutdown list stays bounded for
+    // long-lived servers with connection churn. The client's ephemeral
+    // (peer) address identifies the connection; if the socket is already
+    // dead the entry stays until shutdown, which is harmless.
+    let me = writer
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .peer_addr()
+        .ok();
+    if let Some(me) = me {
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|c| c.peer_addr().ok() != Some(me));
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, req_id: u64, req: Request) {
+    let mut span = shared.trace.span(obs::SpanKind::Dispatch, "net/dispatch");
+    span.set_amount(1);
+    match req {
+        Request::Get {
+            dc,
+            terms,
+            version,
+            top_k,
+        } => {
+            shared.metrics.gets.inc();
+            let version = if version == 0 {
+                shared.engine.version()
+            } else {
+                version
+            };
+            let top_k = if top_k == 0 {
+                shared.cfg.frontend.top_k
+            } else {
+                top_k as usize
+            };
+            // Re-resolve the group binding before dispatch: a no-op
+            // while the routing generation holds, a snapshot rebuild the
+            // instant a cutover (or failure/recovery) moves it.
+            let probe = terms.first().map(|t| t.as_ref()).unwrap_or(b"");
+            if shared.routing.resolve(&shared.engine, dc, probe).is_err() {
+                send_response(
+                    writer,
+                    &shared.metrics,
+                    &shared.trace,
+                    req_id,
+                    &Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("no cluster at {dc:?}"),
+                    },
+                );
+                return;
+            }
+            let responder: Responder = {
+                let writer = Arc::clone(writer);
+                let metrics = shared.metrics.clone();
+                let trace = shared.trace.clone();
+                Box::new(move |reply: QueryReply| {
+                    let hits = reply
+                        .hits
+                        .iter()
+                        .map(|h| WireHit {
+                            url: h.url.clone(),
+                            matched_terms: h.matched_terms as u32,
+                            summary: h.summary.clone(),
+                        })
+                        .collect();
+                    send_response(
+                        &writer,
+                        &metrics,
+                        &trace,
+                        req_id,
+                        &Response::Hits {
+                            degraded: reply.degraded,
+                            hits,
+                        },
+                    );
+                })
+            };
+            let guard = shared.frontend.read().unwrap_or_else(|e| e.into_inner());
+            let outcome = match guard.as_ref() {
+                Some(frontend) => frontend
+                    .submitter()
+                    .submit_query(dc, terms, version, top_k, responder),
+                None => Submitted::Shed(Some(responder)),
+            };
+            if let Submitted::Shed(_) = outcome {
+                shared.metrics.overloaded.inc();
+                send_response(
+                    writer,
+                    &shared.metrics,
+                    &shared.trace,
+                    req_id,
+                    &Response::Error {
+                        code: ErrorCode::Overloaded,
+                        message: "shed at admission".into(),
+                    },
+                );
+            }
+        }
+        Request::ScanPrefix {
+            dc,
+            kind,
+            prefix,
+            version,
+            limit,
+        } => {
+            shared.metrics.scans.inc();
+            let version = if version == 0 {
+                shared.engine.version()
+            } else {
+                version
+            };
+            let resp = match shared
+                .engine
+                .scan_prefix(dc, kind, &prefix, version, limit as usize)
+            {
+                Ok((items, truncated)) => Response::Scan { items, truncated },
+                Err(e) => Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                },
+            };
+            send_response(writer, &shared.metrics, &shared.trace, req_id, &resp);
+        }
+        Request::Status => {
+            shared.metrics.statuses.inc();
+            let generations = shared
+                .engine
+                .dc_ids()
+                .into_iter()
+                .filter_map(|dc| {
+                    shared.engine.cluster(dc).ok().map(|c| DcGeneration {
+                        dc,
+                        generation: c.routing_generation(),
+                    })
+                })
+                .collect();
+            let resp = Response::Status {
+                current_version: shared.engine.version(),
+                min_live_version: shared.engine.min_live_version(),
+                generations,
+            };
+            send_response(writer, &shared.metrics, &shared.trace, req_id, &resp);
+        }
+        Request::Introspect => {
+            shared.metrics.introspects.inc();
+            let resp = Response::Introspect {
+                text: shared.engine.introspect().to_prometheus(),
+            };
+            send_response(writer, &shared.metrics, &shared.trace, req_id, &resp);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Client resilience against misbehaving servers: per-request timeouts
+//! against a stalling peer, reconnect-with-backoff against a dropping
+//! peer, and connect retries against a server that is slow to bind.
+//!
+//! The stubs are raw `TcpListener` loops — no `net::Server` — so each
+//! test controls exactly when the peer stalls, answers, or hangs up.
+
+use net::wire::{self, ReadFrame, Request, Response};
+use net::{Client, ClientConfig, NetError};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fast_cfg() -> ClientConfig {
+    ClientConfig {
+        request_timeout: Duration::from_millis(300),
+        connect_attempts: 3,
+        backoff: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(20),
+        ..ClientConfig::default()
+    }
+}
+
+/// Reads one request frame off `stream` and answers it with `Status`.
+fn answer_one(stream: &mut TcpStream) -> bool {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => std::io::BufReader::new(s),
+        Err(_) => return false,
+    };
+    match wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME) {
+        Ok(ReadFrame::Frame(body)) => {
+            let (id, _req) = match wire::decode_request(&body) {
+                Ok(x) => x,
+                Err(_) => return false,
+            };
+            let resp = Response::Status {
+                current_version: 1,
+                min_live_version: 1,
+                generations: vec![],
+            };
+            stream.write_all(&wire::encode_response(id, &resp)).is_ok()
+        }
+        _ => false,
+    }
+}
+
+#[test]
+fn per_request_timeout_fires_against_a_stalling_server() {
+    // The stub accepts and reads forever but never answers.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming().flatten() {
+            std::thread::spawn(move || {
+                // Hold the connection open, swallow everything.
+                let mut reader = std::io::BufReader::new(stream);
+                loop {
+                    if !matches!(
+                        wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME),
+                        Ok(ReadFrame::Frame(_))
+                    ) {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr.to_string(), fast_cfg()).expect("connect");
+    let started = Instant::now();
+    let err = client.request(&Request::Status).unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(matches!(err, NetError::Timeout), "got {err:?}");
+    // One timeout, one reconnect-and-retry, one more timeout: bounded by
+    // a couple of request timeouts plus backoff slack, not hanging.
+    assert!(
+        elapsed >= Duration::from_millis(300),
+        "timeout actually waited"
+    );
+    assert!(elapsed < Duration::from_secs(5), "timeout did not hang");
+    assert!(
+        client.reconnects() >= 1,
+        "a timed-out connection is poisoned and must be dropped"
+    );
+}
+
+#[test]
+fn reconnect_with_backoff_after_the_server_drops_the_connection() {
+    // The stub answers exactly one request per connection, then hangs up.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let served = Arc::new(AtomicU64::new(0));
+    let served_srv = Arc::clone(&served);
+    std::thread::spawn(move || {
+        for mut stream in listener.incoming().flatten() {
+            if answer_one(&mut stream) {
+                served_srv.fetch_add(1, Ordering::SeqCst);
+            }
+            drop(stream); // hang up after one answer
+        }
+    });
+
+    let mut client = Client::connect(addr.to_string(), fast_cfg()).expect("connect");
+    // Each request lands on a fresh connection after the first: the
+    // client notices the hangup (EOF or write failure), reconnects with
+    // backoff, and retries — invisible to the caller.
+    for i in 0..4 {
+        let resp = client.request(&Request::Status);
+        match resp {
+            Ok(Response::Status { .. }) => {}
+            other => panic!("round {i}: expected status, got {other:?}"),
+        }
+    }
+    assert!(
+        client.reconnects() >= 3,
+        "each post-hangup request needed a reconnect, saw {}",
+        client.reconnects()
+    );
+    assert_eq!(served.load(Ordering::SeqCst), 4);
+}
+
+#[test]
+fn connect_retries_cover_a_server_that_binds_late() {
+    // Reserve a port, release it, and only bind the real listener after
+    // the client has started retrying.
+    let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap();
+    drop(probe);
+
+    let server = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(60));
+        let listener = TcpListener::bind(addr).expect("rebind the released port");
+        let (mut stream, _) = listener.accept().expect("accept");
+        answer_one(&mut stream)
+    });
+
+    let cfg = ClientConfig {
+        connect_attempts: 20,
+        backoff: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(40),
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect(addr.to_string(), cfg).expect("backoff outlasts the bind");
+    match client.request(&Request::Status) {
+        Ok(Response::Status { .. }) => {}
+        other => panic!("expected status, got {other:?}"),
+    }
+    assert!(server.join().expect("server thread"));
+}
+
+#[test]
+fn connect_gives_up_cleanly_when_nothing_listens() {
+    // Reserve-and-release: nothing will ever listen here.
+    let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap();
+    drop(probe);
+
+    let cfg = ClientConfig {
+        connect_attempts: 3,
+        backoff: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(10),
+        ..ClientConfig::default()
+    };
+    let started = Instant::now();
+    let err = Client::connect(addr.to_string(), cfg)
+        .err()
+        .expect("no server");
+    assert!(matches!(err, NetError::Io(_)), "got {err:?}");
+    // Two backoff sleeps (5ms, 10ms) — bounded, no unbounded spinning.
+    assert!(started.elapsed() < Duration::from_secs(5));
+}

@@ -16,9 +16,10 @@
 //! emits `build → dedup → slice → deliver → load → publish`, the serving
 //! path emits `serve`, the storage engines emit `flush`, `checkpoint`,
 //! `engine_gc`, `device_gc`, and `traceback`, the chaos subsystem
-//! emits `fault`/`repair` for every injected failure and its undo, and
-//! the placement subsystem emits `migrate`/`drain` for every throttled
-//! batch of a live topology change.
+//! emits `fault`/`repair` for every injected failure and its undo, the
+//! placement subsystem emits `migrate`/`drain` for every throttled
+//! batch of a live topology change, and the network front end emits
+//! `accept`/`net_read`/`net_write`/`dispatch` per connection and frame.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -65,11 +66,19 @@ pub enum SpanKind {
     /// One throttled batch pushed off a node draining out of a Mint
     /// group ahead of decommission.
     Drain,
+    /// One TCP connection accepted by the network front end.
+    Accept,
+    /// One request frame read and decoded off a connection.
+    NetRead,
+    /// One response frame encoded and written to a connection.
+    NetWrite,
+    /// One decoded request dispatched into the serve front-end.
+    Dispatch,
 }
 
 impl SpanKind {
     /// Every kind, in pipeline-then-maintenance order.
-    pub const ALL: [SpanKind; 16] = [
+    pub const ALL: [SpanKind; 20] = [
         SpanKind::Build,
         SpanKind::Dedup,
         SpanKind::Slice,
@@ -86,6 +95,10 @@ impl SpanKind {
         SpanKind::Repair,
         SpanKind::Migrate,
         SpanKind::Drain,
+        SpanKind::Accept,
+        SpanKind::NetRead,
+        SpanKind::NetWrite,
+        SpanKind::Dispatch,
     ];
 
     /// Stable lowercase name used in JSONL dumps.
@@ -107,6 +120,10 @@ impl SpanKind {
             SpanKind::Repair => "repair",
             SpanKind::Migrate => "migrate",
             SpanKind::Drain => "drain",
+            SpanKind::Accept => "accept",
+            SpanKind::NetRead => "net_read",
+            SpanKind::NetWrite => "net_write",
+            SpanKind::Dispatch => "dispatch",
         }
     }
 

@@ -85,13 +85,34 @@ impl Default for FrontendConfig {
     }
 }
 
+/// A completed answer to one admitted query.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// The ranked hits (shared with the stale-response cache).
+    pub hits: Arc<Vec<SearchHit>>,
+    /// True when the answer took a degraded path: deadline breach
+    /// (cached summaries only) or a stale-cache hit under overload.
+    pub degraded: bool,
+}
+
+/// Per-request completion callback: the network server hands one in per
+/// query so workers can push the answer back to the owning connection.
+/// Invoked exactly once, on whichever thread finishes the request.
+pub type Responder = Box<dyn FnOnce(QueryReply) + Send + 'static>;
+
 /// One query admitted to the front-end.
 struct Request {
     dc: DataCenterId,
     terms: Vec<Bytes>,
     version: u64,
+    /// Hits to return for this query (driver traffic uses the
+    /// configured default; network clients choose per request).
+    top_k: usize,
     enqueued: Instant,
     deadline: Instant,
+    /// `None` for fire-and-forget driver traffic (answers land only in
+    /// the stale-response cache, as before).
+    responder: Option<Responder>,
 }
 
 /// Key of the stale-response cache: under overload, any previous answer
@@ -239,19 +260,101 @@ impl ServeReport {
     }
 }
 
-/// Handle the load generator uses to offer requests to the running
-/// front-end. Submission is admission-controlled and never blocks on a
-/// full queue.
-pub struct Submitter<'a> {
-    cfg: &'a FrontendConfig,
-    queues: &'a [ShardQueue],
-    responses: &'a ResponseCache,
+/// Shared submission state: queues, the stale-response cache, and the
+/// admission tallies. Owned on the stack by [`run_traced`] and behind an
+/// `Arc` by the long-running [`Frontend`].
+struct Core {
+    cfg: FrontendConfig,
+    queues: Vec<ShardQueue>,
+    responses: ResponseCache,
     next_shard: AtomicU64,
     offered: AtomicU64,
     accepted: AtomicU64,
     stale_at_admission: AtomicU64,
     shed: AtomicU64,
     admission_hist: Mutex<LatencyHistogram>,
+}
+
+impl Core {
+    fn new(cfg: FrontendConfig) -> Core {
+        let workers = cfg.workers.max(1);
+        Core {
+            queues: (0..workers)
+                .map(|_| ShardQueue::new(cfg.queue_depth.max(1)))
+                .collect(),
+            responses: ShardedLru::new(cfg.response_cache_capacity.max(1), 4),
+            cfg,
+            next_shard: AtomicU64::new(0),
+            offered: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            stale_at_admission: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            admission_hist: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+
+    fn submit(
+        &self,
+        dc: DataCenterId,
+        terms: Vec<Bytes>,
+        version: u64,
+        top_k: usize,
+        responder: Option<Responder>,
+    ) -> Submitted {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) as usize % self.queues.len();
+        let req = Request {
+            dc,
+            terms,
+            version,
+            top_k: top_k.max(1),
+            enqueued: now,
+            deadline: now + self.cfg.deadline,
+            responder,
+        };
+        match self.queues[shard].try_push(req) {
+            Ok(()) => {
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                Submitted::Accepted
+            }
+            Err(mut req) => {
+                if self.cfg.shed_policy == ShedPolicy::ServeStale {
+                    let key: ResponseKey = (req.dc.region.0, std::mem::take(&mut req.terms));
+                    if let Some(hits) = self.responses.get(&key) {
+                        self.stale_at_admission.fetch_add(1, Ordering::Relaxed);
+                        let us = req.enqueued.elapsed().as_micros() as u64;
+                        self.admission_hist
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .record(us);
+                        if let Some(respond) = req.responder.take() {
+                            respond(QueryReply {
+                                hits,
+                                degraded: true,
+                            });
+                        }
+                        return Submitted::ServedStale;
+                    }
+                }
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Submitted::Shed(req.responder.take())
+            }
+        }
+    }
+
+    fn close(&self) {
+        for q in &self.queues {
+            q.close();
+        }
+    }
+}
+
+/// Handle the load generator uses to offer requests to the running
+/// front-end. Submission is admission-controlled and never blocks on a
+/// full queue.
+pub struct Submitter<'a> {
+    core: &'a Core,
 }
 
 /// What happened to one submitted request at admission.
@@ -265,51 +368,52 @@ pub enum Admission {
     Shed,
 }
 
+/// Outcome of [`Submitter::submit_query`]: like [`Admission`] but a shed
+/// request hands its responder back, so the caller can still answer the
+/// client (the network server turns it into an `Overloaded` frame).
+pub enum Submitted {
+    /// Queued; the responder will be invoked by a worker.
+    Accepted,
+    /// Queue full; the responder was already invoked with a stale answer.
+    ServedStale,
+    /// Queue full and no stale answer: the responder (if any) comes back
+    /// unused.
+    Shed(Option<Responder>),
+}
+
 impl Submitter<'_> {
-    /// Offers one query to the front-end.
+    /// Offers one fire-and-forget query to the front-end (driver
+    /// traffic: the answer lands in the stale-response cache only).
     pub fn submit(&self, dc: DataCenterId, terms: Vec<Bytes>, version: u64) -> Admission {
-        self.offered.fetch_add(1, Ordering::Relaxed);
-        let now = Instant::now();
-        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) as usize % self.queues.len();
-        let req = Request {
-            dc,
-            terms,
-            version,
-            enqueued: now,
-            deadline: now + self.cfg.deadline,
-        };
-        match self.queues[shard].try_push(req) {
-            Ok(()) => {
-                self.accepted.fetch_add(1, Ordering::Relaxed);
-                Admission::Accepted
-            }
-            Err(req) => {
-                if self.cfg.shed_policy == ShedPolicy::ServeStale {
-                    let key: ResponseKey = (req.dc.region.0, req.terms);
-                    if self.responses.get(&key).is_some() {
-                        self.stale_at_admission.fetch_add(1, Ordering::Relaxed);
-                        let us = req.enqueued.elapsed().as_micros() as u64;
-                        self.admission_hist
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .record(us);
-                        return Admission::ServedStale;
-                    }
-                }
-                self.shed.fetch_add(1, Ordering::Relaxed);
-                Admission::Shed
-            }
+        let top_k = self.core.cfg.top_k;
+        match self.core.submit(dc, terms, version, top_k, None) {
+            Submitted::Accepted => Admission::Accepted,
+            Submitted::ServedStale => Admission::ServedStale,
+            Submitted::Shed(_) => Admission::Shed,
         }
+    }
+
+    /// Offers one query whose answer must reach `responder` — the
+    /// network dispatch path. See [`Submitted`] for the shed contract.
+    pub fn submit_query(
+        &self,
+        dc: DataCenterId,
+        terms: Vec<Bytes>,
+        version: u64,
+        top_k: usize,
+        responder: Responder,
+    ) -> Submitted {
+        self.core.submit(dc, terms, version, top_k, Some(responder))
     }
 
     /// Requests accepted into a queue so far.
     pub fn accepted(&self) -> u64 {
-        self.accepted.load(Ordering::Relaxed)
+        self.core.accepted.load(Ordering::Relaxed)
     }
 
     /// Requests offered so far.
     pub fn offered(&self) -> u64 {
-        self.offered.load(Ordering::Relaxed)
+        self.core.offered.load(Ordering::Relaxed)
     }
 }
 
@@ -333,7 +437,7 @@ fn worker_loop(
         stale: 0,
         hist: LatencyHistogram::new(),
     };
-    while let Some(req) = queue.pop() {
+    while let Some(mut req) = queue.pop() {
         // One wall-clock span per response: the profiler's view of time
         // spent serving (excludes queue wait, which starts at enqueue).
         let mut span = trace.map(|(t, l)| t.span(obs::SpanKind::Serve, l));
@@ -341,7 +445,7 @@ fn worker_loop(
         // Rank errors (e.g. quorum loss mid-run) degrade to an empty
         // ranking; the request still gets a response.
         let ranked = engine
-            .rank(req.dc, &term_refs, req.version, cfg.top_k)
+            .rank(req.dc, &term_refs, req.version, req.top_k)
             .map(|r| r.ranked)
             .unwrap_or_default();
         let key: ResponseKey = (req.dc.region.0, req.terms.clone());
@@ -359,7 +463,14 @@ fn worker_loop(
                     }
                 })
                 .collect();
-            responses.insert(key, Arc::new(hits));
+            let hits = Arc::new(hits);
+            responses.insert(key, Arc::clone(&hits));
+            if let Some(respond) = req.responder.take() {
+                respond(QueryReply {
+                    hits,
+                    degraded: true,
+                });
+            }
             out.stale += 1;
             out.hist.record(req.enqueued.elapsed().as_micros() as u64);
             if let Some(span) = span.as_mut() {
@@ -387,7 +498,14 @@ fn worker_loop(
         if !service.is_zero() {
             std::thread::sleep(service);
         }
-        responses.insert(key, Arc::new(hits));
+        let hits = Arc::new(hits);
+        responses.insert(key, Arc::clone(&hits));
+        if let Some(respond) = req.responder.take() {
+            respond(QueryReply {
+                hits,
+                degraded: false,
+            });
+        }
         out.served += 1;
         out.hist.record(req.enqueued.elapsed().as_micros() as u64);
         if let Some(span) = span.as_mut() {
@@ -429,67 +547,154 @@ pub fn run_traced<F>(
 where
     F: FnOnce(&Submitter<'_>),
 {
-    let workers = cfg.workers.max(1);
-    let queues: Vec<ShardQueue> = (0..workers)
-        .map(|_| ShardQueue::new(cfg.queue_depth.max(1)))
-        .collect();
-    let responses: ResponseCache = ShardedLru::new(cfg.response_cache_capacity.max(1), 4);
-    let submitter = Submitter {
-        cfg,
-        queues: &queues,
-        responses: &responses,
-        next_shard: AtomicU64::new(0),
-        offered: AtomicU64::new(0),
-        accepted: AtomicU64::new(0),
-        stale_at_admission: AtomicU64::new(0),
-        shed: AtomicU64::new(0),
-        admission_hist: Mutex::new(LatencyHistogram::new()),
-    };
+    let core = Core::new(*cfg);
     let hits_before = cache.hits();
     let misses_before = cache.misses();
-    let labels: Vec<String> = (0..workers).map(|i| format!("serve/w{i}")).collect();
+    let labels: Vec<String> = (0..core.queues.len())
+        .map(|i| format!("serve/w{i}"))
+        .collect();
     let start = Instant::now();
-    let responses_ref = &responses;
+    let core_ref = &core;
     let outs: Vec<WorkerOut> = std::thread::scope(|s| {
-        let handles: Vec<_> = queues
+        let handles: Vec<_> = core
+            .queues
             .iter()
             .zip(&labels)
             .map(|(q, label)| {
                 s.spawn(move || {
                     let t = trace.map(|t| (t, label.as_str()));
-                    worker_loop(engine, cfg, cache, responses_ref, q, t)
+                    worker_loop(engine, &core_ref.cfg, cache, &core_ref.responses, q, t)
                 })
             })
             .collect();
-        generator(&submitter);
-        for q in &queues {
-            q.close();
-        }
+        generator(&Submitter { core: core_ref });
+        core.close();
         handles
             .into_iter()
             .map(|h| h.join().expect("serve worker panicked"))
             .collect()
     });
     let wall = start.elapsed();
-    let mut hist = submitter
+    finish_report(core, outs, wall, cache, hits_before, misses_before)
+}
+
+/// Merges the submission tallies with the joined worker outputs.
+fn finish_report(
+    core: Core,
+    outs: Vec<WorkerOut>,
+    wall: Duration,
+    cache: &SummaryCache,
+    hits_before: u64,
+    misses_before: u64,
+) -> ServeReport {
+    let mut hist = core
         .admission_hist
         .into_inner()
         .unwrap_or_else(|e| e.into_inner());
     let mut served = 0;
-    let mut stale = submitter.stale_at_admission.load(Ordering::Relaxed);
+    let mut stale = core.stale_at_admission.load(Ordering::Relaxed);
     for out in &outs {
         served += out.served;
         stale += out.stale;
         hist.merge(&out.hist);
     }
     ServeReport {
-        offered: submitter.offered.load(Ordering::Relaxed),
+        offered: core.offered.load(Ordering::Relaxed),
         served,
         served_stale: stale,
-        shed: submitter.shed.load(Ordering::Relaxed),
+        shed: core.shed.load(Ordering::Relaxed),
         wall,
         hist,
         summary_hits: cache.hits() - hits_before,
         summary_misses: cache.misses() - misses_before,
+    }
+}
+
+/// A long-running front-end that owns its worker threads — the network
+/// server's serving core. Unlike [`run`], which scopes workers to one
+/// generator call, this keeps accepting queries until
+/// [`Frontend::shutdown`]. The engine and summary cache are shared via
+/// `Arc` because connection threads outlive any one stack frame.
+pub struct Frontend {
+    core: Arc<Core>,
+    cache: Arc<SummaryCache>,
+    handles: Vec<std::thread::JoinHandle<WorkerOut>>,
+    start: Instant,
+    hits_before: u64,
+    misses_before: u64,
+}
+
+impl Frontend {
+    /// Spawns `cfg.workers` owned worker threads against `engine`. Each
+    /// worker emits a `serve` span per response into `trace` when given,
+    /// labeled `serve/w<worker>` as in [`run_traced`].
+    pub fn start(
+        engine: Arc<DirectLoad>,
+        cfg: FrontendConfig,
+        cache: Arc<SummaryCache>,
+        trace: Option<obs::TraceSink>,
+    ) -> Frontend {
+        let core = Arc::new(Core::new(cfg));
+        let hits_before = cache.hits();
+        let misses_before = cache.misses();
+        let handles = (0..core.queues.len())
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let core = Arc::clone(&core);
+                let cache = Arc::clone(&cache);
+                let trace = trace.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-w{i}"))
+                    .spawn(move || {
+                        let label = format!("serve/w{i}");
+                        let t = trace.as_ref().map(|t| (t, label.as_str()));
+                        worker_loop(
+                            &engine,
+                            &core.cfg,
+                            &cache,
+                            &core.responses,
+                            &core.queues[i],
+                            t,
+                        )
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Frontend {
+            core,
+            cache,
+            handles,
+            start: Instant::now(),
+            hits_before,
+            misses_before,
+        }
+    }
+
+    /// A submission handle; clone-free and cheap, valid for the
+    /// front-end's lifetime.
+    pub fn submitter(&self) -> Submitter<'_> {
+        Submitter { core: &self.core }
+    }
+
+    /// Closes the queues, joins the workers (they drain what was already
+    /// accepted), and reports — same accounting as [`run`].
+    pub fn shutdown(self) -> ServeReport {
+        self.core.close();
+        let outs: Vec<WorkerOut> = self
+            .handles
+            .into_iter()
+            .map(|h| h.join().expect("serve worker panicked"))
+            .collect();
+        let wall = self.start.elapsed();
+        let core = Arc::try_unwrap(self.core)
+            .unwrap_or_else(|_| panic!("submitters must not outlive the front-end"));
+        finish_report(
+            core,
+            outs,
+            wall,
+            &self.cache,
+            self.hits_before,
+            self.misses_before,
+        )
     }
 }

@@ -18,7 +18,11 @@
 //!   `obs::hist` and is re-exported here because [`ServeReport`] is made
 //!   of them;
 //! * [`driver`] — seeded open-loop QPS generator over [`indexgen`]'s
-//!   Zipf/VIP query workload.
+//!   Zipf/VIP query workload;
+//! * [`routing`] — generation-keyed topology snapshots, so a serving
+//!   path (in-process or behind the `net` crate's socket front end)
+//!   re-resolves group bindings the moment a placement cutover moves
+//!   the cluster's routing generation.
 //!
 //! The whole stack is deterministic in its inputs (seeded workload,
 //! fixed arrival schedule); wall-clock latencies of course vary run to
@@ -43,11 +47,16 @@
 pub mod cache;
 pub mod driver;
 pub mod frontend;
+pub mod routing;
 
 pub use cache::{ShardedLru, SummaryCache, SummaryKey};
 pub use driver::DriverConfig;
-pub use frontend::{Admission, FrontendConfig, ServeReport, ShedPolicy, Submitter};
+pub use frontend::{
+    Admission, Frontend, FrontendConfig, QueryReply, Responder, ServeReport, ShedPolicy, Submitted,
+    Submitter,
+};
 pub use obs::LatencyHistogram;
+pub use routing::RoutingView;
 
 use directload::DirectLoad;
 

@@ -1,0 +1,137 @@
+//! The network front end, end to end on loopback.
+//!
+//! Builds the laptop-scale deployment, starts `net::Server` on an
+//! OS-assigned port, and walks the whole wire surface from a real
+//! client: a pinned-version `Get`, a pipelined burst matched by request
+//! id, a `ScanPrefix` over the forward index, cluster `Status` with
+//! per-DC routing generations, and a Prometheus `Introspect` dump that
+//! includes the server's own `net.*` counters.
+//!
+//! ```text
+//! cargo run --release --example network
+//! ```
+
+use bifrost::DataCenterId;
+use directload::{DirectLoad, DirectLoadConfig};
+use indexgen::{IndexKind, QueryWorkload, QueryWorkloadConfig};
+use net::{Client, ClientConfig, Request, Response, Server, ServerConfig};
+use std::sync::Arc;
+
+fn main() {
+    // Engine with two published versions behind a real socket.
+    let mut engine = DirectLoad::new(DirectLoadConfig::small());
+    engine.run_version(1.0).expect("publish v1");
+    engine.run_version(0.3).expect("publish v2");
+    let engine = Arc::new(engine);
+
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("server on {addr}");
+
+    let mut client = Client::connect(addr.to_string(), ClientConfig::default()).expect("connect");
+    let dc = DataCenterId::all()[0];
+
+    // One query, server-current version (0), server-default top_k (0).
+    // Terms come from the corpus's own term sets, so they are indexed.
+    let terms = QueryWorkload::new(engine.crawler(), QueryWorkloadConfig::default())
+        .take(1)
+        .remove(0)
+        .terms;
+    let resp = client
+        .request(&Request::Get {
+            dc,
+            terms: terms.clone(),
+            version: 0,
+            top_k: 0,
+        })
+        .expect("get");
+    let hits = match resp {
+        Response::Hits { degraded, hits } => {
+            println!("get: {} hits (degraded={degraded})", hits.len());
+            hits
+        }
+        other => panic!("expected hits, got {other:?}"),
+    };
+    assert!(!hits.is_empty(), "hot terms must match documents");
+
+    // Pipelining: queue a burst, then drain completions by id.
+    let ids: Vec<u64> = (0..8)
+        .map(|_| {
+            client
+                .send(&Request::Get {
+                    dc,
+                    terms: terms.clone(),
+                    version: 0,
+                    top_k: 3,
+                })
+                .expect("send")
+        })
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    for _ in &ids {
+        let (id, resp) = client.recv().expect("recv");
+        assert!(matches!(resp, Response::Hits { .. }));
+        seen.insert(id);
+    }
+    assert_eq!(seen.len(), ids.len(), "every pipelined id answered once");
+    println!("pipelining: {} responses matched by id", seen.len());
+
+    // Prefix scan over the forward index (url -> terms).
+    let resp = client
+        .request(&Request::ScanPrefix {
+            dc,
+            kind: IndexKind::Forward,
+            prefix: bytes::Bytes::from_static(b"url"),
+            version: 0,
+            limit: 5,
+        })
+        .expect("scan");
+    match resp {
+        Response::Scan { items, truncated } => {
+            println!(
+                "scan: {} forward-index rows (truncated={truncated})",
+                items.len()
+            );
+            assert!(!items.is_empty(), "forward index must have url keys");
+        }
+        other => panic!("expected scan result, got {other:?}"),
+    }
+
+    // Cluster status: versions plus one routing generation per DC.
+    let resp = client.request(&Request::Status).expect("status");
+    match resp {
+        Response::Status {
+            current_version,
+            min_live_version,
+            generations,
+        } => {
+            println!(
+                "status: version {current_version}, min live {min_live_version}, {} DCs",
+                generations.len()
+            );
+            assert_eq!(current_version, engine.version());
+            assert_eq!(generations.len(), DataCenterId::all().len());
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    // Introspection: the Prometheus dump now carries net.* counters.
+    let resp = client.request(&Request::Introspect).expect("introspect");
+    match resp {
+        Response::Introspect { text } => {
+            assert!(text.contains("net_requests_total") || text.contains("net.requests_total"));
+            println!("introspect: {} bytes of metrics", text.len());
+        }
+        other => panic!("expected introspection, got {other:?}"),
+    }
+
+    let report = server.shutdown();
+    println!(
+        "server drained: offered={} served={} p99={}µs",
+        report.offered,
+        report.served,
+        report.hist.p99()
+    );
+    println!("\nnetwork front end round-trip complete");
+}
