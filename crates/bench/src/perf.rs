@@ -18,6 +18,7 @@
 //! | `serve_qps` | serve | open-loop QPS burst with p50/p99 |
 //! | `rebalance` | placement + mint | throttled scale-out then decommission |
 //! | `netbench` | net + serve | the serve path behind a real loopback socket |
+//! | `telemetry` | obs | sim-clock sampler, windowed percentiles, SLO breach/recovery |
 
 use crate::fig5::{self, Fig5Config};
 use bifrost::{Bifrost, BifrostConfig, DataCenterId, TrunkCapacities};
@@ -30,7 +31,7 @@ use serve::{ServeConfig, ServeExt, SummaryCache};
 use simclock::{SimClock, SimTime};
 
 /// Scenario names, in suite order. `perf -- all` runs exactly these.
-pub const SCENARIOS: [&str; 8] = [
+pub const SCENARIOS: [&str; 9] = [
     "qindb_write",
     "lsm_write",
     "bifrost_delivery",
@@ -39,6 +40,7 @@ pub const SCENARIOS: [&str; 8] = [
     "serve_qps",
     "rebalance",
     "netbench",
+    "telemetry",
 ];
 
 /// Suite-wide knobs.
@@ -115,6 +117,7 @@ pub fn run_scenario(name: &str, cfg: &PerfConfig) -> Option<BenchReport> {
         "serve_qps" => serve_qps(cfg),
         "rebalance" => rebalance(cfg),
         "netbench" => netbench(cfg),
+        "telemetry" => telemetry(cfg),
         _ => return None,
     })
 }
@@ -534,6 +537,77 @@ fn netbench(cfg: &PerfConfig) -> BenchReport {
     r.push(name, "p50_ms", report.hist.p50() as f64 / 1e6, "ms", false);
     r.push(name, "p99_ms", report.hist.p99() as f64 / 1e6, "ms", false);
     r.push(name, "qps", report.qps(), "qps", false);
+    push_wall(&mut r, name, wall);
+    r
+}
+
+fn telemetry(cfg: &PerfConfig) -> BenchReport {
+    // Pure observability-layer scenario, entirely on simulated time:
+    // a synthetic workload feeds a registry counter and a cumulative
+    // latency histogram, the sampler ticks once per simulated second,
+    // and two SLOs watch the derived series. A mid-run stall drives one
+    // breach/recovery cycle. Everything here is deterministic down to
+    // the serialized series bytes, which the crc cell pins in the
+    // baseline — the "same seed, same snapshot" guarantee as one gate.
+    let ticks: u64 = if cfg.quick { 60 } else { 300 };
+    let run = || {
+        let reg = obs::Registry::default();
+        let offered = reg.counter("serve.offered_total");
+        let hist = std::sync::Arc::new(std::sync::Mutex::new(obs::LatencyHistogram::new()));
+        let mut sampler = obs::Sampler::new(reg.clone(), 512);
+        {
+            let hist = std::sync::Arc::clone(&hist);
+            sampler.add_histogram("synthetic.latency", move || hist.lock().unwrap().clone());
+        }
+        let mut slo = obs::SloEngine::from_lines(
+            "qps: serve.offered_total.rate >= 50 over 3s
+             lat: synthetic.latency.p99 < 200000 over 3s
+",
+        )
+        .expect("specs parse");
+        for t in 1..=ticks {
+            let now_ns = t * 1_000_000_000;
+            // 100 qps steady state; a ten-tick stall starting at t=20
+            // drives the qps objective through breach and recovery.
+            let stall = (20..30).contains(&t);
+            if !stall {
+                offered.add(100);
+                let mut h = hist.lock().unwrap();
+                for i in 0..100u64 {
+                    // Seeded-LCG latencies in [500µs, ~10.5ms): varied
+                    // enough to move the window percentiles, identical
+                    // on every run.
+                    h.record(
+                        500 + (t
+                            .wrapping_mul(2862933555777941757)
+                            .wrapping_add(i * 3037000493)
+                            % 997)
+                            * 10,
+                    );
+                }
+            }
+            sampler.tick(now_ns);
+            let _ = slo.evaluate(&sampler, now_ns, &reg, None);
+        }
+        let snapshot = sampler.to_json();
+        let p99 = sampler.latest("synthetic.latency.p99").unwrap_or(0.0);
+        (
+            slo.breach_events(),
+            slo.recover_events(),
+            net::wire::crc32(snapshot.as_bytes()),
+            snapshot.len(),
+            p99,
+        )
+    };
+    let (wall, (breaches, recoveries, crc, snap_len, p99)) = measure(cfg.reps, run);
+    let name = "telemetry";
+    let mut r = BenchReport::new(cfg.mode());
+    r.push(name, "ticks", ticks as f64, "count", true);
+    r.push(name, "slo_breaches", breaches as f64, "count", true);
+    r.push(name, "slo_recoveries", recoveries as f64, "count", true);
+    r.push(name, "series_crc32", crc as f64, "crc", true);
+    r.push(name, "series_bytes", snap_len as f64, "bytes", true);
+    r.push(name, "window_p99_us", p99, "us", true);
     push_wall(&mut r, name, wall);
     r
 }

@@ -324,6 +324,20 @@ impl DirectLoad {
         self.query(dc, IndexKind::Inverted, term, version)
     }
 
+    /// [`DirectLoad::get_inverted`] on behalf of a traced request: the
+    /// Mint fan-out and any engine tracebacks carry `trace_id` on the
+    /// wall trace ring (see [`mint::Mint::get_traced`]). `trace_id` 0 is
+    /// exactly [`DirectLoad::get_inverted`].
+    pub fn get_inverted_traced(
+        &self,
+        dc: DataCenterId,
+        term: &[u8],
+        version: u64,
+        trace_id: u64,
+    ) -> Result<(Option<Bytes>, SimTime)> {
+        self.query_traced(dc, IndexKind::Inverted, term, version, trace_id)
+    }
+
     /// Looks up a forward term list at `dc` (stored everywhere).
     pub fn get_forward(
         &self,
@@ -341,8 +355,19 @@ impl DirectLoad {
         key: &[u8],
         version: u64,
     ) -> Result<(Option<Bytes>, SimTime)> {
+        self.query_traced(dc, kind, key, version, 0)
+    }
+
+    fn query_traced(
+        &self,
+        dc: DataCenterId,
+        kind: IndexKind,
+        key: &[u8],
+        version: u64,
+        trace_id: u64,
+    ) -> Result<(Option<Bytes>, SimTime)> {
         let cluster = self.cluster(dc)?;
-        Ok(cluster.get(&prefixed(kind, key), version)?)
+        Ok(cluster.get_traced(&prefixed(kind, key), version, trace_id)?)
     }
 
     /// Scans one index family at `dc` for keys starting with `prefix`,
@@ -425,6 +450,9 @@ impl DirectLoad {
         self.registry
             .counter("pipeline.trace_events_dropped")
             .store(self.trace.dropped());
+        self.trace.publish_metrics(&self.registry, "obs.trace");
+        self.wall_trace
+            .publish_metrics(&self.registry, "obs.trace.wall");
         self.registry
             .gauge("pipeline.current_version")
             .set(self.crawler.version() as f64);

@@ -78,10 +78,26 @@ impl DirectLoad {
         version: u64,
         top_k: usize,
     ) -> Result<RankedQuery> {
+        self.rank_traced(dc, terms, version, top_k, 0)
+    }
+
+    /// [`DirectLoad::rank`] on behalf of a traced request: every
+    /// posting-list fetch carries `trace_id` down through Mint's
+    /// replicated read and the engine's traceback, so the assembled
+    /// trace shows where a slow query spent its storage time.
+    /// `trace_id` 0 is exactly [`DirectLoad::rank`].
+    pub fn rank_traced(
+        &self,
+        dc: DataCenterId,
+        terms: &[&[u8]],
+        version: u64,
+        top_k: usize,
+        trace_id: u64,
+    ) -> Result<RankedQuery> {
         let mut matches: HashMap<Bytes, usize> = HashMap::new();
         let mut latency = SimTime::ZERO;
         for term in terms {
-            let (postings, lat) = self.get_inverted(dc, term, version)?;
+            let (postings, lat) = self.get_inverted_traced(dc, term, version, trace_id)?;
             latency += lat;
             let Some(postings) = postings else { continue };
             let mut cursor = postings;

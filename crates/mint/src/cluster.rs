@@ -416,7 +416,30 @@ impl Mint {
     /// The reported latency is the winning live response's, or the
     /// slowest responder's when absence had to be confirmed.
     pub fn get(&self, key: &[u8], version: u64) -> Result<(Option<Bytes>, SimTime)> {
+        self.get_traced(key, version, 0)
+    }
+
+    /// [`Mint::get`] on behalf of a traced request: the whole fan-out is
+    /// wrapped in a wall-clock `get` span carrying `trace_id` (amount =
+    /// replicas consulted), and each engine read propagates the id so
+    /// deduplication tracebacks surface in the assembled trace.
+    /// `trace_id` 0 is exactly [`Mint::get`].
+    pub fn get_traced(
+        &self,
+        key: &[u8],
+        version: u64,
+        trace_id: u64,
+    ) -> Result<(Option<Bytes>, SimTime)> {
+        let mut span = match (&self.wall_trace, trace_id) {
+            (Some((sink, prefix)), id) if id != 0 => {
+                Some(sink.span_traced(obs::SpanKind::Get, prefix, id))
+            }
+            _ => None,
+        };
         let readers = self.group_readers(key);
+        if let Some(s) = span.as_mut() {
+            s.set_amount(readers.len() as u64);
+        }
         let mut best_live: Option<(Bytes, u64, SimTime)> = None;
         let mut deleted = false;
         let mut slowest = SimTime::ZERO;
@@ -431,7 +454,7 @@ impl Mint {
             let t0 = node.clock.now();
             let mut attempt = 0;
             let status = loop {
-                match engine.status(key, version) {
+                match engine.status_traced(key, version, trace_id) {
                     Ok(status) => break Some(status),
                     Err(error) => {
                         attempt += 1;

@@ -263,7 +263,7 @@ fn run_connection(
                 std::thread::sleep(due - elapsed);
             }
             let id = i as u64 + 1;
-            let frame = wire::encode_request(id, req);
+            let frame = wire::encode_request(id, 0, req);
             sender_flight
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
@@ -299,8 +299,8 @@ fn run_connection(
                 break;
             }
         };
-        let (id, resp) = match wire::decode_response(&body) {
-            Ok(pair) => pair,
+        let (id, _trace, resp) = match wire::decode_response(&body) {
+            Ok(t) => t,
             Err(_) => {
                 tally.protocol_errors += 1;
                 break;

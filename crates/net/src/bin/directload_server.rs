@@ -4,7 +4,12 @@
 //! ```text
 //! directload-server [--addr HOST:PORT] [--versions N] [--workers N]
 //!                   [--duration-secs N] [--port-file PATH]
+//!                   [--telemetry-ms N] [--slo-file PATH]
 //! ```
+//!
+//! `--telemetry-ms` sets the sampler/SLO tick period (0 disables);
+//! `--slo-file` replaces the default objectives with one `SloSpec`
+//! line per row. Point `directload-top` at the same address to watch.
 //!
 //! Binds `--addr` (default `127.0.0.1:4550`; port 0 asks the OS),
 //! publishes `--versions` index versions of the laptop-scale corpus,
@@ -56,6 +61,12 @@ fn main() {
     let mut cfg = ServerConfig::default();
     if let Some(w) = parse_flag(&args, "--workers").and_then(|v| v.parse().ok()) {
         cfg.frontend.workers = w;
+    }
+    if let Some(ms) = parse_flag(&args, "--telemetry-ms").and_then(|v| v.parse().ok()) {
+        cfg.telemetry_interval_ms = ms;
+    }
+    if let Some(path) = parse_flag(&args, "--slo-file") {
+        cfg.slos = std::fs::read_to_string(&path).expect("read SLO file");
     }
 
     install_signal_handlers();

@@ -54,6 +54,9 @@ pub struct Client {
     next_id: u64,
     /// Total reconnects performed (observable for tests/benches).
     reconnects: u64,
+    /// Trace id carried by the most recent response frame (0 when the
+    /// server is untraced or speaking protocol v1).
+    last_trace_id: u64,
 }
 
 impl Client {
@@ -65,6 +68,7 @@ impl Client {
             stream: None,
             next_id: 1,
             reconnects: 0,
+            last_trace_id: 0,
         };
         client.ensure_connected()?;
         Ok(client)
@@ -74,6 +78,13 @@ impl Client {
     /// initial connect.
     pub fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+
+    /// The trace id the server stamped on the most recent response —
+    /// the handle for `obs::trace::assemble` on the server side.
+    /// 0 until a traced (protocol v2) response arrives.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id
     }
 
     fn ensure_connected(&mut self) -> Result<&mut TcpStream> {
@@ -124,7 +135,7 @@ impl Client {
     pub fn send(&mut self, req: &Request) -> Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
-        let frame = wire::encode_request(id, req);
+        let frame = wire::encode_request(id, 0, req);
         let stream = self.ensure_connected()?;
         if let Err(e) = stream.write_all(&frame) {
             self.disconnect();
@@ -154,7 +165,10 @@ impl Client {
             }
         };
         match wire::decode_response(&body) {
-            Ok(pair) => Ok(pair),
+            Ok((req_id, trace_id, resp)) => {
+                self.last_trace_id = trace_id;
+                Ok((req_id, resp))
+            }
             Err(e) => {
                 self.disconnect();
                 Err(e.into())
@@ -175,6 +189,13 @@ impl Client {
                 self.round_trip(req)
             }
         }
+    }
+
+    /// [`Client::request`], additionally returning the trace id the
+    /// server allocated for this request (0 from a v1 server).
+    pub fn request_traced(&mut self, req: &Request) -> Result<(Response, u64)> {
+        let resp = self.request(req)?;
+        Ok((resp, self.last_trace_id))
     }
 
     fn round_trip(&mut self, req: &Request) -> Result<Response> {

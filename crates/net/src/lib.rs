@@ -5,21 +5,25 @@
 //! answering index queries for the whole search stack):
 //!
 //! * [`wire`] — a length-prefixed, checksummed binary protocol with
-//!   request ids for pipelining and typed ops (`Get`, `ScanPrefix`,
-//!   `Status`, `Introspect`);
+//!   request ids for pipelining, typed ops (`Get`, `ScanPrefix`,
+//!   `Status`, `Introspect`), and — since protocol v2 — a per-request
+//!   trace id stitched through every layer the request touches;
 //! * [`server`] — a blocking-socket runtime on `std::net::TcpListener`:
 //!   one accept thread, one thread per connection, dispatching into the
 //!   `serve` front-end's worker pool. Dispatch is topology-aware via
 //!   [`serve::RoutingView`], so a placement cutover is honored on the
-//!   very next request;
+//!   very next request. A telemetry thread ticks an [`obs::Sampler`]
+//!   and SLO engine; `Introspect` answers with a typed
+//!   [`obs::TelemetryFrame`];
 //! * [`client`] — a sync client with pipelining (send many, receive by
 //!   request id), per-request timeouts, and reconnect-with-backoff;
 //! * [`bench`] — an open-loop multi-connection load generator feeding
 //!   the same log-bucketed latency histograms as `serve::driver`.
 //!
-//! Two binaries ship with the crate: `directload-server` (build an
-//! index, bind, serve until SIGTERM, dump metrics) and
-//! `directload-netbench` (drive a server and report latency).
+//! Three binaries ship with the crate: `directload-server` (build an
+//! index, bind, serve until SIGTERM, dump metrics),
+//! `directload-netbench` (drive a server and report latency), and
+//! `directload-top` (a refresh-loop ops console over `Introspect`).
 
 pub mod bench;
 pub mod client;
@@ -28,10 +32,10 @@ pub mod wire;
 
 pub use bench::{run_netbench, NetbenchConfig, NetbenchReport};
 pub use client::{Client, ClientConfig};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, DEFAULT_SLOS};
 pub use wire::{
     DcGeneration, ErrorCode, ProtocolError, Request, Response, WireHit, DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 
 /// Anything that can go wrong talking to a DirectLoad server.

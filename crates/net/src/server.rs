@@ -19,32 +19,68 @@
 //! [`RoutingView`] keyed by the cluster's routing generation, so the
 //! first request after a placement cutover (or failure/recovery)
 //! rebuilds the snapshot instead of serving a stale binding.
+//!
+//! Telemetry: a background thread ticks an [`obs::Sampler`] over the
+//! engine's registry every `telemetry_interval_ms`, deriving windowed
+//! rates and percentiles, and evaluates the configured SLOs against
+//! those series. `Introspect` answers with a typed
+//! [`obs::TelemetryFrame`] (JSON on the wire) — cumulative metrics,
+//! series, per-layer health rows, SLO statuses, and top self-time
+//! spans — which is what `directload-top` renders.
+//!
+//! Tracing: every request gets a [`obs::TraceCtx`] — a server-allocated
+//! `trace_id` (or the client's own, when its v2 frame carries a nonzero
+//! one) plus the connection sequence as origin. The id is threaded
+//! through the serve front-end into mint and qindb span labels and
+//! echoed in the response frame, so a client can hand it to
+//! [`obs::trace::assemble`] and see its request's whole path.
 
 use crate::wire::{self, DcGeneration, ErrorCode, ReadFrame, Request, Response, WireHit};
 use directload::DirectLoad;
-use obs::Counter;
+use obs::{Counter, LayerRow, Sampler, SloEngine, SloStatus, TelemetryFrame, TopSpan, TraceCtx};
 use serve::frontend::{Frontend, FrontendConfig, QueryReply, Responder, Submitted};
-use serve::{RoutingView, ServeReport, SummaryCache};
+use serve::{LiveStats, RoutingView, ServeReport, SummaryCache};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Server tuning.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// The serve front-end behind the socket (workers, queues,
     /// admission, service model).
     pub frontend: FrontendConfig,
     /// Ceiling on accepted frame sizes.
     pub max_frame: usize,
+    /// Telemetry sampling period; `0` disables the sampler thread
+    /// (Introspect then reports cumulative metrics with empty series).
+    pub telemetry_interval_ms: u64,
+    /// Points retained per derived series (a ring; oldest evicted).
+    pub series_capacity: usize,
+    /// Service-level objectives, one [`obs::SloSpec`] line each
+    /// (blank lines and `#` comments ignored). Evaluated every
+    /// telemetry tick against the sampler's windowed series.
+    pub slos: String,
 }
+
+/// The objectives a server watches unless told otherwise: windowed
+/// serve p99 under a quarter second, and an essentially error-free
+/// wire. Loose on purpose — defaults should page on fire, not noise.
+pub const DEFAULT_SLOS: &str = "\
+serve_p99: serve.latency.p99 < 250000 over 10s
+net_errors: net.protocol_errors_total.rate <= 0.5 over 10s
+";
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             frontend: FrontendConfig::default(),
             max_frame: wire::DEFAULT_MAX_FRAME,
+            telemetry_interval_ms: 1000,
+            series_capacity: 512,
+            slos: DEFAULT_SLOS.to_string(),
         }
     }
 }
@@ -100,6 +136,22 @@ struct Shared {
     shutdown: AtomicBool,
     /// Stream clones for forced close at shutdown (read loops block).
     conns: Mutex<Vec<TcpStream>>,
+    /// The front-end's live counters/histogram, shared with the
+    /// telemetry thread (valid and frozen after front-end shutdown).
+    live: Arc<LiveStats>,
+    /// Windowed time series over the registry, fed by the telemetry
+    /// thread, read by `Introspect`.
+    sampler: Mutex<Sampler>,
+    /// Objective evaluator; owns the breach/recovery state machine.
+    slo: Mutex<SloEngine>,
+    /// Statuses from the most recent telemetry tick.
+    last_slos: Mutex<Vec<SloStatus>>,
+    /// Telemetry epoch: tick times are nanoseconds since server start.
+    started: Instant,
+    /// Trace-id allocator. Starts at 1; 0 means untraced on the wire.
+    next_trace: AtomicU64,
+    /// Connection sequence, recorded as [`TraceCtx::origin`].
+    next_conn: AtomicU64,
 }
 
 /// A running server. Dropping it does **not** stop the threads; call
@@ -109,6 +161,8 @@ pub struct Server {
     local_addr: SocketAddr,
     accept_handle: std::thread::JoinHandle<()>,
     conn_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    /// Dropping the sender wakes the telemetry thread to exit.
+    telemetry: Option<(mpsc::Sender<()>, std::thread::JoinHandle<()>)>,
 }
 
 impl Server {
@@ -134,7 +188,16 @@ impl Server {
             cache,
             Some(trace.clone()),
         );
+        let live = frontend.live();
         let metrics = Metrics::new(engine.registry());
+        let slo = SloEngine::from_lines(&cfg.slos)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let mut sampler = Sampler::new(engine.registry().clone(), cfg.series_capacity);
+        {
+            let live = Arc::clone(&live);
+            sampler.add_histogram("serve.latency", move || live.hist());
+        }
+        let telemetry_interval = cfg.telemetry_interval_ms;
         let shared = Arc::new(Shared {
             engine,
             frontend: RwLock::new(Some(frontend)),
@@ -144,7 +207,27 @@ impl Server {
             trace,
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
+            live,
+            sampler: Mutex::new(sampler),
+            slo: Mutex::new(slo),
+            last_slos: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            next_trace: AtomicU64::new(1),
+            next_conn: AtomicU64::new(1),
         });
+        let telemetry = if telemetry_interval > 0 {
+            let (tx, rx) = mpsc::channel();
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name("net-telemetry".into())
+                .spawn(move || {
+                    telemetry_loop(shared, rx, Duration::from_millis(telemetry_interval))
+                })
+                .expect("spawn telemetry thread");
+            Some((tx, handle))
+        } else {
+            None
+        };
         let conn_handles = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
             let shared = Arc::clone(&shared);
@@ -159,6 +242,7 @@ impl Server {
             local_addr,
             accept_handle,
             conn_handles,
+            telemetry,
         })
     }
 
@@ -172,6 +256,12 @@ impl Server {
     /// in-process front-end).
     pub fn shutdown(self) -> ServeReport {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Stop the telemetry ticker first so its final state is what
+        // Introspect observers saw last.
+        if let Some((tx, handle)) = self.telemetry {
+            drop(tx);
+            let _ = handle.join();
+        }
         // The accept loop blocks in accept(); poke it awake.
         let _ = TcpStream::connect(self.local_addr);
         let _ = self.accept_handle.join();
@@ -242,6 +332,108 @@ fn accept_loop(
     }
 }
 
+/// Ticks the sampler until the stop sender drops (shutdown) — a
+/// `recv_timeout` doubles as the interval timer.
+fn telemetry_loop(shared: Arc<Shared>, stop: mpsc::Receiver<()>, interval: Duration) {
+    while let Err(mpsc::RecvTimeoutError::Timeout) = stop.recv_timeout(interval) {
+        telemetry_tick(&shared);
+    }
+}
+
+/// One telemetry tick: refresh every cumulative counter in the
+/// registry, sample them into the time series, and re-evaluate SLOs.
+fn telemetry_tick(shared: &Shared) {
+    let now_ns = shared.started.elapsed().as_nanos() as u64;
+    // `introspect` republishes qindb/ssd/bifrost/pipeline counters with
+    // store semantics (idempotent), so the sampler sees fresh values;
+    // the front-end's live stats publish the serve.* side the same way.
+    let _ = shared.engine.introspect();
+    shared.live.publish(shared.engine.registry());
+    let mut sampler = shared.sampler.lock().unwrap_or_else(|e| e.into_inner());
+    sampler.tick(now_ns);
+    let statuses = shared
+        .slo
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .evaluate(
+            &sampler,
+            now_ns,
+            shared.engine.registry(),
+            Some(&shared.trace),
+        );
+    *shared.last_slos.lock().unwrap_or_else(|e| e.into_inner()) = statuses;
+}
+
+/// Derives the console's per-layer health rows from the sampler's most
+/// recent window. A layer with no matching series yet (sampler warming
+/// up, or telemetry disabled) reports `None`s, not zeros — "unknown"
+/// and "idle" are different answers.
+fn layer_rows(sampler: &Sampler) -> Vec<LayerRow> {
+    let v = |name: &str| sampler.latest(name);
+    let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+        (Some(n), Some(d)) if d > 0.0 => Some(n / d),
+        _ => None,
+    };
+    vec![
+        LayerRow {
+            layer: "net".into(),
+            qps: v("net.requests_total.rate"),
+            p99_us: None,
+            err_rate: ratio(
+                v("net.protocol_errors_total.rate"),
+                v("net.requests_total.rate"),
+            ),
+        },
+        LayerRow {
+            layer: "serve".into(),
+            qps: v("serve.served_total.rate"),
+            p99_us: v("serve.latency.p99"),
+            err_rate: ratio(v("serve.shed_total.rate"), v("serve.offered_total.rate")),
+        },
+        // Every Mint read fans out to replica engine gets, so the engine
+        // get rate *is* Mint's storage-read rate.
+        LayerRow {
+            layer: "mint".into(),
+            qps: v("qindb.gets.rate"),
+            p99_us: None,
+            err_rate: None,
+        },
+        LayerRow {
+            layer: "qindb".into(),
+            qps: v("qindb.gets.rate"),
+            p99_us: None,
+            err_rate: ratio(v("qindb.gets_not_found.rate"), v("qindb.gets.rate")),
+        },
+    ]
+}
+
+/// Builds the typed `Introspect` payload: cumulative metrics, the
+/// sampler's series, layer rows, last-tick SLO statuses, and the top
+/// self-time spans from the wall trace.
+fn telemetry_frame(shared: &Shared) -> TelemetryFrame {
+    let now_ns = shared.started.elapsed().as_nanos() as u64;
+    shared.live.publish(shared.engine.registry());
+    let report = shared.engine.introspect();
+    let (series, layers) = {
+        let sampler = shared.sampler.lock().unwrap_or_else(|e| e.into_inner());
+        (sampler.to_value(), layer_rows(&sampler))
+    };
+    let slos = shared
+        .last_slos
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    let top_spans = TopSpan::rank(&shared.trace.snapshot(), 8);
+    TelemetryFrame {
+        now_ns,
+        metrics: TelemetryFrame::metrics_from_report(&report),
+        series,
+        layers,
+        slos,
+        top_spans,
+    }
+}
+
 /// Writes one response frame to the connection, under the writer lock
 /// (workers and the connection thread interleave here).
 fn send_response(
@@ -249,10 +441,11 @@ fn send_response(
     metrics: &Metrics,
     trace: &obs::TraceSink,
     req_id: u64,
+    trace_id: u64,
     resp: &Response,
 ) {
-    let frame = wire::encode_response(req_id, resp);
-    let mut span = trace.span(obs::SpanKind::NetWrite, "net/write");
+    let frame = wire::encode_response(req_id, trace_id, resp);
+    let mut span = trace.span_traced(obs::SpanKind::NetWrite, "net/write", trace_id);
     span.set_amount(frame.len() as u64);
     let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
     match w.write_all(&frame) {
@@ -270,6 +463,7 @@ fn send_response(
 
 fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
+    let conn_seq = shared.next_conn.fetch_add(1, Ordering::Relaxed);
     let mut reader = match stream.try_clone() {
         Ok(s) => std::io::BufReader::new(s),
         Err(_) => return,
@@ -296,7 +490,7 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
         shared
             .trace
             .event(obs::SpanKind::NetRead, "net/read", body.len() as u64 + 4);
-        let (req_id, req) = match wire::decode_request(&body) {
+        let (req_id, wire_trace, req) = match wire::decode_request(&body) {
             Ok(decoded) => decoded,
             Err(_) => {
                 // Framing is untrustworthy after a bad frame; close.
@@ -305,7 +499,19 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
             }
         };
         shared.metrics.requests.inc();
-        dispatch(&shared, &writer, req_id, req);
+        // A client that already carries a trace id (a relay, a test
+        // harness) keeps it; everyone else gets a fresh one. 0 is
+        // reserved for "untraced" and never allocated.
+        let trace_id = if wire_trace != 0 {
+            wire_trace
+        } else {
+            shared.next_trace.fetch_add(1, Ordering::Relaxed)
+        };
+        let ctx = TraceCtx {
+            trace_id,
+            origin: conn_seq,
+        };
+        dispatch(&shared, &writer, req_id, ctx, req);
     }
     // Drop our registered clone so the shutdown list stays bounded for
     // long-lived servers with connection churn. The client's ephemeral
@@ -325,9 +531,18 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
-fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, req_id: u64, req: Request) {
-    let mut span = shared.trace.span(obs::SpanKind::Dispatch, "net/dispatch");
-    span.set_amount(1);
+fn dispatch(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    req_id: u64,
+    ctx: TraceCtx,
+    req: Request,
+) {
+    let trace_id = ctx.trace_id;
+    let mut span = shared
+        .trace
+        .span_traced(obs::SpanKind::Dispatch, "net/dispatch", trace_id);
+    span.set_amount(ctx.origin);
     match req {
         Request::Get {
             dc,
@@ -356,6 +571,7 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, req_id: u64, r
                     &shared.metrics,
                     &shared.trace,
                     req_id,
+                    trace_id,
                     &Response::Error {
                         code: ErrorCode::BadRequest,
                         message: format!("no cluster at {dc:?}"),
@@ -382,6 +598,7 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, req_id: u64, r
                         &metrics,
                         &trace,
                         req_id,
+                        trace_id,
                         &Response::Hits {
                             degraded: reply.degraded,
                             hits,
@@ -393,7 +610,7 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, req_id: u64, r
             let outcome = match guard.as_ref() {
                 Some(frontend) => frontend
                     .submitter()
-                    .submit_query(dc, terms, version, top_k, responder),
+                    .submit_query_traced(dc, terms, version, top_k, trace_id, responder),
                 None => Submitted::Shed(Some(responder)),
             };
             if let Submitted::Shed(_) = outcome {
@@ -403,6 +620,7 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, req_id: u64, r
                     &shared.metrics,
                     &shared.trace,
                     req_id,
+                    trace_id,
                     &Response::Error {
                         code: ErrorCode::Overloaded,
                         message: "shed at admission".into(),
@@ -433,7 +651,14 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, req_id: u64, r
                     message: e.to_string(),
                 },
             };
-            send_response(writer, &shared.metrics, &shared.trace, req_id, &resp);
+            send_response(
+                writer,
+                &shared.metrics,
+                &shared.trace,
+                req_id,
+                trace_id,
+                &resp,
+            );
         }
         Request::Status => {
             shared.metrics.statuses.inc();
@@ -453,14 +678,28 @@ fn dispatch(shared: &Arc<Shared>, writer: &Arc<Mutex<TcpStream>>, req_id: u64, r
                 min_live_version: shared.engine.min_live_version(),
                 generations,
             };
-            send_response(writer, &shared.metrics, &shared.trace, req_id, &resp);
+            send_response(
+                writer,
+                &shared.metrics,
+                &shared.trace,
+                req_id,
+                trace_id,
+                &resp,
+            );
         }
         Request::Introspect => {
             shared.metrics.introspects.inc();
             let resp = Response::Introspect {
-                text: shared.engine.introspect().to_prometheus(),
+                json: telemetry_frame(shared).to_json(),
             };
-            send_response(writer, &shared.metrics, &shared.trace, req_id, &resp);
+            send_response(
+                writer,
+                &shared.metrics,
+                &shared.trace,
+                req_id,
+                trace_id,
+                &resp,
+            );
         }
     }
 }

@@ -3,10 +3,10 @@
 //! Every message — request or response — travels as one frame:
 //!
 //! ```text
-//! +----------------+---------+--------+--------------+---------+--------------+
-//! | len: u32 LE    | version | kind   | req_id:      | payload | crc32: u32   |
-//! | (all after it) | u8 = 1  | u8     | u64 LE       | ...     | LE (IEEE)    |
-//! +----------------+---------+--------+--------------+---------+--------------+
+//! +----------------+---------+--------+----------+------------+---------+--------------+
+//! | len: u32 LE    | version | kind   | req_id:  | trace_id:  | payload | crc32: u32   |
+//! | (all after it) | u8      | u8     | u64 LE   | u64 LE, v2 | ...     | LE (IEEE)    |
+//! +----------------+---------+--------+----------+------------+---------+--------------+
 //! ```
 //!
 //! * `len` counts everything after itself (version through checksum),
@@ -15,6 +15,12 @@
 //! * `req_id` is chosen by the client and echoed in the response, which
 //!   is what makes pipelining work: responses may arrive out of request
 //!   order and are matched by id;
+//! * `trace_id` (version 2 frames only) stitches the request's spans
+//!   across layers: the server allocates it per request, threads it
+//!   through serve/mint/qindb, and echoes it in the response so a
+//!   client can quote it back when asking `obs::trace::assemble` — or a
+//!   human — "where did my 40 ms go?". Version 1 frames have no such
+//!   field; a v2 decoder reads them as `trace_id == 0` (untraced);
 //! * `crc32` covers version through payload. Framing survives TCP's own
 //!   checksums in practice; the CRC catches buggy peers and truncated
 //!   writes at process kill, turning them into clean [`ProtocolError`]s.
@@ -22,6 +28,17 @@
 //! Request kinds occupy `0x01..=0x04`, response kinds `0x81..=0x84` plus
 //! `0xFF` for errors — disjoint ranges, so feeding a response stream to
 //! the request decoder fails loudly instead of aliasing.
+//!
+//! # Version negotiation
+//!
+//! There is none — and that is deliberate. Each frame carries its own
+//! version byte, and the decoder accepts every version in
+//! `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION`. An upgraded server keeps
+//! serving old clients (their v1 frames simply arrive untraced), while
+//! an old server rejects a v2 frame with a clean
+//! [`ProtocolError::BadVersion`] before touching the payload — the
+//! `encode_*_v1` helpers and `decode_*_strict_v1` exist so tests can
+//! prove both directions.
 //!
 //! All decode paths are bounds-checked and panic-free; the property
 //! tests in `tests/wire_props.rs` fuzz truncations, bit flips, and
@@ -32,17 +49,28 @@ use bytes::Bytes;
 use indexgen::IndexKind;
 use std::io::Read;
 
-/// Protocol version byte this build speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version byte this build speaks (and emits).
+///
+/// Version 2 added the `trace_id` header field; see the module docs.
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Oldest protocol version this build still decodes.
+pub const MIN_PROTOCOL_VERSION: u8 = 1;
 
 /// Default ceiling on `len` (bytes after the length prefix). Generous
 /// for query traffic (keys are tens of bytes, summaries hundreds) while
 /// keeping a corrupt length from allocating gigabytes.
 pub const DEFAULT_MAX_FRAME: usize = 4 * 1024 * 1024;
 
-/// Fixed bytes after the length prefix besides the payload:
-/// version (1) + kind (1) + req_id (8) + crc32 (4).
-const ENVELOPE: usize = 14;
+/// Fixed bytes after the length prefix besides the payload in a v1
+/// frame: version (1) + kind (1) + req_id (8) + crc32 (4). This is the
+/// *minimum* legal frame body — `read_frame` uses it as its floor so v1
+/// peers still get through.
+const ENVELOPE_V1: usize = 14;
+
+/// Fixed bytes after the length prefix besides the payload in a v2
+/// frame: v1's envelope plus trace_id (8).
+const ENVELOPE_V2: usize = 22;
 
 /// A malformed or unreadable frame. Every variant is a clean error —
 /// the decoder never panics on wire input.
@@ -57,7 +85,8 @@ pub enum ProtocolError {
         /// Configured ceiling.
         max: usize,
     },
-    /// The version byte is not [`PROTOCOL_VERSION`].
+    /// The version byte is outside
+    /// `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION`.
     BadVersion(u8),
     /// The checksum over version..payload does not match.
     BadChecksum,
@@ -75,7 +104,10 @@ impl std::fmt::Display for ProtocolError {
                 write!(f, "frame of {len} bytes exceeds max {max}")
             }
             ProtocolError::BadVersion(v) => {
-                write!(f, "protocol version {v} (speaking {PROTOCOL_VERSION})")
+                write!(
+                    f,
+                    "protocol version {v} (speaking {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+                )
             }
             ProtocolError::BadChecksum => write!(f, "frame checksum mismatch"),
             ProtocolError::UnknownKind(k) => write!(f, "unknown message kind {k:#04x}"),
@@ -198,8 +230,11 @@ pub enum Response {
     },
     /// Answer to [`Request::Introspect`].
     Introspect {
-        /// Prometheus exposition text.
-        text: String,
+        /// A JSON-encoded `obs::TelemetryFrame`: metrics snapshot,
+        /// windowed time series, per-layer rows, SLO statuses, and top
+        /// self-time spans. Kept as a string on the wire so the frame
+        /// schema can evolve without another protocol bump.
+        json: String,
     },
     /// The request failed; `req_id` still matches it.
     Error {
@@ -365,13 +400,30 @@ fn kind_from_u8(v: u8) -> Result<IndexKind, ProtocolError> {
 // Frame assembly / disassembly.
 // ---------------------------------------------------------------------
 
-/// Wraps `(kind, payload)` into a full frame including the length
+/// Wraps `(kind, payload)` into a full v2 frame including the length
 /// prefix, ready to write to a socket.
-fn seal(kind: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
-    let body_len = ENVELOPE + payload.len();
+fn seal(kind: u8, req_id: u64, trace_id: u64, payload: &[u8]) -> Vec<u8> {
+    let body_len = ENVELOPE_V2 + payload.len();
     let mut out = Vec::with_capacity(4 + body_len);
     put_u32(&mut out, body_len as u32);
     out.push(PROTOCOL_VERSION);
+    out.push(kind);
+    put_u64(&mut out, req_id);
+    put_u64(&mut out, trace_id);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[4..]);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Wraps `(kind, payload)` into a version-1 frame — no trace field.
+/// Exists so compatibility tests (and a hypothetical old peer) can
+/// exercise the v1 decode path; production encoders always emit v2.
+fn seal_v1(kind: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
+    let body_len = ENVELOPE_V1 + payload.len();
+    let mut out = Vec::with_capacity(4 + body_len);
+    put_u32(&mut out, body_len as u32);
+    out.push(1u8);
     out.push(kind);
     put_u64(&mut out, req_id);
     out.extend_from_slice(payload);
@@ -381,9 +433,15 @@ fn seal(kind: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
 }
 
 /// Splits a frame body (everything after the length prefix) into
-/// `(kind, req_id, payload)`, verifying version and checksum.
-fn unseal(body: &[u8]) -> Result<(u8, u64, &[u8]), ProtocolError> {
-    if body.len() < ENVELOPE {
+/// `(kind, req_id, trace_id, payload)`, verifying version and checksum.
+///
+/// Accepts every version in `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION`:
+/// v1 frames decode with `trace_id == 0`, v2 frames carry it in the
+/// header. The checksum is verified *before* the version byte is
+/// interpreted, so corruption reports as `BadChecksum`, not as a
+/// phantom version mismatch.
+fn unseal(body: &[u8]) -> Result<(u8, u64, u64, &[u8]), ProtocolError> {
+    if body.len() < ENVELOPE_V1 {
         return Err(ProtocolError::Truncated);
     }
     let (content, crc_bytes) = body.split_at(body.len() - 4);
@@ -391,16 +449,57 @@ fn unseal(body: &[u8]) -> Result<(u8, u64, &[u8]), ProtocolError> {
     if crc32(content) != want {
         return Err(ProtocolError::BadChecksum);
     }
-    if content[0] != PROTOCOL_VERSION {
-        return Err(ProtocolError::BadVersion(content[0]));
+    let version = content[0];
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        return Err(ProtocolError::BadVersion(version));
     }
     let kind = content[1];
     let req_id = u64::from_le_bytes(content[2..10].try_into().unwrap());
-    Ok((kind, req_id, &content[10..]))
+    if version == 1 {
+        return Ok((kind, req_id, 0, &content[10..]));
+    }
+    if content.len() < ENVELOPE_V2 - 4 {
+        return Err(ProtocolError::Truncated);
+    }
+    let trace_id = u64::from_le_bytes(content[10..18].try_into().unwrap());
+    Ok((kind, req_id, trace_id, &content[18..]))
 }
 
-/// Encodes one request as a complete frame (length prefix included).
-pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
+/// What a version-1-only decoder does with a frame body: identical
+/// framing checks, but only version 1 is in its vocabulary. Used by
+/// compatibility tests to prove an old peer rejects v2 frames cleanly
+/// (a `BadVersion` error, never a panic or a misparse).
+pub fn strict_v1_version_check(body: &[u8]) -> Result<(), ProtocolError> {
+    if body.len() < ENVELOPE_V1 {
+        return Err(ProtocolError::Truncated);
+    }
+    let (content, crc_bytes) = body.split_at(body.len() - 4);
+    let want = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(content) != want {
+        return Err(ProtocolError::BadChecksum);
+    }
+    if content[0] != 1 {
+        return Err(ProtocolError::BadVersion(content[0]));
+    }
+    Ok(())
+}
+
+/// Encodes one request as a complete v2 frame (length prefix
+/// included). `trace_id` 0 means untraced — the common case for
+/// client-originated frames, since trace ids are allocated server-side.
+pub fn encode_request(req_id: u64, trace_id: u64, req: &Request) -> Vec<u8> {
+    let (kind, p) = request_payload(req);
+    seal(kind, req_id, trace_id, &p)
+}
+
+/// Encodes one request as a version-1 frame, exactly as a pre-trace
+/// build would. For compatibility tests.
+pub fn encode_request_v1(req_id: u64, req: &Request) -> Vec<u8> {
+    let (kind, p) = request_payload(req);
+    seal_v1(kind, req_id, &p)
+}
+
+fn request_payload(req: &Request) -> (u8, Vec<u8>) {
     let mut p = Vec::new();
     let kind = match req {
         Request::Get {
@@ -435,12 +534,14 @@ pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
         Request::Status => KIND_STATUS,
         Request::Introspect => KIND_INTROSPECT,
     };
-    seal(kind, req_id, &p)
+    (kind, p)
 }
 
-/// Decodes a request from a frame body (after the length prefix).
-pub fn decode_request(body: &[u8]) -> Result<(u64, Request), ProtocolError> {
-    let (kind, req_id, payload) = unseal(body)?;
+/// Decodes a request from a frame body (after the length prefix),
+/// returning `(req_id, trace_id, request)`. Version-1 frames decode
+/// with `trace_id == 0`.
+pub fn decode_request(body: &[u8]) -> Result<(u64, u64, Request), ProtocolError> {
+    let (kind, req_id, trace_id, payload) = unseal(body)?;
     let mut c = Cursor::new(payload);
     let req = match kind {
         KIND_GET => {
@@ -483,11 +584,24 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), ProtocolError> {
         other => return Err(ProtocolError::UnknownKind(other)),
     };
     c.finished()?;
-    Ok((req_id, req))
+    Ok((req_id, trace_id, req))
 }
 
-/// Encodes one response as a complete frame (length prefix included).
-pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
+/// Encodes one response as a complete v2 frame (length prefix
+/// included). Servers echo the request's `trace_id` here so the client
+/// learns which trace its request became.
+pub fn encode_response(req_id: u64, trace_id: u64, resp: &Response) -> Vec<u8> {
+    let (kind, p) = response_payload(resp);
+    seal(kind, req_id, trace_id, &p)
+}
+
+/// Encodes one response as a version-1 frame. For compatibility tests.
+pub fn encode_response_v1(req_id: u64, resp: &Response) -> Vec<u8> {
+    let (kind, p) = response_payload(resp);
+    seal_v1(kind, req_id, &p)
+}
+
+fn response_payload(resp: &Response) -> (u8, Vec<u8>) {
     let mut p = Vec::new();
     let kind = match resp {
         Response::Hits { degraded, hits } => {
@@ -530,8 +644,8 @@ pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
             }
             KIND_STATUS_RESULT
         }
-        Response::Introspect { text } => {
-            put_bytes(&mut p, text.as_bytes());
+        Response::Introspect { json } => {
+            put_bytes(&mut p, json.as_bytes());
             KIND_INTROSPECT_RESULT
         }
         Response::Error { code, message } => {
@@ -540,12 +654,14 @@ pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
             KIND_ERROR
         }
     };
-    seal(kind, req_id, &p)
+    (kind, p)
 }
 
-/// Decodes a response from a frame body (after the length prefix).
-pub fn decode_response(body: &[u8]) -> Result<(u64, Response), ProtocolError> {
-    let (kind, req_id, payload) = unseal(body)?;
+/// Decodes a response from a frame body (after the length prefix),
+/// returning `(req_id, trace_id, response)`. Version-1 frames decode
+/// with `trace_id == 0`.
+pub fn decode_response(body: &[u8]) -> Result<(u64, u64, Response), ProtocolError> {
+    let (kind, req_id, trace_id, payload) = unseal(body)?;
     let mut c = Cursor::new(payload);
     let resp = match kind {
         KIND_HITS => {
@@ -606,9 +722,9 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), ProtocolError> {
             }
         }
         KIND_INTROSPECT_RESULT => {
-            let text = String::from_utf8(c.bytes()?.to_vec())
+            let json = String::from_utf8(c.bytes()?.to_vec())
                 .map_err(|_| ProtocolError::Malformed("introspection not UTF-8"))?;
-            Response::Introspect { text }
+            Response::Introspect { json }
         }
         KIND_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?)?;
@@ -619,7 +735,7 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), ProtocolError> {
         other => return Err(ProtocolError::UnknownKind(other)),
     };
     c.finished()?;
-    Ok((req_id, resp))
+    Ok((req_id, trace_id, resp))
 }
 
 /// Outcome of reading one frame off a blocking stream.
@@ -662,7 +778,7 @@ pub fn read_frame(r: &mut impl Read, max_frame: usize) -> std::io::Result<ReadFr
             },
         ));
     }
-    if len < ENVELOPE {
+    if len < ENVELOPE_V1 {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             ProtocolError::Truncated,
@@ -717,16 +833,46 @@ mod tests {
             Request::Introspect,
         ];
         for (i, req) in reqs.iter().enumerate() {
-            let frame = encode_request(i as u64 + 10, req);
-            let (id, back) = decode_request(&frame[4..]).unwrap();
+            let frame = encode_request(i as u64 + 10, i as u64 + 100, req);
+            let (id, trace, back) = decode_request(&frame[4..]).unwrap();
             assert_eq!(id, i as u64 + 10);
+            assert_eq!(trace, i as u64 + 100);
             assert_eq!(&back, req);
         }
     }
 
     #[test]
+    fn v1_frames_decode_without_a_trace_id() {
+        let frame = encode_request_v1(7, &Request::Status);
+        let (id, trace, back) = decode_request(&frame[4..]).unwrap();
+        assert_eq!((id, trace), (7, 0));
+        assert_eq!(back, Request::Status);
+        let frame = encode_response_v1(
+            7,
+            &Response::Status {
+                current_version: 3,
+                min_live_version: 1,
+                generations: vec![],
+            },
+        );
+        let (id, trace, _) = decode_response(&frame[4..]).unwrap();
+        assert_eq!((id, trace), (7, 0));
+    }
+
+    #[test]
+    fn v1_only_decoder_rejects_v2_frames_cleanly() {
+        let frame = encode_request(7, 42, &Request::Status);
+        assert_eq!(
+            strict_v1_version_check(&frame[4..]),
+            Err(ProtocolError::BadVersion(2))
+        );
+        let frame = encode_request_v1(7, &Request::Status);
+        assert_eq!(strict_v1_version_check(&frame[4..]), Ok(()));
+    }
+
+    #[test]
     fn corrupt_byte_is_a_checksum_error() {
-        let frame = encode_request(1, &Request::Status);
+        let frame = encode_request(1, 0, &Request::Status);
         for i in 4..frame.len() - 4 {
             let mut bad = frame.clone();
             bad[i] ^= 0x40;
@@ -737,13 +883,14 @@ mod tests {
 
     #[test]
     fn response_decoder_rejects_request_kinds_and_vice_versa() {
-        let frame = encode_request(2, &Request::Status);
+        let frame = encode_request(2, 0, &Request::Status);
         assert!(matches!(
             decode_response(&frame[4..]),
             Err(ProtocolError::UnknownKind(KIND_STATUS))
         ));
         let frame = encode_response(
             2,
+            0,
             &Response::Error {
                 code: ErrorCode::Internal,
                 message: "x".into(),

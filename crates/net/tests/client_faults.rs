@@ -31,7 +31,7 @@ fn answer_one(stream: &mut TcpStream) -> bool {
     };
     match wire::read_frame(&mut reader, wire::DEFAULT_MAX_FRAME) {
         Ok(ReadFrame::Frame(body)) => {
-            let (id, _req) = match wire::decode_request(&body) {
+            let (id, _trace, _req) = match wire::decode_request(&body) {
                 Ok(x) => x,
                 Err(_) => return false,
             };
@@ -40,7 +40,9 @@ fn answer_one(stream: &mut TcpStream) -> bool {
                 min_live_version: 1,
                 generations: vec![],
             };
-            stream.write_all(&wire::encode_response(id, &resp)).is_ok()
+            stream
+                .write_all(&wire::encode_response(id, 0, &resp))
+                .is_ok()
         }
         _ => false,
     }

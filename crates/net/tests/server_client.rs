@@ -13,6 +13,7 @@ use indexgen::{IndexKind, QueryWorkload, QueryWorkloadConfig};
 use net::{
     run_netbench, Client, ClientConfig, NetbenchConfig, Request, Response, Server, ServerConfig,
 };
+use obs::TelemetryFrame;
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
@@ -105,14 +106,20 @@ fn every_op_round_trips_over_loopback() {
         other => panic!("expected status, got {other:?}"),
     }
 
-    // Introspect carries the server's own counters.
+    // Introspect answers with a typed telemetry frame carrying the
+    // server's own counters.
     match client.request(&Request::Introspect).expect("introspect") {
-        Response::Introspect { text } => {
-            assert!(text.contains("net.requests_total"));
-            assert!(text.contains("net.connections_total"));
+        Response::Introspect { json } => {
+            let frame = TelemetryFrame::from_json(&json).expect("well-formed telemetry frame");
+            assert!(frame.metric("net.requests_total").unwrap_or(0.0) >= 1.0);
+            assert!(frame.metric("net.connections_total").unwrap_or(0.0) >= 1.0);
+            assert_eq!(frame.layers.len(), 4, "net/serve/mint/qindb rows");
         }
         other => panic!("expected introspection, got {other:?}"),
     }
+
+    // Traced responses: the server allocated a trace id and echoed it.
+    assert!(client.last_trace_id() > 0, "v2 responses carry a trace id");
 
     let report = server.shutdown();
     assert!(report.offered >= 2, "both gets went through the front-end");
@@ -174,7 +181,7 @@ fn malformed_frames_close_the_connection_and_are_counted() {
     // connection (framing is unrecoverable) without crashing.
     {
         let mut raw = std::net::TcpStream::connect(addr).expect("connect raw");
-        let mut bad = net::wire::encode_request(7, &Request::Status);
+        let mut bad = net::wire::encode_request(7, 0, &Request::Status);
         let last = bad.len() - 1;
         bad[last] ^= 0xFF; // breaks the checksum
         raw.write_all(&bad).expect("write corrupt frame");
@@ -190,13 +197,12 @@ fn malformed_frames_close_the_connection_and_are_counted() {
     // the counters.
     let mut client = Client::connect(addr.to_string(), ClientConfig::default()).expect("connect");
     match client.request(&Request::Introspect).expect("introspect") {
-        Response::Introspect { text } => {
-            let line = text
-                .lines()
-                .find(|l| l.starts_with("net.protocol_errors_total"))
+        Response::Introspect { json } => {
+            let frame = TelemetryFrame::from_json(&json).expect("well-formed telemetry frame");
+            let count = frame
+                .metric("net.protocol_errors_total")
                 .expect("protocol error counter present");
-            let count: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
-            assert!(count >= 1, "the corrupt frame was counted");
+            assert!(count >= 1.0, "the corrupt frame was counted");
         }
         other => panic!("expected introspection, got {other:?}"),
     }

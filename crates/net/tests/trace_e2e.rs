@@ -1,0 +1,97 @@
+//! End-to-end request tracing over loopback: one trace id, issued by
+//! the net server, must reconstruct the request's whole path.
+//!
+//! This is the acceptance test for the observability tentpole: a `Get`
+//! enters through the socket, the server allocates a trace id, the
+//! serve worker, Mint's replicated read, and (at deduplicated versions)
+//! the engine's traceback all label their spans with it, and
+//! [`obs::trace::assemble`] stitches them back together from the wall
+//! trace ring.
+
+use bifrost::DataCenterId;
+use bytes::Bytes;
+use directload::{DirectLoad, DirectLoadConfig};
+use indexgen::{QueryWorkload, QueryWorkloadConfig};
+use net::{Client, ClientConfig, Request, Response, Server, ServerConfig};
+use std::sync::Arc;
+
+fn engine_with_two_versions() -> Arc<DirectLoad> {
+    let mut e = DirectLoad::new(DirectLoadConfig::small());
+    e.run_version(1.0).expect("publish v1");
+    // A 0.0 refresh dedupes everything: version-2 reads walk traceback
+    // chains, so the qindb layer shows up in traces too.
+    e.run_version(0.0).expect("publish v2");
+    Arc::new(e)
+}
+
+fn some_terms(engine: &DirectLoad) -> Vec<Bytes> {
+    QueryWorkload::new(engine.crawler(), QueryWorkloadConfig::default())
+        .take(1)
+        .remove(0)
+        .terms
+}
+
+#[test]
+fn one_trace_id_stitches_net_serve_and_storage() {
+    let engine = engine_with_two_versions();
+    let server =
+        Server::start(Arc::clone(&engine), "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client =
+        Client::connect(server.local_addr().to_string(), ClientConfig::default()).expect("connect");
+    let dc = DataCenterId::all()[0];
+    let terms = some_terms(&engine);
+
+    // Query the deduplicated version so the read path is as deep as it
+    // gets: net -> serve -> mint -> qindb traceback.
+    let (resp, trace_id) = client
+        .request_traced(&Request::Get {
+            dc,
+            terms,
+            version: 2,
+            top_k: 4,
+        })
+        .expect("get");
+    match resp {
+        Response::Hits { hits, .. } => assert!(!hits.is_empty(), "terms are indexed"),
+        other => panic!("expected hits, got {other:?}"),
+    }
+    assert!(trace_id > 0, "the server allocated a trace id");
+
+    let assembled = obs::trace::assemble(engine.wall_trace(), trace_id);
+    assert_eq!(assembled.trace_id, trace_id);
+    assert!(
+        assembled.events.len() >= 3,
+        "expected several spans, got {:?}",
+        assembled.events
+    );
+    let layers = assembled.layers();
+    for want in ["net", "serve", "mint"] {
+        assert!(
+            layers.contains(&want),
+            "layer {want} missing from {layers:?}"
+        );
+    }
+    assert!(
+        layers.contains(&"qindb"),
+        "deduplicated read must walk a traceback chain; layers: {layers:?}"
+    );
+    // Events come back ordered and the whole path has real duration.
+    let sorted: Vec<u64> = assembled.events.iter().map(|e| e.start_ns).collect();
+    let mut check = sorted.clone();
+    check.sort_unstable();
+    assert_eq!(sorted, check, "assemble orders events by start time");
+    assert!(assembled.span_ns() > 0, "the request took real time");
+
+    // A second request gets a different id — ids are per-request, and
+    // its trace never bleeds into the first one's assembly.
+    let (_, second_id) = client.request_traced(&Request::Status).expect("status");
+    assert!(second_id > trace_id, "ids are fresh per request");
+    let again = obs::trace::assemble(engine.wall_trace(), trace_id);
+    assert_eq!(
+        again.events.len(),
+        assembled.events.len(),
+        "assembly is stable once the request is done"
+    );
+
+    server.shutdown();
+}

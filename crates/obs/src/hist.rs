@@ -166,6 +166,47 @@ impl LatencyHistogram {
     pub fn p999(&self) -> u64 {
         self.percentile(0.999)
     }
+
+    /// The samples recorded since `earlier`: per-bucket subtraction of a
+    /// previous cumulative snapshot from this one.
+    ///
+    /// This is how windowed percentiles come out of cumulative
+    /// histograms — a sampler keeps the last snapshot and diffs each
+    /// tick, so `diff(prev).p99()` is the p99 of *that window only*.
+    /// `earlier` must be a prior snapshot of the same histogram
+    /// (subset counts); buckets use saturating subtraction so a
+    /// mismatched pair degrades to zeros rather than wrapping. The
+    /// window's min/max are reconstructed from its own nonempty buckets
+    /// (bucket-edge resolution), clamped to the cumulative extremes.
+    pub fn diff(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for (i, (a, b)) in self.counts.iter().zip(&earlier.counts).enumerate() {
+            let d = a.saturating_sub(*b);
+            out.counts[i] = d;
+            if d > 0 {
+                out.count += d;
+                let group = i / SUB_BUCKETS;
+                let low_edge = if group == 0 {
+                    bucket_high(i)
+                } else {
+                    bucket_high(i - 1) + 1
+                };
+                lo = lo.min(low_edge);
+                hi = hi.max(bucket_high(i));
+            }
+        }
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        if out.count > 0 {
+            // Bucket-edge bounds, tightened by the cumulative extremes
+            // (the window cannot have seen anything outside them).
+            out.min = lo.max(self.min());
+            out.max = hi.min(self.max());
+            out.min = out.min.min(out.max);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +297,49 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0);
         assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn diff_recovers_the_window() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let prev = h.clone();
+        for v in [1000u64, 2000, 4000, 8000] {
+            h.record(v);
+        }
+        let w = h.diff(&prev);
+        assert_eq!(w.count(), 4);
+        assert_eq!(w.sum(), 15_000);
+        // The window's percentiles reflect only the new samples: its
+        // median sits near 2000, far above the cumulative median.
+        assert!(w.p50() >= 1000);
+        assert!(w.p50() > h.p50());
+        // Window extremes are bucket-resolution but bracket the samples.
+        assert!(w.min() <= 1000 && w.min() > 30);
+        assert!(w.max() >= 8000);
+        // Diffing identical snapshots yields an empty window.
+        let empty = h.diff(&h);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn diff_window_percentiles_bounded_by_cumulative_max() {
+        let mut h = LatencyHistogram::new();
+        let mut prev = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            if i == 500 {
+                prev = h.clone();
+            }
+            h.record(i * 13 % 4096);
+        }
+        let w = h.diff(&prev);
+        assert_eq!(w.count() + prev.count(), h.count());
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert!(w.percentile(q) <= h.max());
+        }
     }
 
     #[test]

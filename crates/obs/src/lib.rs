@@ -24,17 +24,41 @@
 //!   unattributed remainder, and [`top_self_time`] ranks the individual
 //!   spans that dominate the critical path.
 //!
+//! * [`timeseries`] — the windowed derivative layer: a [`Sampler`]
+//!   ticks a clock (sim or wall) over the registry and histogram
+//!   sources, diffing each tick against the last to produce
+//!   fixed-capacity [`TimeSeries`] rings of rates, deltas, and
+//!   per-window percentiles (via [`LatencyHistogram::diff`]), with a
+//!   deterministic name-sorted JSON snapshot.
+//! * [`slo`] — declarative objectives (`"get_p99: serve.lat.p99 < 5000
+//!   over 60s"`) evaluated against those series; breach/recovery
+//!   transitions emit trace events and `slo.*` counters.
+//! * [`telemetry`] — the typed [`TelemetryFrame`] the network
+//!   `Introspect` response carries and `directload-top` renders.
+//!
+//! Request tracing: [`TraceCtx`] carries a `trace_id` allocated at the
+//! network edge through every layer; spans emitted with
+//! [`TraceSink::span_traced`]/[`TraceSink::event_traced`] share the id,
+//! and [`assemble`] stitches them back into one cross-layer
+//! [`AssembledTrace`].
+//!
 //! `obs` sits at the bottom of the dependency graph (only `simclock` and
 //! the vendored `serde_json` below it) so every other crate can wire its
 //! counters in without cycles.
 
 pub mod hist;
 pub mod registry;
+pub mod slo;
+pub mod telemetry;
+pub mod timeseries;
 pub mod trace;
 
 pub use hist::LatencyHistogram;
 pub use registry::{Counter, Gauge, MetricSample, MetricValue, MetricsReport, Registry};
+pub use slo::{SloEngine, SloOp, SloSpec, SloStatus};
+pub use telemetry::{LayerRow, TelemetryFrame, TopSpan};
+pub use timeseries::{Sampler, SeriesPoint, TimeSeries};
 pub use trace::{
-    breakdown, profile, profile_window, top_self_time, Profile, SelfTime, SpanBreakdown, SpanGuard,
-    SpanKind, TraceEvent, TraceSink,
+    assemble, breakdown, profile, profile_window, top_self_time, AssembledTrace, Profile, SelfTime,
+    SpanBreakdown, SpanGuard, SpanKind, TraceCtx, TraceEvent, TraceSink,
 };

@@ -152,7 +152,14 @@ impl Registry {
         self.len() == 0
     }
 
-    /// A point-in-time copy of every metric, sorted by name.
+    /// A point-in-time copy of every metric, **sorted by metric name**
+    /// (byte-wise ascending).
+    ///
+    /// The ordering is a documented invariant, not an accident of the
+    /// backing map: serialized snapshots (`to_prometheus`, the telemetry
+    /// JSON frames) must be byte-stable across runs so the perf gate can
+    /// compare them with plain equality. Registration order never leaks
+    /// into a snapshot.
     pub fn snapshot(&self) -> MetricsReport {
         let cells = self.cells.lock().unwrap();
         MetricsReport {
@@ -310,6 +317,31 @@ mod tests {
                 .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.'));
             assert!(value.parse::<f64>().is_ok());
         }
+    }
+
+    #[test]
+    fn snapshot_serialization_is_byte_stable_across_registration_order() {
+        // Two registries with the same metrics registered in opposite
+        // orders must serialize identically — the perf gate diffs these
+        // strings byte-for-byte.
+        let a = Registry::new();
+        a.counter("serve.offered").add(10);
+        a.gauge("net.conns").set(3.0);
+        a.counter("qindb.gets").add(7);
+        let b = Registry::new();
+        b.counter("qindb.gets").add(7);
+        b.gauge("net.conns").set(3.0);
+        b.counter("serve.offered").add(10);
+        assert_eq!(a.snapshot().to_prometheus(), b.snapshot().to_prometheus());
+        let names: Vec<_> = a
+            .snapshot()
+            .samples
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Declarative service-level objectives evaluated against the time
+//! series.
+//!
+//! An objective is one line of text — `"get_p99: serve.lat.p99 < 5000
+//! over 60s"` — naming a derived series (see
+//! [`Sampler`](crate::Sampler)), a comparison, a threshold, and an
+//! evaluation window. Each [`SloEngine::evaluate`] call reads the
+//! series' points inside the window, averages them, compares, and
+//! tracks the objective's state across calls: crossing from meeting to
+//! breaching emits a [`SpanKind::SloBreach`] trace event and bumps
+//! `slo.breach_total` (plus the per-objective
+//! `slo.<name>.breach_total`); recovering emits
+//! [`SpanKind::SloRecover`] and `slo.recover_total`. The
+//! `slo.breached` gauge always holds the count of currently breached
+//! objectives, so "is anything on fire" is one metric read.
+//!
+//! An objective whose window holds no points is *not evaluated*: its
+//! state is unchanged and its status reports `value: None`. Breach
+//! detection therefore needs the sampler actually ticking.
+
+use crate::timeseries::Sampler;
+use crate::trace::{SpanKind, TraceSink};
+use crate::Registry;
+
+/// Comparison operator in an SLO spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloOp {
+    /// Objective holds while the value is strictly below the threshold.
+    Lt,
+    /// At or below.
+    Le,
+    /// Strictly above.
+    Gt,
+    /// At or above.
+    Ge,
+}
+
+impl SloOp {
+    /// The spec-syntax token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloOp::Lt => "<",
+            SloOp::Le => "<=",
+            SloOp::Gt => ">",
+            SloOp::Ge => ">=",
+        }
+    }
+
+    fn parse(s: &str) -> Option<SloOp> {
+        match s {
+            "<" => Some(SloOp::Lt),
+            "<=" => Some(SloOp::Le),
+            ">" => Some(SloOp::Gt),
+            ">=" => Some(SloOp::Ge),
+            _ => None,
+        }
+    }
+
+    /// Applies the comparison.
+    pub fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            SloOp::Lt => value < threshold,
+            SloOp::Le => value <= threshold,
+            SloOp::Gt => value > threshold,
+            SloOp::Ge => value >= threshold,
+        }
+    }
+}
+
+/// Parses a duration token: `"60s"`, `"500ms"`, `"250us"`, or bare
+/// nanoseconds `"1000ns"`. Returns nanoseconds.
+fn parse_duration_ns(s: &str) -> Option<u64> {
+    let (num, mult) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix("ns") {
+        (n, 1)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        return None;
+    };
+    let v: f64 = num.parse().ok()?;
+    if v.is_nan() || v < 0.0 {
+        return None;
+    }
+    Some((v * mult as f64) as u64)
+}
+
+/// One declarative objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Objective name; must fit the metric-name charset (`[a-z0-9_]+`,
+    /// no dots) because it becomes part of `slo.<name>.breach_total`.
+    pub name: String,
+    /// Derived series the objective watches, e.g. `"serve.lat.p99"`.
+    pub series: String,
+    /// Comparison direction.
+    pub op: SloOp,
+    /// Threshold, in the series' own units.
+    pub threshold: f64,
+    /// Evaluation window: points within `now - over_ns ..= now` are
+    /// averaged before comparing.
+    pub over_ns: u64,
+}
+
+impl SloSpec {
+    /// Parses `"<name>: <series> <op> <threshold> over <duration>"`,
+    /// e.g. `"get_p99: serve.lat.p99 < 5000 over 60s"`.
+    pub fn parse(line: &str) -> Option<SloSpec> {
+        let (name, rest) = line.split_once(':')?;
+        let name = name.trim().to_string();
+        let name_ok = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        if !name_ok {
+            return None;
+        }
+        let toks: Vec<&str> = rest.split_whitespace().collect();
+        let [series, op, threshold, over_kw, dur] = toks.as_slice() else {
+            return None;
+        };
+        if *over_kw != "over" {
+            return None;
+        }
+        Some(SloSpec {
+            name,
+            series: series.to_string(),
+            op: SloOp::parse(op)?,
+            threshold: threshold.parse().ok()?,
+            over_ns: parse_duration_ns(dur)?,
+        })
+    }
+
+    /// The spec back in its one-line syntax.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}: {} {} {} over {}ms",
+            self.name,
+            self.series,
+            self.op.as_str(),
+            self.threshold,
+            self.over_ns / 1_000_000
+        )
+    }
+}
+
+/// One objective's state after an [`SloEngine::evaluate`] pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Objective name.
+    pub name: String,
+    /// Watched series.
+    pub series: String,
+    /// False while breached.
+    pub ok: bool,
+    /// Windowed mean the comparison used; `None` when the window held
+    /// no points (state unchanged).
+    pub value: Option<f64>,
+    /// Threshold from the spec.
+    pub threshold: f64,
+    /// Comparison from the spec.
+    pub op: SloOp,
+}
+
+impl SloStatus {
+    /// The status as a JSON tree.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        Value::Object(vec![
+            ("name".to_string(), Value::String(self.name.clone())),
+            ("series".to_string(), Value::String(self.series.clone())),
+            ("ok".to_string(), Value::Bool(self.ok)),
+            (
+                "value".to_string(),
+                match self.value {
+                    Some(v) => Value::Number(v),
+                    None => Value::Null,
+                },
+            ),
+            ("threshold".to_string(), Value::Number(self.threshold)),
+            (
+                "op".to_string(),
+                Value::String(self.op.as_str().to_string()),
+            ),
+        ])
+    }
+
+    /// Inverse of [`SloStatus::to_value`].
+    pub fn from_value(v: &serde_json::Value) -> Option<SloStatus> {
+        Some(SloStatus {
+            name: v.get("name")?.as_str()?.to_string(),
+            series: v.get("series")?.as_str()?.to_string(),
+            ok: v.get("ok")?.as_bool()?,
+            value: v.get("value").and_then(|x| x.as_f64()),
+            threshold: v.get("threshold")?.as_f64()?,
+            op: SloOp::parse(v.get("op")?.as_str()?)?,
+        })
+    }
+}
+
+/// Evaluates a set of [`SloSpec`]s against a [`Sampler`], tracking
+/// breach state across calls.
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    breached: Vec<bool>,
+    breach_events: u64,
+    recover_events: u64,
+}
+
+impl SloEngine {
+    /// An engine over `specs`; all objectives start in the OK state.
+    pub fn new(specs: Vec<SloSpec>) -> SloEngine {
+        let n = specs.len();
+        SloEngine {
+            specs,
+            breached: vec![false; n],
+            breach_events: 0,
+            recover_events: 0,
+        }
+    }
+
+    /// Parses one spec per line (blank lines and `#` comments skipped);
+    /// returns the first unparseable line as the error.
+    pub fn from_lines(text: &str) -> Result<SloEngine, String> {
+        let mut specs = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match SloSpec::parse(line) {
+                Some(s) => specs.push(s),
+                None => return Err(format!("bad slo spec: {line:?}")),
+            }
+        }
+        Ok(SloEngine::new(specs))
+    }
+
+    /// The configured objectives.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Objectives currently breached.
+    pub fn breached_count(&self) -> usize {
+        self.breached.iter().filter(|b| **b).count()
+    }
+
+    /// Total breach transitions observed.
+    pub fn breach_events(&self) -> u64 {
+        self.breach_events
+    }
+
+    /// Total recovery transitions observed.
+    pub fn recover_events(&self) -> u64 {
+        self.recover_events
+    }
+
+    /// Evaluates every objective at `now_ns` against `sampler`'s
+    /// series, publishing transitions to `reg` (`slo.*` counters and
+    /// the `slo.breached` gauge) and, when given, `trace`
+    /// ([`SpanKind::SloBreach`]/[`SpanKind::SloRecover`] events whose
+    /// amount is the windowed value, rounded).
+    pub fn evaluate(
+        &mut self,
+        sampler: &Sampler,
+        now_ns: u64,
+        reg: &Registry,
+        trace: Option<&TraceSink>,
+    ) -> Vec<SloStatus> {
+        let mut out = Vec::with_capacity(self.specs.len());
+        for (i, spec) in self.specs.iter().enumerate() {
+            let points = sampler
+                .series(&spec.series)
+                .map(|ts| ts.window(now_ns, spec.over_ns))
+                .unwrap_or_default();
+            let value = if points.is_empty() {
+                None
+            } else {
+                Some(points.iter().map(|p| p.value).sum::<f64>() / points.len() as f64)
+            };
+            if let Some(v) = value {
+                let ok = spec.op.holds(v, spec.threshold);
+                let was_breached = self.breached[i];
+                if !ok && !was_breached {
+                    self.breached[i] = true;
+                    self.breach_events += 1;
+                    reg.counter("slo.breach_total").inc();
+                    reg.counter(&format!("slo.{}.breach_total", spec.name))
+                        .inc();
+                    if let Some(t) = trace {
+                        t.event(SpanKind::SloBreach, &spec.name, v.round().max(0.0) as u64);
+                    }
+                } else if ok && was_breached {
+                    self.breached[i] = false;
+                    self.recover_events += 1;
+                    reg.counter("slo.recover_total").inc();
+                    if let Some(t) = trace {
+                        t.event(SpanKind::SloRecover, &spec.name, v.round().max(0.0) as u64);
+                    }
+                }
+            }
+            out.push(SloStatus {
+                name: spec.name.clone(),
+                series: spec.series.clone(),
+                ok: !self.breached[i],
+                value,
+                threshold: spec.threshold,
+                op: spec.op,
+            });
+        }
+        reg.gauge("slo.breached").set(self.breached_count() as f64);
+        out
+    }
+}
+
+impl std::fmt::Debug for SloEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloEngine")
+            .field("specs", &self.specs.len())
+            .field("breached", &self.breached_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::Sampler;
+
+    #[test]
+    fn spec_parse_round_trips() {
+        let s = SloSpec::parse("get_p99: serve.lat.p99 < 5000 over 60s").unwrap();
+        assert_eq!(s.name, "get_p99");
+        assert_eq!(s.series, "serve.lat.p99");
+        assert_eq!(s.op, SloOp::Lt);
+        assert_eq!(s.threshold, 5000.0);
+        assert_eq!(s.over_ns, 60_000_000_000);
+        assert_eq!(SloSpec::parse(&s.to_line()), Some(s));
+        assert!(SloSpec::parse("qps: a.rate >= 10 over 500ms").is_some());
+        assert!(SloSpec::parse("no colon here").is_none());
+        assert!(SloSpec::parse("Bad.Name: x < 1 over 1s").is_none());
+        assert!(SloSpec::parse("x: a.rate < 1 beyond 1s").is_none());
+        assert!(SloSpec::parse("x: a.rate < nope over 1s").is_none());
+    }
+
+    #[test]
+    fn breach_and_recovery_transition_once_each() {
+        let reg = Registry::new();
+        let c = reg.counter("serve.offered");
+        let mut sampler = Sampler::new(reg.clone(), 32);
+        let mut slo = SloEngine::from_lines("qps: serve.offered.rate >= 50 over 3s").unwrap();
+        let trace = crate::TraceSink::wall(32);
+        let sec = 1_000_000_000u64;
+        let mut breach_tick = None;
+        let mut recover_tick = None;
+        for tick in 0..10u64 {
+            // Healthy 100/s except a stall in ticks 3–5.
+            let add = if (3..=5).contains(&tick) { 0 } else { 100 };
+            c.add(add);
+            let now = tick * sec;
+            sampler.tick(now);
+            let statuses = slo.evaluate(&sampler, now, &reg, Some(&trace));
+            if tick >= 1 {
+                let st = &statuses[0];
+                assert!(st.value.is_some());
+                if !st.ok && breach_tick.is_none() {
+                    breach_tick = Some(tick);
+                }
+                if st.ok && breach_tick.is_some() && recover_tick.is_none() {
+                    recover_tick = Some(tick);
+                }
+            }
+        }
+        assert!(breach_tick.is_some(), "stall never breached");
+        assert!(recover_tick.is_some(), "breach never recovered");
+        assert_eq!(slo.breach_events(), 1);
+        assert_eq!(slo.recover_events(), 1);
+        assert_eq!(slo.breached_count(), 0);
+        let report = reg.snapshot();
+        assert_eq!(report.counter("slo.breach_total"), Some(1));
+        assert_eq!(report.counter("slo.qps.breach_total"), Some(1));
+        assert_eq!(report.counter("slo.recover_total"), Some(1));
+        let kinds: Vec<SpanKind> = trace.snapshot().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, [SpanKind::SloBreach, SpanKind::SloRecover]);
+    }
+
+    #[test]
+    fn empty_window_leaves_state_alone() {
+        let reg = Registry::new();
+        let sampler = Sampler::new(reg.clone(), 8);
+        let mut slo = SloEngine::from_lines("x: missing.series < 1 over 1s").unwrap();
+        let st = slo.evaluate(&sampler, 0, &reg, None);
+        assert!(st[0].ok);
+        assert_eq!(st[0].value, None);
+        assert_eq!(slo.breach_events(), 0);
+    }
+
+    #[test]
+    fn comment_and_blank_lines_are_skipped() {
+        let eng = SloEngine::from_lines("# header\n\na: x.rate < 1 over 1s\n").unwrap();
+        assert_eq!(eng.specs().len(), 1);
+        assert!(SloEngine::from_lines("garbage\n").is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! The typed telemetry frame served over the wire.
+//!
+//! `Introspect` used to return an opaque Prometheus-style text blob;
+//! it now returns one [`TelemetryFrame`] as JSON: the cumulative
+//! metrics snapshot, the sampler's windowed series, per-layer health
+//! rows (QPS / p99 / error rate), SLO statuses, and the spans
+//! currently dominating self time. `directload-top` renders exactly
+//! this frame; anything it shows, a program can read from the same
+//! bytes.
+//!
+//! Encoding is deterministic given deterministic inputs: metrics and
+//! series are name-sorted, rows and spans keep their builder order.
+
+use crate::registry::{MetricValue, MetricsReport};
+use crate::slo::SloStatus;
+use crate::trace::{top_self_time, TraceEvent};
+
+/// One layer's health row in the console: windowed QPS, windowed p99
+/// (microseconds), and error rate, each `None` when the layer has no
+/// such signal (e.g. no latency histogram).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRow {
+    /// Layer name (`net`, `serve`, `mint`, `qindb`, …).
+    pub layer: String,
+    /// Requests per second over the last sampler window.
+    pub qps: Option<f64>,
+    /// Windowed 99th-percentile latency, microseconds.
+    pub p99_us: Option<f64>,
+    /// Errors / requests over the last window, in `[0, 1]`.
+    pub err_rate: Option<f64>,
+}
+
+impl LayerRow {
+    fn opt(v: Option<f64>) -> serde_json::Value {
+        use serde_json::Value;
+        match v {
+            Some(x) => Value::Number(x),
+            None => Value::Null,
+        }
+    }
+
+    /// The row as a JSON tree.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        Value::Object(vec![
+            ("layer".to_string(), Value::String(self.layer.clone())),
+            ("qps".to_string(), Self::opt(self.qps)),
+            ("p99_us".to_string(), Self::opt(self.p99_us)),
+            ("err_rate".to_string(), Self::opt(self.err_rate)),
+        ])
+    }
+
+    /// Inverse of [`LayerRow::to_value`].
+    pub fn from_value(v: &serde_json::Value) -> Option<LayerRow> {
+        Some(LayerRow {
+            layer: v.get("layer")?.as_str()?.to_string(),
+            qps: v.get("qps").and_then(|x| x.as_f64()),
+            p99_us: v.get("p99_us").and_then(|x| x.as_f64()),
+            err_rate: v.get("err_rate").and_then(|x| x.as_f64()),
+        })
+    }
+}
+
+/// One span in the "top self time" table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopSpan {
+    /// Span kind name (see [`SpanKind::as_str`](crate::SpanKind::as_str)).
+    pub kind: String,
+    /// The span's source label.
+    pub label: String,
+    /// Exclusive (self) time, nanoseconds.
+    pub self_ns: u64,
+}
+
+impl TopSpan {
+    /// The top-`n` spans of `events` by self time, ready for a frame.
+    pub fn rank(events: &[TraceEvent], n: usize) -> Vec<TopSpan> {
+        top_self_time(events, n)
+            .into_iter()
+            .map(|(e, self_ns)| TopSpan {
+                kind: e.kind.as_str().to_string(),
+                label: e.label,
+                self_ns,
+            })
+            .collect()
+    }
+
+    /// The span as a JSON tree.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        Value::Object(vec![
+            ("kind".to_string(), Value::String(self.kind.clone())),
+            ("label".to_string(), Value::String(self.label.clone())),
+            ("self_ns".to_string(), Value::Number(self.self_ns as f64)),
+        ])
+    }
+
+    /// Inverse of [`TopSpan::to_value`].
+    pub fn from_value(v: &serde_json::Value) -> Option<TopSpan> {
+        Some(TopSpan {
+            kind: v.get("kind")?.as_str()?.to_string(),
+            label: v.get("label")?.as_str()?.to_string(),
+            self_ns: v.get("self_ns")?.as_u64()?,
+        })
+    }
+}
+
+/// The full typed `Introspect` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryFrame {
+    /// Server "now", nanoseconds on its telemetry clock.
+    pub now_ns: u64,
+    /// Cumulative metrics, `(name, value)` sorted by name (counters
+    /// lose their integer-ness here; the console only displays them).
+    pub metrics: Vec<(String, f64)>,
+    /// The sampler's windowed series snapshot
+    /// (`{name: [[t_ns, value], …]}`), name-sorted.
+    pub series: serde_json::Value,
+    /// Per-layer health rows in display order.
+    pub layers: Vec<LayerRow>,
+    /// SLO statuses in spec order.
+    pub slos: Vec<SloStatus>,
+    /// Spans dominating self time, largest first.
+    pub top_spans: Vec<TopSpan>,
+}
+
+impl TelemetryFrame {
+    /// Converts a cumulative [`MetricsReport`] into the frame's sorted
+    /// `(name, value)` pairs.
+    pub fn metrics_from_report(report: &MetricsReport) -> Vec<(String, f64)> {
+        report
+            .samples
+            .iter()
+            .map(|s| {
+                let v = match s.value {
+                    MetricValue::Counter(c) => c as f64,
+                    MetricValue::Gauge(g) => g,
+                };
+                (s.name.clone(), v)
+            })
+            .collect()
+    }
+
+    /// One cumulative metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.metrics[i].1)
+    }
+
+    /// The frame as a JSON tree.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        Value::Object(vec![
+            ("now_ns".to_string(), Value::Number(self.now_ns as f64)),
+            (
+                "metrics".to_string(),
+                Value::Object(
+                    self.metrics
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Value::Number(*v)))
+                        .collect(),
+                ),
+            ),
+            ("series".to_string(), self.series.clone()),
+            (
+                "layers".to_string(),
+                Value::Array(self.layers.iter().map(|r| r.to_value()).collect()),
+            ),
+            (
+                "slos".to_string(),
+                Value::Array(self.slos.iter().map(|s| s.to_value()).collect()),
+            ),
+            (
+                "top_spans".to_string(),
+                Value::Array(self.top_spans.iter().map(|s| s.to_value()).collect()),
+            ),
+        ])
+    }
+
+    /// One compact JSON document (the wire payload).
+    pub fn to_json(&self) -> String {
+        self.to_value().to_compact_string()
+    }
+
+    /// Inverse of [`TelemetryFrame::to_value`].
+    pub fn from_value(v: &serde_json::Value) -> Option<TelemetryFrame> {
+        use serde_json::Value;
+        let metrics = match v.get("metrics")? {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(n, x)| Some((n.clone(), x.as_f64()?)))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        let layers = v
+            .get("layers")?
+            .as_array()?
+            .iter()
+            .map(LayerRow::from_value)
+            .collect::<Option<Vec<_>>>()?;
+        let slos = v
+            .get("slos")?
+            .as_array()?
+            .iter()
+            .map(SloStatus::from_value)
+            .collect::<Option<Vec<_>>>()?;
+        let top_spans = v
+            .get("top_spans")?
+            .as_array()?
+            .iter()
+            .map(TopSpan::from_value)
+            .collect::<Option<Vec<_>>>()?;
+        Some(TelemetryFrame {
+            now_ns: v.get("now_ns")?.as_u64()?,
+            metrics,
+            series: v.get("series")?.clone(),
+            layers,
+            slos,
+            top_spans,
+        })
+    }
+
+    /// Parses the wire payload produced by [`TelemetryFrame::to_json`].
+    pub fn from_json(s: &str) -> Option<TelemetryFrame> {
+        TelemetryFrame::from_value(&serde_json::from_str(s).ok()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::{SloOp, SloStatus};
+    use crate::Registry;
+
+    #[test]
+    fn frame_json_round_trips() {
+        let reg = Registry::new();
+        reg.counter("net.requests").add(42);
+        reg.gauge("net.conns").set(3.0);
+        let frame = TelemetryFrame {
+            now_ns: 123,
+            metrics: TelemetryFrame::metrics_from_report(&reg.snapshot()),
+            series: serde_json::Value::Object(vec![(
+                "net.requests.rate".to_string(),
+                serde_json::Value::Array(vec![]),
+            )]),
+            layers: vec![
+                LayerRow {
+                    layer: "net".to_string(),
+                    qps: Some(100.5),
+                    p99_us: None,
+                    err_rate: Some(0.0),
+                },
+                LayerRow {
+                    layer: "serve".to_string(),
+                    qps: Some(99.0),
+                    p99_us: Some(1200.0),
+                    err_rate: None,
+                },
+            ],
+            slos: vec![SloStatus {
+                name: "get_p99".to_string(),
+                series: "serve.lat.p99".to_string(),
+                ok: true,
+                value: Some(800.0),
+                threshold: 5000.0,
+                op: SloOp::Lt,
+            }],
+            top_spans: vec![TopSpan {
+                kind: "serve".to_string(),
+                label: "dc0".to_string(),
+                self_ns: 5000,
+            }],
+        };
+        let back = TelemetryFrame::from_json(&frame.to_json()).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.metric("net.requests"), Some(42.0));
+        assert_eq!(back.metric("net.conns"), Some(3.0));
+        assert_eq!(back.metric("nope"), None);
+    }
+
+    #[test]
+    fn top_spans_rank_from_events() {
+        use crate::trace::{SpanKind, TraceEvent};
+        let ev = |seq, kind, s, e| TraceEvent {
+            seq,
+            kind,
+            label: format!("l{seq}"),
+            start_ns: s,
+            end_ns: e,
+            amount: 0,
+            trace_id: 0,
+        };
+        let events = vec![
+            ev(0, SpanKind::Serve, 0, 100),
+            ev(1, SpanKind::Flush, 10, 90),
+        ];
+        let top = TopSpan::rank(&events, 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].kind, "flush");
+        assert_eq!(top[0].self_ns, 80);
+    }
+
+    #[test]
+    fn malformed_frames_reject_cleanly() {
+        assert!(TelemetryFrame::from_json("not json").is_none());
+        assert!(TelemetryFrame::from_json("{}").is_none());
+        assert!(TelemetryFrame::from_json(r#"{"now_ns":1}"#).is_none());
+    }
+}

@@ -74,11 +74,18 @@ pub enum SpanKind {
     NetWrite,
     /// One decoded request dispatched into the serve front-end.
     Dispatch,
+    /// One replicated storage read (Mint group fan-out) on behalf of a
+    /// traced request.
+    Get,
+    /// A service-level objective crossed from meeting to breaching.
+    SloBreach,
+    /// A breached service-level objective recovered.
+    SloRecover,
 }
 
 impl SpanKind {
     /// Every kind, in pipeline-then-maintenance order.
-    pub const ALL: [SpanKind; 20] = [
+    pub const ALL: [SpanKind; 23] = [
         SpanKind::Build,
         SpanKind::Dedup,
         SpanKind::Slice,
@@ -99,6 +106,9 @@ impl SpanKind {
         SpanKind::NetRead,
         SpanKind::NetWrite,
         SpanKind::Dispatch,
+        SpanKind::Get,
+        SpanKind::SloBreach,
+        SpanKind::SloRecover,
     ];
 
     /// Stable lowercase name used in JSONL dumps.
@@ -124,12 +134,63 @@ impl SpanKind {
             SpanKind::NetRead => "net_read",
             SpanKind::NetWrite => "net_write",
             SpanKind::Dispatch => "dispatch",
+            SpanKind::Get => "get",
+            SpanKind::SloBreach => "slo_breach",
+            SpanKind::SloRecover => "slo_recover",
         }
     }
 
     /// Inverse of [`SpanKind::as_str`].
     pub fn parse(s: &str) -> Option<SpanKind> {
         SpanKind::ALL.iter().copied().find(|k| k.as_str() == s)
+    }
+
+    /// The architectural layer a kind belongs to — what
+    /// [`AssembledTrace::layers`] reports when it stitches one request's
+    /// path across the stack.
+    pub fn layer(self) -> &'static str {
+        match self {
+            SpanKind::Accept | SpanKind::NetRead | SpanKind::NetWrite | SpanKind::Dispatch => "net",
+            SpanKind::Serve => "serve",
+            SpanKind::Get | SpanKind::Load | SpanKind::Migrate | SpanKind::Drain => "mint",
+            SpanKind::Flush | SpanKind::Checkpoint | SpanKind::EngineGc | SpanKind::Traceback => {
+                "qindb"
+            }
+            SpanKind::DeviceGc => "ssd",
+            SpanKind::Dedup | SpanKind::Slice | SpanKind::Deliver => "bifrost",
+            SpanKind::Build | SpanKind::Publish => "pipeline",
+            SpanKind::Fault | SpanKind::Repair => "chaos",
+            SpanKind::SloBreach | SpanKind::SloRecover => "slo",
+        }
+    }
+}
+
+/// Per-request trace context, allocated at the system's edge (the
+/// network server) and threaded through every layer a request touches.
+///
+/// `trace_id` 0 means "untraced": the hot paths skip per-request span
+/// emission entirely, so tracing costs nothing unless a request carries
+/// a real id. `origin` identifies the allocating edge (the server's
+/// connection counter) and is server-local — only `trace_id` travels on
+/// the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Correlation id stitching one request's spans across layers.
+    pub trace_id: u64,
+    /// Edge-local origin (e.g. the accepting connection's sequence
+    /// number); not propagated beyond the allocating process.
+    pub origin: u64,
+}
+
+impl TraceCtx {
+    /// An untraced context (id 0): span emission is skipped.
+    pub fn untraced() -> TraceCtx {
+        TraceCtx::default()
+    }
+
+    /// True when this context carries a real trace id.
+    pub fn is_traced(&self) -> bool {
+        self.trace_id != 0
     }
 }
 
@@ -153,6 +214,9 @@ pub struct TraceEvent {
     pub end_ns: u64,
     /// Kind-specific payload (bytes, items, steps, pages).
     pub amount: u64,
+    /// Request correlation id; 0 for spans not tied to any request
+    /// (pipeline phases, maintenance, chaos). See [`TraceCtx`].
+    pub trace_id: u64,
 }
 
 impl TraceEvent {
@@ -179,11 +243,13 @@ impl TraceEvent {
             ("start_ns".to_string(), Value::Number(self.start_ns as f64)),
             ("end_ns".to_string(), Value::Number(self.end_ns as f64)),
             ("amount".to_string(), Value::Number(self.amount as f64)),
+            ("trace_id".to_string(), Value::Number(self.trace_id as f64)),
         ])
     }
 
     /// Rebuilds an event from a parsed JSON tree. Numeric fields follow
-    /// JSON number semantics (exact below 2^53).
+    /// JSON number semantics (exact below 2^53). A missing `trace_id`
+    /// (dumps from before request tracing) decodes as 0.
     pub fn from_value(v: &serde_json::Value) -> Option<TraceEvent> {
         Some(TraceEvent {
             seq: v.get("seq")?.as_u64()?,
@@ -192,6 +258,7 @@ impl TraceEvent {
             start_ns: v.get("start_ns")?.as_u64()?,
             end_ns: v.get("end_ns")?.as_u64()?,
             amount: v.get("amount")?.as_u64()?,
+            trace_id: v.get("trace_id").and_then(|t| t.as_u64()).unwrap_or(0),
         })
     }
 
@@ -285,7 +352,15 @@ impl TraceSink {
         }
     }
 
-    fn push(&self, kind: SpanKind, label: String, start_ns: u64, end_ns: u64, amount: u64) {
+    fn push(
+        &self,
+        kind: SpanKind,
+        label: String,
+        start_ns: u64,
+        end_ns: u64,
+        amount: u64,
+        trace_id: u64,
+    ) {
         let mut buf = self.shared.buf.lock().unwrap();
         let seq = buf.next_seq;
         buf.next_seq += 1;
@@ -300,16 +375,23 @@ impl TraceSink {
             start_ns,
             end_ns,
             amount,
+            trace_id,
         });
     }
 
-    /// Records an instantaneous event.
+    /// Records an instantaneous event (untraced; `trace_id` 0).
     pub fn event(&self, kind: SpanKind, label: &str, amount: u64) {
         let now = self.now_ns();
-        self.push(kind, label.to_string(), now, now, amount);
+        self.push(kind, label.to_string(), now, now, amount, 0);
     }
 
-    /// Opens a span that records itself on drop.
+    /// Records an instantaneous event correlated to a request.
+    pub fn event_traced(&self, kind: SpanKind, label: &str, amount: u64, trace_id: u64) {
+        let now = self.now_ns();
+        self.push(kind, label.to_string(), now, now, amount, trace_id);
+    }
+
+    /// Opens a span that records itself on drop (untraced; `trace_id` 0).
     pub fn span(&self, kind: SpanKind, label: &str) -> SpanGuard<'_> {
         SpanGuard {
             sink: self,
@@ -317,6 +399,20 @@ impl TraceSink {
             label: label.to_string(),
             start_ns: self.now_ns(),
             amount: 0,
+            trace_id: 0,
+        }
+    }
+
+    /// Opens a span correlated to a request; [`assemble`] later stitches
+    /// every span carrying the same id into one cross-layer trace.
+    pub fn span_traced(&self, kind: SpanKind, label: &str, trace_id: u64) -> SpanGuard<'_> {
+        SpanGuard {
+            sink: self,
+            kind,
+            label: label.to_string(),
+            start_ns: self.now_ns(),
+            amount: 0,
+            trace_id,
         }
     }
 
@@ -361,6 +457,20 @@ impl TraceSink {
         }
         out
     }
+
+    /// Publishes the sink's own health as gauges on `reg`:
+    /// `<prefix>.dropped` (events evicted because the ring was full) and
+    /// `<prefix>.len` (current occupancy). Span loss is itself
+    /// observable — a sampler watching `<prefix>.dropped` climb knows the
+    /// trace window is shorter than it looks.
+    pub fn publish_metrics(&self, reg: &crate::Registry, prefix: &str) {
+        let (len, dropped) = {
+            let buf = self.shared.buf.lock().unwrap();
+            (buf.events.len(), buf.dropped)
+        };
+        reg.gauge(&format!("{prefix}.dropped")).set(dropped as f64);
+        reg.gauge(&format!("{prefix}.len")).set(len as f64);
+    }
 }
 
 /// RAII span handle from [`TraceSink::span`]; records a [`TraceEvent`]
@@ -371,6 +481,7 @@ pub struct SpanGuard<'a> {
     label: String,
     start_ns: u64,
     amount: u64,
+    trace_id: u64,
 }
 
 impl SpanGuard<'_> {
@@ -389,8 +500,14 @@ impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let end = self.sink.now_ns().max(self.start_ns);
         let label = std::mem::take(&mut self.label);
-        self.sink
-            .push(self.kind, label, self.start_ns, end, self.amount);
+        self.sink.push(
+            self.kind,
+            label,
+            self.start_ns,
+            end,
+            self.amount,
+            self.trace_id,
+        );
     }
 }
 
@@ -582,6 +699,92 @@ pub fn profile_window(events: &[TraceEvent], start_ns: u64, end_ns: u64) -> Prof
     }
 }
 
+/// One request's reconstructed cross-layer path, from [`assemble`].
+///
+/// Events are ordered by `(start_ns, seq)` so the trace reads as the
+/// request's timeline: accept → net_read → dispatch → serve → get →
+/// traceback → net_write, with nested spans after their parents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssembledTrace {
+    /// The correlation id this trace was assembled for.
+    pub trace_id: u64,
+    /// Every buffered event carrying `trace_id`, ordered by start time.
+    pub events: Vec<TraceEvent>,
+}
+
+impl AssembledTrace {
+    /// True when no buffered event carried the id (evicted or never
+    /// emitted).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The architectural layers the request touched, in first-touch
+    /// order with duplicates removed — e.g. `["net", "serve", "mint",
+    /// "qindb"]` for a Get that missed memory and walked the chain.
+    pub fn layers(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for e in &self.events {
+            let layer = e.kind.layer();
+            if !out.contains(&layer) {
+                out.push(layer);
+            }
+        }
+        out
+    }
+
+    /// Trace extent: earliest start to latest end, nanoseconds.
+    pub fn span_ns(&self) -> u64 {
+        let start = self.events.iter().map(|e| e.start_ns).min().unwrap_or(0);
+        let end = self.events.iter().map(|e| e.end_ns).max().unwrap_or(0);
+        end.saturating_sub(start)
+    }
+
+    /// The trace as a JSON tree: `{trace_id, layers, events}`.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        Value::Object(vec![
+            ("trace_id".to_string(), Value::Number(self.trace_id as f64)),
+            (
+                "layers".to_string(),
+                Value::Array(
+                    self.layers()
+                        .iter()
+                        .map(|l| Value::String(l.to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "events".to_string(),
+                Value::Array(self.events.iter().map(|e| e.to_value()).collect()),
+            ),
+        ])
+    }
+
+    /// One compact JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_compact_string()
+    }
+}
+
+/// Reconstructs one request's path through the stack: every buffered
+/// event whose `trace_id` matches, sorted by `(start_ns, seq)`.
+///
+/// Caveats inherent to a bounded ring: a busy system may have evicted
+/// the request's earliest spans (check [`TraceSink::dropped`]), and the
+/// events' timestamps are only mutually comparable when their emitters
+/// share a time source — which is why the request path runs entirely on
+/// the wall ring (see `qindb`'s `attach_wall_trace`).
+pub fn assemble(sink: &TraceSink, trace_id: u64) -> AssembledTrace {
+    let mut events: Vec<TraceEvent> = sink
+        .snapshot()
+        .into_iter()
+        .filter(|e| trace_id != 0 && e.trace_id == trace_id)
+        .collect();
+    events.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(a.seq.cmp(&b.seq)));
+    AssembledTrace { trace_id, events }
+}
+
 /// The `n` spans with the largest *self* time (exclusive of nested
 /// spans), largest first — the top of the critical path through a
 /// single-timeline trace. Returns `(event, self_ns)` pairs.
@@ -694,6 +897,7 @@ mod tests {
             start_ns,
             end_ns,
             amount: 0,
+            trace_id: 0,
         }
     }
 
@@ -770,6 +974,75 @@ mod tests {
         let p = profile(&events);
         let kinds: Vec<SpanKind> = p.entries.iter().map(|e| e.kind).collect();
         assert_eq!(kinds, [SpanKind::Deliver, SpanKind::Load, SpanKind::Build]);
+    }
+
+    #[test]
+    fn assemble_stitches_one_request_across_layers() {
+        let clock = SimClock::new();
+        let sink = TraceSink::sim(64, clock.clone());
+        // Interleave two requests plus untraced background noise.
+        {
+            let _net = sink.span_traced(SpanKind::NetRead, "conn0", 7);
+            clock.advance(SimTime::from_micros(10));
+        }
+        sink.event(SpanKind::Flush, "background", 0);
+        {
+            let _serve = sink.span_traced(SpanKind::Serve, "dc0", 7);
+            clock.advance(SimTime::from_micros(5));
+            let _other = sink.span_traced(SpanKind::Serve, "dc0", 8);
+            clock.advance(SimTime::from_micros(5));
+        }
+        sink.event_traced(SpanKind::Traceback, "dc0/node1", 3, 7);
+        let t = assemble(&sink, 7);
+        assert_eq!(t.trace_id, 7);
+        assert_eq!(t.events.len(), 3);
+        assert!(t.events.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert_eq!(t.layers(), ["net", "serve", "qindb"]);
+        assert!(assemble(&sink, 99).is_empty());
+        // id 0 never matches: untraced events are not "one request".
+        assert!(assemble(&sink, 0).is_empty());
+    }
+
+    #[test]
+    fn assembled_trace_json_round_trips_events() {
+        let sink = TraceSink::wall(8);
+        sink.event_traced(SpanKind::Get, "g0", 1, 5);
+        let t = assemble(&sink, 5);
+        let v: serde_json::Value = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(v.get("trace_id").and_then(|x| x.as_u64()), Some(5));
+        let events = v.get("events").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(TraceEvent::from_value(&events[0]).unwrap(), t.events[0]);
+    }
+
+    #[test]
+    fn trace_id_absent_in_old_dumps_decodes_as_zero() {
+        let line = r#"{"seq":0,"kind":"flush","label":"n0","start_ns":1,"end_ns":2,"amount":3}"#;
+        let e = TraceEvent::from_json(line).unwrap();
+        assert_eq!(e.trace_id, 0);
+    }
+
+    #[test]
+    fn publish_metrics_exports_dropped_and_len() {
+        let reg = crate::Registry::new();
+        let sink = TraceSink::wall(2);
+        for i in 0..5 {
+            sink.event(SpanKind::Flush, "n", i);
+        }
+        sink.publish_metrics(&reg, "obs.trace");
+        let report = reg.snapshot();
+        assert_eq!(
+            report.get("obs.trace.dropped").map(|v| v.as_f64()),
+            Some(3.0)
+        );
+        assert_eq!(report.get("obs.trace.len").map(|v| v.as_f64()), Some(2.0));
+    }
+
+    #[test]
+    fn every_kind_maps_to_a_layer() {
+        for kind in SpanKind::ALL {
+            assert!(!kind.layer().is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Property tests for the windowed-telemetry layer: time-series ring
+//! wraparound, histogram window subtraction, and counter deltas.
+
+use obs::{LatencyHistogram, Registry, Sampler, TimeSeries};
+use proptest::prelude::*;
+
+fn record_all(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The ring keeps exactly the newest `capacity` points through any
+    /// wraparound, counts every eviction, and never reorders.
+    #[test]
+    fn ring_wraparound_keeps_the_newest_points(
+        capacity in 1usize..32,
+        n in 0usize..200,
+    ) {
+        let mut ts = TimeSeries::new(capacity);
+        for i in 0..n {
+            ts.push(i as u64, i as f64);
+        }
+        prop_assert_eq!(ts.len(), n.min(capacity));
+        prop_assert_eq!(ts.dropped(), n.saturating_sub(capacity) as u64);
+        let got: Vec<u64> = ts.points().map(|p| p.t_ns).collect();
+        let want: Vec<u64> = (n.saturating_sub(ts.len())..n).map(|i| i as u64).collect();
+        prop_assert_eq!(got, want);
+        if n > 0 {
+            prop_assert_eq!(ts.latest().unwrap().t_ns, (n - 1) as u64);
+        }
+    }
+
+    /// Histogram window subtraction: the window's count and sum are
+    /// exactly the late samples', its percentiles never exceed the
+    /// cumulative maximum (every window sample is also a cumulative
+    /// sample), and the window mean stays within the window extremes.
+    #[test]
+    fn window_subtraction_is_bounded_by_the_cumulative(
+        early in proptest::collection::vec(0u64..1 << 40, 0..200),
+        late in proptest::collection::vec(0u64..1 << 40, 1..200),
+    ) {
+        let prev = record_all(&early);
+        let mut cum = prev.clone();
+        for &v in &late {
+            cum.record(v);
+        }
+        let w = cum.diff(&prev);
+
+        prop_assert_eq!(w.count(), late.len() as u64);
+        prop_assert_eq!(w.sum(), late.iter().map(|&v| v as u128).sum::<u128>());
+        let late_min = *late.iter().min().unwrap();
+        let late_max = *late.iter().max().unwrap();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let p = w.percentile(q);
+            // A windowed percentile can never exceed the cumulative
+            // distribution's maximum…
+            prop_assert!(p <= cum.max());
+            // …and stays within the window's own (bucket-resolution)
+            // extremes, which bracket the true sample extremes.
+            prop_assert!(p >= w.min() && p <= w.max());
+        }
+        prop_assert!(w.min() <= late_min);
+        prop_assert!(w.max() >= late_max || w.max() == cum.max());
+        let mean = w.mean();
+        prop_assert!(mean >= late_min as f64 - 1e-6);
+        prop_assert!(mean <= late_max as f64 + 1e-6);
+    }
+
+    /// Diffing a histogram against itself (no new samples) is empty,
+    /// and diffing against an empty baseline is the identity.
+    #[test]
+    fn window_subtraction_edge_cases(
+        values in proptest::collection::vec(0u64..1 << 40, 1..100),
+    ) {
+        let h = record_all(&values);
+        let none = h.diff(&h);
+        prop_assert_eq!(none.count(), 0);
+        prop_assert_eq!(none.percentile(0.99), 0);
+        let all = h.diff(&LatencyHistogram::new());
+        prop_assert_eq!(all.count(), h.count());
+        prop_assert_eq!(all.sum(), h.sum());
+        for q in [0.5, 0.99, 1.0] {
+            prop_assert_eq!(all.percentile(q), h.percentile(q));
+        }
+    }
+
+    /// Sampler counter deltas are never negative and always sum back to
+    /// the cumulative total, whatever increment pattern the ticks see.
+    #[test]
+    fn counter_deltas_never_go_negative(
+        increments in proptest::collection::vec(0u64..10_000, 2..50),
+    ) {
+        let reg = Registry::new();
+        let c = reg.counter("x.ops");
+        let mut s = Sampler::new(reg, 64);
+        let sec = 1_000_000_000u64;
+        s.tick(0);
+        for (i, &inc) in increments.iter().enumerate() {
+            c.add(inc);
+            s.tick((i as u64 + 1) * sec);
+        }
+        let deltas: Vec<f64> = s
+            .series("x.ops.delta")
+            .unwrap()
+            .points()
+            .map(|p| p.value)
+            .collect();
+        prop_assert_eq!(deltas.len(), increments.len());
+        for (&d, &inc) in deltas.iter().zip(&increments) {
+            prop_assert!(d >= 0.0);
+            prop_assert_eq!(d, inc as f64);
+        }
+        let rates: Vec<f64> = s
+            .series("x.ops.rate")
+            .unwrap()
+            .points()
+            .map(|p| p.value)
+            .collect();
+        for (&r, &inc) in rates.iter().zip(&increments) {
+            prop_assert!(r >= 0.0);
+            prop_assert_eq!(r, inc as f64); // 1s ticks: rate == delta
+        }
+    }
+
+    /// Windowed histogram percentiles reported by the sampler never
+    /// exceed the cumulative histogram's percentile ceiling (its max).
+    #[test]
+    fn sampled_window_percentiles_respect_cumulative_ceiling(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(1u64..1 << 30, 0..50),
+            2..8,
+        ),
+    ) {
+        use std::sync::{Arc, Mutex};
+        let shared = Arc::new(Mutex::new(LatencyHistogram::new()));
+        let reader = Arc::clone(&shared);
+        let mut s = Sampler::new(Registry::new(), 64);
+        s.add_histogram("lat", move || reader.lock().unwrap().clone());
+        let sec = 1_000_000_000u64;
+        s.tick(0);
+        for (i, batch) in batches.iter().enumerate() {
+            for &v in batch {
+                shared.lock().unwrap().record(v);
+            }
+            s.tick((i as u64 + 1) * sec);
+        }
+        let cum_max = shared.lock().unwrap().max();
+        for name in ["lat.p50", "lat.p99"] {
+            if let Some(ts) = s.series(name) {
+                for p in ts.points() {
+                    prop_assert!(p.value >= 0.0);
+                    prop_assert!(p.value <= cum_max as f64);
+                }
+            }
+        }
+    }
+}

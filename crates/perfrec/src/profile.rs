@@ -94,6 +94,7 @@ mod tests {
             start_ns,
             end_ns,
             amount: 0,
+            trace_id: 0,
         }
     }
 

@@ -118,6 +118,15 @@ impl QinDb {
     /// versions when the item was deduplicated. `None` when the key or
     /// version is absent or deleted.
     pub fn get(&self, key: &[u8], version: u64) -> Result<Option<Bytes>> {
+        self.get_traced(key, version, 0)
+    }
+
+    /// [`QinDb::get`] on behalf of a traced request: a chain walk
+    /// additionally emits a wall-clock `traceback` event carrying
+    /// `trace_id`, so [`obs::assemble`] shows the engine hop inside the
+    /// request's cross-layer path. `trace_id` 0 behaves exactly like
+    /// [`QinDb::get`].
+    pub fn get_traced(&self, key: &[u8], version: u64, trace_id: u64) -> Result<Option<Bytes>> {
         self.stats.gets.add(1);
         let vk = VersionedKey::new(Bytes::copy_from_slice(key), version);
         let Some(entry) = self.table.get(&vk).copied() else {
@@ -146,6 +155,11 @@ impl QinDb {
             if let Some((sink, label)) = &self.trace {
                 sink.event(obs::SpanKind::Traceback, label, steps as u64);
             }
+            if trace_id != 0 {
+                if let Some((sink, label)) = &self.wall_trace {
+                    sink.event_traced(obs::SpanKind::Traceback, label, steps as u64, trace_id);
+                }
+            }
         }
         let value = self.read_put_value(loc)?;
         match &value {
@@ -164,6 +178,12 @@ impl QinDb {
     /// (authoritative: versions are deleted at most once and never
     /// rewritten afterwards) or simply never received the pair.
     pub fn status(&self, key: &[u8], version: u64) -> Result<KeyStatus> {
+        self.status_traced(key, version, 0)
+    }
+
+    /// [`QinDb::status`] on behalf of a traced request; the inner read
+    /// propagates `trace_id` (see [`QinDb::get_traced`]).
+    pub fn status_traced(&self, key: &[u8], version: u64, trace_id: u64) -> Result<KeyStatus> {
         let vk = VersionedKey::new(Bytes::copy_from_slice(key), version);
         match self.table.get(&vk).copied() {
             None => Ok(KeyStatus::Missing),
@@ -180,7 +200,7 @@ impl QinDb {
                 } else {
                     version
                 };
-                match self.get(key, version)? {
+                match self.get_traced(key, version, trace_id)? {
                     Some(value) => Ok(KeyStatus::Live {
                         value,
                         resolved_version,

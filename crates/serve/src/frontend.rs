@@ -110,6 +110,10 @@ struct Request {
     top_k: usize,
     enqueued: Instant,
     deadline: Instant,
+    /// Request correlation id (0 = untraced); threaded down through
+    /// ranking into Mint and the engines so one id stitches the whole
+    /// path.
+    trace: u64,
     /// `None` for fire-and-forget driver traffic (answers land only in
     /// the stale-response cache, as before).
     responder: Option<Responder>,
@@ -260,19 +264,103 @@ impl ServeReport {
     }
 }
 
+/// Live, shared serving tallies — readable *while the front-end runs*,
+/// which is what the telemetry sampler needs (the per-run
+/// [`ServeReport`] only exists after shutdown). Counters are relaxed
+/// atomics; the latency histogram sits behind a mutex that each
+/// response touches once (negligible next to the modeled storage wait).
+pub struct LiveStats {
+    offered: AtomicU64,
+    accepted: AtomicU64,
+    served: AtomicU64,
+    served_stale: AtomicU64,
+    shed: AtomicU64,
+    hist: Mutex<LatencyHistogram>,
+}
+
+impl LiveStats {
+    fn new() -> LiveStats {
+        LiveStats {
+            offered: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            served_stale: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            hist: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+
+    fn record_latency(&self, us: u64) {
+        self.hist
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(us);
+    }
+
+    /// Requests offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered.load(Ordering::Relaxed)
+    }
+
+    /// Requests accepted into a queue so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Full-path responses so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Degraded responses so far (deadline breach or stale-cache hit).
+    pub fn served_stale(&self) -> u64 {
+        self.served_stale.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed with no response so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Responses so far (full + degraded).
+    pub fn responses(&self) -> u64 {
+        self.served() + self.served_stale()
+    }
+
+    /// A snapshot of the cumulative response-latency histogram
+    /// (enqueue to completion, µs) — the sampler diffs successive
+    /// snapshots into per-window percentiles.
+    pub fn hist(&self) -> LatencyHistogram {
+        self.hist.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Republishes the cumulative tallies into `reg` under the same
+    /// `serve.*` names as [`ServeReport::publish_metrics`], using
+    /// `store` semantics (idempotent re-publish of running totals, for
+    /// the telemetry loop — do not mix with the report's `add`-based
+    /// publish on one registry).
+    pub fn publish(&self, reg: &obs::Registry) {
+        reg.counter("serve.offered_total").store(self.offered());
+        reg.counter("serve.served_total").store(self.served());
+        reg.counter("serve.served_stale_total")
+            .store(self.served_stale());
+        reg.counter("serve.shed_total").store(self.shed());
+        let h = self.hist();
+        reg.gauge("serve.latency.p50_us").set(h.p50() as f64);
+        reg.gauge("serve.latency.p99_us").set(h.p99() as f64);
+        reg.gauge("serve.latency.mean_us").set(h.mean());
+    }
+}
+
 /// Shared submission state: queues, the stale-response cache, and the
-/// admission tallies. Owned on the stack by [`run_traced`] and behind an
+/// live tallies. Owned on the stack by [`run_traced`] and behind an
 /// `Arc` by the long-running [`Frontend`].
 struct Core {
     cfg: FrontendConfig,
     queues: Vec<ShardQueue>,
     responses: ResponseCache,
     next_shard: AtomicU64,
-    offered: AtomicU64,
-    accepted: AtomicU64,
-    stale_at_admission: AtomicU64,
-    shed: AtomicU64,
-    admission_hist: Mutex<LatencyHistogram>,
+    live: Arc<LiveStats>,
 }
 
 impl Core {
@@ -285,11 +373,7 @@ impl Core {
             responses: ShardedLru::new(cfg.response_cache_capacity.max(1), 4),
             cfg,
             next_shard: AtomicU64::new(0),
-            offered: AtomicU64::new(0),
-            accepted: AtomicU64::new(0),
-            stale_at_admission: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            admission_hist: Mutex::new(LatencyHistogram::new()),
+            live: Arc::new(LiveStats::new()),
         }
     }
 
@@ -299,9 +383,10 @@ impl Core {
         terms: Vec<Bytes>,
         version: u64,
         top_k: usize,
+        trace_id: u64,
         responder: Option<Responder>,
     ) -> Submitted {
-        self.offered.fetch_add(1, Ordering::Relaxed);
+        self.live.offered.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
         let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) as usize % self.queues.len();
         let req = Request {
@@ -311,23 +396,21 @@ impl Core {
             top_k: top_k.max(1),
             enqueued: now,
             deadline: now + self.cfg.deadline,
+            trace: trace_id,
             responder,
         };
         match self.queues[shard].try_push(req) {
             Ok(()) => {
-                self.accepted.fetch_add(1, Ordering::Relaxed);
+                self.live.accepted.fetch_add(1, Ordering::Relaxed);
                 Submitted::Accepted
             }
             Err(mut req) => {
                 if self.cfg.shed_policy == ShedPolicy::ServeStale {
                     let key: ResponseKey = (req.dc.region.0, std::mem::take(&mut req.terms));
                     if let Some(hits) = self.responses.get(&key) {
-                        self.stale_at_admission.fetch_add(1, Ordering::Relaxed);
+                        self.live.served_stale.fetch_add(1, Ordering::Relaxed);
                         let us = req.enqueued.elapsed().as_micros() as u64;
-                        self.admission_hist
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .record(us);
+                        self.live.record_latency(us);
                         if let Some(respond) = req.responder.take() {
                             respond(QueryReply {
                                 hits,
@@ -337,7 +420,7 @@ impl Core {
                         return Submitted::ServedStale;
                     }
                 }
-                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.live.shed.fetch_add(1, Ordering::Relaxed);
                 Submitted::Shed(req.responder.take())
             }
         }
@@ -386,7 +469,7 @@ impl Submitter<'_> {
     /// traffic: the answer lands in the stale-response cache only).
     pub fn submit(&self, dc: DataCenterId, terms: Vec<Bytes>, version: u64) -> Admission {
         let top_k = self.core.cfg.top_k;
-        match self.core.submit(dc, terms, version, top_k, None) {
+        match self.core.submit(dc, terms, version, top_k, 0, None) {
             Submitted::Accepted => Admission::Accepted,
             Submitted::ServedStale => Admission::ServedStale,
             Submitted::Shed(_) => Admission::Shed,
@@ -403,25 +486,35 @@ impl Submitter<'_> {
         top_k: usize,
         responder: Responder,
     ) -> Submitted {
-        self.core.submit(dc, terms, version, top_k, Some(responder))
+        self.core
+            .submit(dc, terms, version, top_k, 0, Some(responder))
+    }
+
+    /// [`Submitter::submit_query`] carrying a request correlation id:
+    /// the worker's `serve` span and every storage read below it emit
+    /// with `trace_id`, so `obs::assemble` reconstructs the full path.
+    pub fn submit_query_traced(
+        &self,
+        dc: DataCenterId,
+        terms: Vec<Bytes>,
+        version: u64,
+        top_k: usize,
+        trace_id: u64,
+        responder: Responder,
+    ) -> Submitted {
+        self.core
+            .submit(dc, terms, version, top_k, trace_id, Some(responder))
     }
 
     /// Requests accepted into a queue so far.
     pub fn accepted(&self) -> u64 {
-        self.core.accepted.load(Ordering::Relaxed)
+        self.core.live.accepted()
     }
 
     /// Requests offered so far.
     pub fn offered(&self) -> u64 {
-        self.core.offered.load(Ordering::Relaxed)
+        self.core.live.offered()
     }
-}
-
-/// Per-worker tallies, merged after join (no locking on the hot path).
-struct WorkerOut {
-    served: u64,
-    stale: u64,
-    hist: LatencyHistogram,
 }
 
 fn worker_loop(
@@ -430,22 +523,20 @@ fn worker_loop(
     cache: &SummaryCache,
     responses: &ResponseCache,
     queue: &ShardQueue,
+    live: &LiveStats,
     trace: Option<(&obs::TraceSink, &str)>,
-) -> WorkerOut {
-    let mut out = WorkerOut {
-        served: 0,
-        stale: 0,
-        hist: LatencyHistogram::new(),
-    };
+) {
     while let Some(mut req) = queue.pop() {
         // One wall-clock span per response: the profiler's view of time
         // spent serving (excludes queue wait, which starts at enqueue).
-        let mut span = trace.map(|(t, l)| t.span(obs::SpanKind::Serve, l));
+        // A traced request's span carries its id so the storage spans
+        // below nest under the same trace.
+        let mut span = trace.map(|(t, l)| t.span_traced(obs::SpanKind::Serve, l, req.trace));
         let term_refs: Vec<&[u8]> = req.terms.iter().map(|t| t.as_ref()).collect();
         // Rank errors (e.g. quorum loss mid-run) degrade to an empty
         // ranking; the request still gets a response.
         let ranked = engine
-            .rank(req.dc, &term_refs, req.version, req.top_k)
+            .rank_traced(req.dc, &term_refs, req.version, req.top_k, req.trace)
             .map(|r| r.ranked)
             .unwrap_or_default();
         let key: ResponseKey = (req.dc.region.0, req.terms.clone());
@@ -465,17 +556,20 @@ fn worker_loop(
                 .collect();
             let hits = Arc::new(hits);
             responses.insert(key, Arc::clone(&hits));
+            // Close the serve span before responding: writing the reply
+            // is the net layer's time, and a traced client may assemble
+            // the trace the instant the response lands.
+            if let Some(mut s) = span.take() {
+                s.set_amount(1);
+            }
             if let Some(respond) = req.responder.take() {
                 respond(QueryReply {
                     hits,
                     degraded: true,
                 });
             }
-            out.stale += 1;
-            out.hist.record(req.enqueued.elapsed().as_micros() as u64);
-            if let Some(span) = span.as_mut() {
-                span.set_amount(1);
-            }
+            live.served_stale.fetch_add(1, Ordering::Relaxed);
+            live.record_latency(req.enqueued.elapsed().as_micros() as u64);
             continue;
         }
         let mut misses = 0u32;
@@ -500,19 +594,19 @@ fn worker_loop(
         }
         let hits = Arc::new(hits);
         responses.insert(key, Arc::clone(&hits));
+        // Same ordering as the degraded path: span closed, then respond.
+        if let Some(mut s) = span.take() {
+            s.set_amount(1);
+        }
         if let Some(respond) = req.responder.take() {
             respond(QueryReply {
                 hits,
                 degraded: false,
             });
         }
-        out.served += 1;
-        out.hist.record(req.enqueued.elapsed().as_micros() as u64);
-        if let Some(span) = span.as_mut() {
-            span.set_amount(1);
-        }
+        live.served.fetch_add(1, Ordering::Relaxed);
+        live.record_latency(req.enqueued.elapsed().as_micros() as u64);
     }
-    out
 }
 
 /// Runs the front-end: spawns `cfg.workers` workers against `engine`,
@@ -555,7 +649,7 @@ where
         .collect();
     let start = Instant::now();
     let core_ref = &core;
-    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = core
             .queues
             .iter()
@@ -563,48 +657,44 @@ where
             .map(|(q, label)| {
                 s.spawn(move || {
                     let t = trace.map(|t| (t, label.as_str()));
-                    worker_loop(engine, &core_ref.cfg, cache, &core_ref.responses, q, t)
+                    worker_loop(
+                        engine,
+                        &core_ref.cfg,
+                        cache,
+                        &core_ref.responses,
+                        q,
+                        &core_ref.live,
+                        t,
+                    )
                 })
             })
             .collect();
         generator(&Submitter { core: core_ref });
         core.close();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("serve worker panicked"))
-            .collect()
+        for h in handles {
+            h.join().expect("serve worker panicked");
+        }
     });
     let wall = start.elapsed();
-    finish_report(core, outs, wall, cache, hits_before, misses_before)
+    finish_report(&core, wall, cache, hits_before, misses_before)
 }
 
-/// Merges the submission tallies with the joined worker outputs.
+/// Snapshots the live tallies into a per-run report.
 fn finish_report(
-    core: Core,
-    outs: Vec<WorkerOut>,
+    core: &Core,
     wall: Duration,
     cache: &SummaryCache,
     hits_before: u64,
     misses_before: u64,
 ) -> ServeReport {
-    let mut hist = core
-        .admission_hist
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner());
-    let mut served = 0;
-    let mut stale = core.stale_at_admission.load(Ordering::Relaxed);
-    for out in &outs {
-        served += out.served;
-        stale += out.stale;
-        hist.merge(&out.hist);
-    }
+    let live = &core.live;
     ServeReport {
-        offered: core.offered.load(Ordering::Relaxed),
-        served,
-        served_stale: stale,
-        shed: core.shed.load(Ordering::Relaxed),
+        offered: live.offered(),
+        served: live.served(),
+        served_stale: live.served_stale(),
+        shed: live.shed(),
         wall,
-        hist,
+        hist: live.hist(),
         summary_hits: cache.hits() - hits_before,
         summary_misses: cache.misses() - misses_before,
     }
@@ -618,7 +708,7 @@ fn finish_report(
 pub struct Frontend {
     core: Arc<Core>,
     cache: Arc<SummaryCache>,
-    handles: Vec<std::thread::JoinHandle<WorkerOut>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
     start: Instant,
     hits_before: u64,
     misses_before: u64,
@@ -654,6 +744,7 @@ impl Frontend {
                             &cache,
                             &core.responses,
                             &core.queues[i],
+                            &core.live,
                             t,
                         )
                     })
@@ -676,21 +767,23 @@ impl Frontend {
         Submitter { core: &self.core }
     }
 
+    /// The shared live tallies, readable while the front-end runs. The
+    /// handle stays valid (frozen) after [`Frontend::shutdown`], so a
+    /// telemetry thread holding one never races the teardown.
+    pub fn live(&self) -> Arc<LiveStats> {
+        Arc::clone(&self.core.live)
+    }
+
     /// Closes the queues, joins the workers (they drain what was already
     /// accepted), and reports — same accounting as [`run`].
     pub fn shutdown(self) -> ServeReport {
         self.core.close();
-        let outs: Vec<WorkerOut> = self
-            .handles
-            .into_iter()
-            .map(|h| h.join().expect("serve worker panicked"))
-            .collect();
+        for h in self.handles {
+            h.join().expect("serve worker panicked");
+        }
         let wall = self.start.elapsed();
-        let core = Arc::try_unwrap(self.core)
-            .unwrap_or_else(|_| panic!("submitters must not outlive the front-end"));
         finish_report(
-            core,
-            outs,
+            &self.core,
             wall,
             &self.cache,
             self.hits_before,

@@ -116,15 +116,25 @@ fn main() {
         other => panic!("expected status, got {other:?}"),
     }
 
-    // Introspection: the Prometheus dump now carries net.* counters.
+    // Introspection: a typed telemetry frame with the net.* counters,
+    // per-layer health rows, and SLO statuses.
     let resp = client.request(&Request::Introspect).expect("introspect");
     match resp {
-        Response::Introspect { text } => {
-            assert!(text.contains("net_requests_total") || text.contains("net.requests_total"));
-            println!("introspect: {} bytes of metrics", text.len());
+        Response::Introspect { json } => {
+            let frame = obs::TelemetryFrame::from_json(&json).expect("telemetry frame");
+            assert!(frame.metric("net.requests_total").unwrap_or(0.0) >= 1.0);
+            println!(
+                "introspect: {} metrics, {} layer rows, {} slos",
+                frame.metrics.len(),
+                frame.layers.len(),
+                frame.slos.len()
+            );
         }
         other => panic!("expected introspection, got {other:?}"),
     }
+
+    // Every v2 response carried the server-allocated trace id.
+    println!("last trace id: {}", client.last_trace_id());
 
     let report = server.shutdown();
     println!(
