@@ -1,6 +1,6 @@
 //! The macro-benchmark scenario suite behind the `perf` binary.
 //!
-//! Seven seeded scenarios cover every layer of the stack, each measured
+//! The seeded scenarios cover every layer of the stack, each measured
 //! twice: once in simulated time / firmware counters (fully
 //! deterministic — same seed, same bytes, on any machine) and once in
 //! wall-clock time (median + MAD over `reps` repetitions, robust to
@@ -19,6 +19,8 @@
 //! | `rebalance` | placement + mint | throttled scale-out then decommission |
 //! | `netbench` | net + serve | the serve path behind a real loopback socket |
 //! | `telemetry` | obs | sim-clock sampler, windowed percentiles, SLO breach/recovery |
+//! | `recovery_replay` | wal + mint | crash a replica, catch up via log suffix vs. full state |
+//! | `join_sync` | wal + mint | join a node via log replay vs. full anti-entropy |
 
 use crate::fig5::{self, Fig5Config};
 use bifrost::{Bifrost, BifrostConfig, DataCenterId, TrunkCapacities};
@@ -31,7 +33,7 @@ use serve::{ServeConfig, ServeExt, SummaryCache};
 use simclock::{SimClock, SimTime};
 
 /// Scenario names, in suite order. `perf -- all` runs exactly these.
-pub const SCENARIOS: [&str; 9] = [
+pub const SCENARIOS: [&str; 11] = [
     "qindb_write",
     "lsm_write",
     "bifrost_delivery",
@@ -41,6 +43,8 @@ pub const SCENARIOS: [&str; 9] = [
     "rebalance",
     "netbench",
     "telemetry",
+    "recovery_replay",
+    "join_sync",
 ];
 
 /// Suite-wide knobs.
@@ -118,6 +122,8 @@ pub fn run_scenario(name: &str, cfg: &PerfConfig) -> Option<BenchReport> {
         "rebalance" => rebalance(cfg),
         "netbench" => netbench(cfg),
         "telemetry" => telemetry(cfg),
+        "recovery_replay" => recovery_replay(cfg),
+        "join_sync" => join_sync(cfg),
         _ => return None,
     })
 }
@@ -608,6 +614,157 @@ fn telemetry(cfg: &PerfConfig) -> BenchReport {
     r.push(name, "series_crc32", crc as f64, "crc", true);
     r.push(name, "series_bytes", snap_len as f64, "bytes", true);
     r.push(name, "window_p99_us", p99, "us", true);
+    push_wall(&mut r, name, wall);
+    r
+}
+
+fn recovery_replay(cfg: &PerfConfig) -> BenchReport {
+    let keys = if cfg.quick { 120 } else { 600 };
+    // One crash/recover cycle; `wal` picks the catch-up path. The
+    // checkpoint happens while everything is alive, so the crashed
+    // node's frontier survives the group-log GC and the suffix it needs
+    // (the dedup writes landing while it is down) stays retained.
+    let cycle = move |wal: bool| {
+        let mut cluster = Mint::new(MintConfig::tiny());
+        cluster.set_wal_catchup(wal);
+        let full: Vec<WriteOp> = (0..keys)
+            .map(|i| WriteOp {
+                key: Bytes::from(format!("key:{i:06}")),
+                version: 1,
+                value: Some(Bytes::from(vec![b'a' + (i % 23) as u8; 4096])),
+            })
+            .collect();
+        cluster.apply(&full).expect("apply v1");
+        cluster.checkpoint_all().expect("checkpoint");
+        cluster.fail_node(mint::NodeId(0)).expect("fail");
+        for version in 2..=4u64 {
+            let dedup: Vec<WriteOp> = (0..keys)
+                .map(|i| WriteOp {
+                    key: Bytes::from(format!("key:{i:06}")),
+                    version,
+                    value: None,
+                })
+                .collect();
+            cluster.apply(&dedup).expect("apply dedup");
+        }
+        let took = cluster.recover_node(mint::NodeId(0)).expect("recover");
+        let info = cluster.take_last_wal_recovery().expect("recovery info");
+        (took, info)
+    };
+    let scenario = move || {
+        let (wal_took, wal_info) = cycle(true);
+        assert!(wal_info.suffix_only, "retained suffix must ride the log");
+        let (full_took, full_info) = cycle(false);
+        assert!(!full_info.suffix_only, "wal off must use the full path");
+        (wal_took, wal_info, full_took, full_info)
+    };
+    let (wall, (wal_took, wal_info, full_took, full_info)) = measure(cfg.reps, scenario);
+    let name = "recovery_replay";
+    let mut r = BenchReport::new(cfg.mode());
+    r.push(
+        name,
+        "replay_records",
+        wal_info.replayed_records as f64,
+        "count",
+        true,
+    );
+    r.push(
+        name,
+        "replay_bytes",
+        wal_info.shipped_bytes as f64,
+        "bytes",
+        true,
+    );
+    r.push(
+        name,
+        "full_bytes",
+        full_info.shipped_bytes as f64,
+        "bytes",
+        true,
+    );
+    r.push(
+        name,
+        "replay_sim_ms",
+        wal_took.as_secs_f64() * 1e3,
+        "ms",
+        true,
+    );
+    r.push(
+        name,
+        "full_sim_ms",
+        full_took.as_secs_f64() * 1e3,
+        "ms",
+        true,
+    );
+    push_wall(&mut r, name, wall);
+    r
+}
+
+fn join_sync(cfg: &PerfConfig) -> BenchReport {
+    let keys = if cfg.quick { 60 } else { 240 };
+    // The paper's workload shape: one value-bearing version per key,
+    // then a long run of deduplicated versions. A log-suffix join ships
+    // the dedup tail as bare descriptors; the full-state path
+    // materializes a value for every version of every key.
+    let join = move |wal: bool| {
+        let mut cluster = Mint::new(MintConfig::tiny());
+        let full: Vec<WriteOp> = (0..keys)
+            .map(|i| WriteOp {
+                key: Bytes::from(format!("key:{i:06}")),
+                version: 1,
+                value: Some(Bytes::from(vec![b'a' + (i % 23) as u8; 4096])),
+            })
+            .collect();
+        cluster.apply(&full).expect("apply v1");
+        for version in 2..=12u64 {
+            let dedup: Vec<WriteOp> = (0..keys)
+                .map(|i| WriteOp {
+                    key: Bytes::from(format!("key:{i:06}")),
+                    version,
+                    value: None,
+                })
+                .collect();
+            cluster.apply(&dedup).expect("apply dedup");
+        }
+        cluster.set_wal_catchup(wal);
+        let joiner = cluster.begin_join(0).expect("begin join");
+        let mut bytes = 0u64;
+        let mut steps = 0u64;
+        loop {
+            let step = cluster
+                .join_sync_step(joiner, 64 * 1024)
+                .expect("join step");
+            bytes += step.bytes;
+            steps += 1;
+            if step.done {
+                break;
+            }
+        }
+        cluster.cutover_join(joiner).expect("cutover");
+        (bytes, steps)
+    };
+    let scenario = move || {
+        let (wal_bytes, wal_steps) = join(true);
+        let (full_bytes, _) = join(false);
+        assert!(
+            wal_bytes > 0 && wal_bytes * 10 <= full_bytes,
+            "log-suffix join must ship >=10x fewer bytes: wal={wal_bytes} full={full_bytes}"
+        );
+        (wal_bytes, wal_steps, full_bytes)
+    };
+    let (wall, (wal_bytes, wal_steps, full_bytes)) = measure(cfg.reps, scenario);
+    let name = "join_sync";
+    let mut r = BenchReport::new(cfg.mode());
+    r.push(name, "wal_bytes", wal_bytes as f64, "bytes", true);
+    r.push(name, "wal_steps", wal_steps as f64, "count", true);
+    r.push(name, "full_bytes", full_bytes as f64, "bytes", true);
+    r.push(
+        name,
+        "bytes_ratio",
+        full_bytes as f64 / wal_bytes as f64,
+        "ratio",
+        true,
+    );
     push_wall(&mut r, name, wall);
     r
 }

@@ -18,7 +18,7 @@
 use crate::invariant::{InvariantChecker, Violation};
 use crate::schedule::{FaultKind, Schedule};
 use directload::DirectLoad;
-use mint::NodeId;
+use mint::{NodeId, WalTamper};
 use netsim::LinkId;
 use simclock::SimTime;
 
@@ -90,6 +90,11 @@ pub struct Orchestrator {
     retry_recover: Vec<(usize, u32, u32)>,
     /// Nodes currently down: (dc index, node).
     crashed: Vec<(usize, u32)>,
+    /// Per crashed node, the WAL frontier its journal held at crash time
+    /// and whether the image was corrupted (not just torn): (dc index,
+    /// node, committed frontier, corrupt). Consumed when the node
+    /// recovers, to check the recovery against the ground truth.
+    wal_marks: Vec<(usize, u32, u64, bool)>,
 }
 
 impl Orchestrator {
@@ -108,6 +113,7 @@ impl Orchestrator {
             ssd_active: Vec::new(),
             retry_recover: Vec::new(),
             crashed: Vec::new(),
+            wal_marks: Vec::new(),
         }
     }
 
@@ -149,24 +155,29 @@ impl Orchestrator {
     fn apply(&mut self, round: u32, kind: FaultKind, checker: &mut InvariantChecker) {
         match kind {
             FaultKind::NodeCrash { dc, node } => {
-                let id = self.dc_id(dc);
-                match self
-                    .system
-                    .cluster_mut(id)
-                    .expect("deployment DC exists")
-                    .fail_node(NodeId(node))
-                {
-                    Ok(()) => {
-                        self.crashed.push((dc, node));
-                        self.emit_fault(round, kind);
-                    }
-                    Err(e) => self.note_violation(
-                        checker,
-                        round,
-                        "schedule_valid",
-                        format!("crash of dc={dc} node={node} rejected: {e}"),
-                    ),
-                }
+                self.apply_crash(round, kind, dc, node, None, checker);
+            }
+            FaultKind::NodeCrashTornWal { dc, node } => {
+                let seed = Self::wal_seed(dc, node, round);
+                self.apply_crash(
+                    round,
+                    kind,
+                    dc,
+                    node,
+                    Some(WalTamper::TornTail { seed }),
+                    checker,
+                );
+            }
+            FaultKind::NodeCrashCorruptWal { dc, node } => {
+                let seed = Self::wal_seed(dc, node, round);
+                self.apply_crash(
+                    round,
+                    kind,
+                    dc,
+                    node,
+                    Some(WalTamper::FlipByte { seed }),
+                    checker,
+                );
             }
             FaultKind::NodeRecover { dc, node } => {
                 self.try_recover(round, dc, node, 0, checker);
@@ -269,6 +280,52 @@ impl Orchestrator {
         }
     }
 
+    /// Crashes one node, optionally damaging its stashed journal image,
+    /// and records the ground-truth WAL frontier the journal held at
+    /// crash time. The mark is checked when the node recovers: a torn
+    /// tail must cost nothing (every acked record survives), and a
+    /// corrupt image may roll the frontier back but never forward.
+    fn apply_crash(
+        &mut self,
+        round: u32,
+        kind: FaultKind,
+        dc: usize,
+        node: u32,
+        tamper: Option<WalTamper>,
+        checker: &mut InvariantChecker,
+    ) {
+        let id = self.dc_id(dc);
+        let outcome = {
+            let cluster = self.system.cluster_mut(id).expect("deployment DC exists");
+            cluster.fail_node(NodeId(node)).map(|()| {
+                // Ground truth before any damage lands.
+                let committed = cluster
+                    .crashed_wal_frontier(NodeId(node))
+                    .expect("node just crashed");
+                if let Some(tamper) = tamper {
+                    cluster
+                        .tamper_crashed_wal(NodeId(node), tamper)
+                        .expect("node just crashed");
+                }
+                committed
+            })
+        };
+        match outcome {
+            Ok(committed) => {
+                let corrupt = matches!(tamper, Some(WalTamper::FlipByte { .. }));
+                self.wal_marks.push((dc, node, committed, corrupt));
+                self.crashed.push((dc, node));
+                self.emit_fault(round, kind);
+            }
+            Err(e) => self.note_violation(
+                checker,
+                round,
+                "schedule_valid",
+                format!("crash of dc={dc} node={node} rejected: {e}"),
+            ),
+        }
+    }
+
     /// Executes one topology-churn op as a live throttled migration,
     /// synchronously, against the DC's cluster. The migrator writes its
     /// `migrate`/`drain` spans and `placement.*` counters into the
@@ -323,14 +380,16 @@ impl Orchestrator {
         checker: &mut InvariantChecker,
     ) {
         let id = self.dc_id(dc);
-        match self
-            .system
-            .cluster_mut(id)
-            .expect("deployment DC exists")
-            .recover_node(NodeId(node))
-        {
-            Ok(_took) => {
+        let outcome = {
+            let cluster = self.system.cluster_mut(id).expect("deployment DC exists");
+            cluster
+                .recover_node(NodeId(node))
+                .map(|took| (took, cluster.take_last_wal_recovery()))
+        };
+        match outcome {
+            Ok((_took, info)) => {
                 self.crashed.retain(|&(d, n)| (d, n) != (dc, node));
+                self.check_wal_recovery(round, dc, node, info, checker);
                 self.emit_repair(round, format!("node_recover dc={dc} node={node}"));
             }
             Err(e) if attempts + 1 < self.cfg.recovery_retries => {
@@ -350,6 +409,73 @@ impl Orchestrator {
                     attempts + 1
                 ),
             ),
+        }
+    }
+
+    /// Checks a completed recovery's WAL catch-up against the frontier
+    /// the node's journal held at crash time: a clean or torn-tail crash
+    /// must yield exactly the committed frontier (no acked write lost),
+    /// and no crash shape may yield more (a truncated suffix must never
+    /// come back from the dead). Also writes the catch-up shape into the
+    /// timeline — same-seed storms must replay it byte-identically.
+    fn check_wal_recovery(
+        &mut self,
+        round: u32,
+        dc: usize,
+        node: u32,
+        info: Option<mint::WalRecovery>,
+        checker: &mut InvariantChecker,
+    ) {
+        let mark = self
+            .wal_marks
+            .iter()
+            .position(|&(d, n, _, _)| (d, n) == (dc, node))
+            .map(|i| self.wal_marks.remove(i));
+        let Some(info) = info else {
+            return;
+        };
+        let mode = if info.suffix_only {
+            "suffix-only"
+        } else {
+            "full-state"
+        };
+        self.timeline.push(format!(
+            "round={round:02} wal_recovery dc={dc} node={node} mode={mode} frontier={} \
+             records={} bytes={}",
+            info.frontier, info.replayed_records, info.shipped_bytes
+        ));
+        self.system
+            .registry()
+            .counter(if info.suffix_only {
+                "chaos.wal.suffix_recoveries"
+            } else {
+                "chaos.wal.full_recoveries"
+            })
+            .inc();
+        let Some((_, _, committed, corrupt)) = mark else {
+            return;
+        };
+        if info.frontier > committed {
+            self.note_violation(
+                checker,
+                round,
+                "wal_never_resurrects_truncated_suffix",
+                format!(
+                    "dc={dc} node={node} recovered frontier {} above committed {committed}",
+                    info.frontier
+                ),
+            );
+        }
+        if !corrupt && info.frontier < committed {
+            self.note_violation(
+                checker,
+                round,
+                "wal_preserves_acked_writes",
+                format!(
+                    "dc={dc} node={node} recovered frontier {} below committed {committed}",
+                    info.frontier
+                ),
+            );
         }
     }
 
@@ -498,5 +624,9 @@ impl Orchestrator {
 
     fn ssd_seed(dc: usize, node: u32, round: u32) -> u64 {
         0x55D_FA17 ^ ((dc as u64) << 40) ^ ((node as u64) << 20) ^ round as u64
+    }
+
+    fn wal_seed(dc: usize, node: u32, round: u32) -> u64 {
+        0x0A1_FA17 ^ ((dc as u64) << 40) ^ ((node as u64) << 20) ^ round as u64
     }
 }

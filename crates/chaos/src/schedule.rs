@@ -35,8 +35,17 @@ pub enum FaultKind {
     /// Mint layer: crash node `node` of data center `dc` (an index into
     /// the deployment's DC list). Host memory is lost; flash survives.
     NodeCrash { dc: usize, node: u32 },
+    /// Mint layer: crash node `node` of DC `dc` mid-append — the node's
+    /// journal image ends in a torn partial frame. Recovery must detect
+    /// and truncate the tear without losing any acked record below it.
+    NodeCrashTornWal { dc: usize, node: u32 },
+    /// Mint layer: crash node `node` of DC `dc` with one byte of its
+    /// journal image flipped (a bad sector). Recovery must truncate from
+    /// the damage onward and re-ship the lost span from the group log —
+    /// never act on the truncated suffix.
+    NodeCrashCorruptWal { dc: usize, node: u32 },
     /// Mint layer: recover a previously crashed node (AOF replay plus
-    /// anti-entropy from its group peers before it serves).
+    /// WAL suffix catch-up from its group peers before it serves).
     NodeRecover { dc: usize, node: u32 },
     /// Netsim layer: WAN trunk `link` loses all capacity for `secs`
     /// simulated seconds, then returns to nominal. In-flight slices
@@ -89,7 +98,10 @@ impl FaultKind {
     /// several layers.
     pub fn layer(&self) -> &'static str {
         match self {
-            FaultKind::NodeCrash { .. } | FaultKind::NodeRecover { .. } => "mint",
+            FaultKind::NodeCrash { .. }
+            | FaultKind::NodeCrashTornWal { .. }
+            | FaultKind::NodeCrashCorruptWal { .. }
+            | FaultKind::NodeRecover { .. } => "mint",
             FaultKind::LinkOutage { .. } | FaultKind::LinkDegrade { .. } => "netsim",
             FaultKind::CorruptionBurst { .. } => "bifrost",
             FaultKind::SsdReadFaults { .. } | FaultKind::SsdProgramFaults { .. } => "ssd",
@@ -101,6 +113,8 @@ impl FaultKind {
     pub fn name(&self) -> &'static str {
         match self {
             FaultKind::NodeCrash { .. } => "node_crash",
+            FaultKind::NodeCrashTornWal { .. } => "node_crash_torn_wal",
+            FaultKind::NodeCrashCorruptWal { .. } => "node_crash_corrupt_wal",
             FaultKind::NodeRecover { .. } => "node_recover",
             FaultKind::LinkOutage { .. } => "link_outage",
             FaultKind::LinkDegrade { .. } => "link_degrade",
@@ -117,6 +131,12 @@ impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             FaultKind::NodeCrash { dc, node } => write!(f, "node_crash dc={dc} node={node}"),
+            FaultKind::NodeCrashTornWal { dc, node } => {
+                write!(f, "node_crash_torn_wal dc={dc} node={node}")
+            }
+            FaultKind::NodeCrashCorruptWal { dc, node } => {
+                write!(f, "node_crash_corrupt_wal dc={dc} node={node}")
+            }
             FaultKind::NodeRecover { dc, node } => write!(f, "node_recover dc={dc} node={node}"),
             FaultKind::LinkOutage { link, secs } => {
                 write!(f, "link_outage link={link} secs={secs}")
@@ -341,10 +361,15 @@ impl Schedule {
                         })
                         .collect();
                     if let Some(&node) = candidates.get(rng.below(candidates.len().max(1))) {
-                        events.push(FaultEvent {
-                            round,
-                            kind: FaultKind::NodeCrash { dc, node },
-                        });
+                        // Some crashes land mid-append (torn WAL tail) or
+                        // take a journal sector with them (flipped byte);
+                        // recovery has to cope with all three shapes.
+                        let kind = match rng.permille() {
+                            p if p < 250 => FaultKind::NodeCrashTornWal { dc, node },
+                            p if p < 450 => FaultKind::NodeCrashCorruptWal { dc, node },
+                            _ => FaultKind::NodeCrash { dc, node },
+                        };
+                        events.push(FaultEvent { round, kind });
                         crashed.insert((dc, node));
                         // Recover 1–3 rounds later; anything past the end
                         // is settled by the orchestrator's final drain.
@@ -543,7 +568,9 @@ mod tests {
         };
         for e in s.events() {
             match e.kind {
-                FaultKind::NodeCrash { dc, node } => {
+                FaultKind::NodeCrash { dc, node }
+                | FaultKind::NodeCrashTornWal { dc, node }
+                | FaultKind::NodeCrashCorruptWal { dc, node } => {
                     let g = group_of(&members, dc, node).expect("crash of a member node");
                     assert!(crashed.insert((dc, node)), "double crash {e:?}");
                     assert!(
@@ -608,6 +635,20 @@ mod tests {
         }
         assert!(outs > 0, "storms never scaled out");
         assert!(decoms > 0, "storms never decommissioned");
+    }
+
+    #[test]
+    fn storms_exercise_wal_crash_variants() {
+        // Across a handful of seeds the crash mix must include both WAL
+        // damage shapes — that is what keeps the recovery invariants
+        // (no lost acked write, no resurrected suffix) load-bearing.
+        let mut kinds: BTreeSet<&'static str> = BTreeSet::new();
+        for seed in 1..=8u64 {
+            let s = Schedule::generate(&ScheduleConfig::storm(seed, 16));
+            kinds.extend(s.fault_kinds());
+        }
+        assert!(kinds.contains("node_crash_torn_wal"), "kinds: {kinds:?}");
+        assert!(kinds.contains("node_crash_corrupt_wal"), "kinds: {kinds:?}");
     }
 
     #[test]

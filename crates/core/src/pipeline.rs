@@ -434,12 +434,26 @@ impl DirectLoad {
     pub fn introspect(&self) -> obs::MetricsReport {
         let mut engines = qindb::EngineStats::default();
         let mut devices = ssdsim::CounterSnapshot::default();
+        let mut wal = wal::WalStats::default();
         for (_, cluster) in &self.dcs {
             engines.accumulate(&cluster.aggregate_stats());
             devices.accumulate(&cluster.aggregate_device_counters());
+            wal.accumulate(&cluster.aggregate_wal_stats());
         }
         engines.publish(&self.registry, "qindb");
         devices.publish(&self.registry, "ssd");
+        {
+            let c = |name: &str, v: u64| self.registry.counter(&format!("wal.{name}")).store(v);
+            c("appends", wal.appends);
+            c("appended_bytes", wal.appended_bytes);
+            c("flushed_bytes", wal.flushed_bytes);
+            c("sealed_segments", wal.sealed_segments);
+            c("checkpoints", wal.checkpoints);
+            c("gc_segments", wal.gc_segments);
+            c("gc_bytes", wal.gc_bytes);
+            c("replayed_records", wal.replayed_records);
+            c("replayed_bytes", wal.replayed_bytes);
+        }
         self.bifrost.publish_metrics(&self.registry);
         self.registry
             .counter("pipeline.keys_stored_total")
@@ -593,6 +607,8 @@ mod tests {
         // pipeline itself, all in one namespace.
         assert!(report.counter("qindb.puts").unwrap() > 0);
         assert!(report.counter("ssd.host_write_bytes").unwrap() > 0);
+        assert!(report.counter("wal.appends").unwrap() > 0);
+        assert!(report.counter("wal.flushed_bytes").unwrap() > 0);
         assert_eq!(report.counter("bifrost.versions_total"), Some(2));
         assert!(report.counter("pipeline.keys_stored_total").unwrap() > 0);
         assert_eq!(

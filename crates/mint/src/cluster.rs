@@ -20,6 +20,143 @@ pub const READ_RETRIES: usize = 3;
 /// visible in its busy time).
 pub const SYNC_BYTES_PER_SEC: u64 = 128 * 1024 * 1024;
 
+/// Payload bytes a recovery replays between flush/charge points when it
+/// ships a group-log suffix: big enough to amortize the batch commit,
+/// small enough that a crash mid-catch-up re-ships little.
+pub const CATCHUP_BATCH_BYTES: u64 = 256 * 1024;
+
+/// Group-log record kinds (first byte of every group-log payload).
+const OP_PUT_FULL: u8 = 0;
+const OP_PUT_DEDUP: u8 = 1;
+const OP_DEL: u8 = 2;
+
+/// Encodes one mutation for the group log:
+/// `[kind u8][version u64le][key_len u32le][key][value…]`. Only full
+/// puts carry value bytes — deduplicated puts and deletes are key-sized,
+/// which is what makes a log suffix so much cheaper to ship than the
+/// materialized state it reproduces.
+fn encode_group_op(kind: u8, key: &[u8], version: u64, value: Option<&[u8]>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + key.len() + value.map_or(0, <[u8]>::len));
+    out.push(kind);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    if let Some(value) = value {
+        out.extend_from_slice(value);
+    }
+    out
+}
+
+/// One decoded group-log mutation.
+struct GroupOp {
+    kind: u8,
+    version: u64,
+    key: Bytes,
+    value: Option<Bytes>,
+}
+
+fn decode_group_op(payload: &[u8]) -> GroupOp {
+    assert!(payload.len() >= 13, "group-log payloads are well-formed");
+    let kind = payload[0];
+    let version = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+    let key_len = u32::from_le_bytes(payload[9..13].try_into().unwrap()) as usize;
+    let key = Bytes::copy_from_slice(&payload[13..13 + key_len]);
+    let value = (kind == OP_PUT_FULL).then(|| Bytes::copy_from_slice(&payload[13 + key_len..]));
+    GroupOp {
+        kind,
+        version,
+        key,
+        value,
+    }
+}
+
+/// The value-free descriptor a replica journals for one applied
+/// mutation (the AOF holds the data; the journal only needs enough to
+/// re-derive the node's frontier and explain itself in a hex dump).
+fn journal_desc(kind: u8, version: u64, key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + key.len());
+    out.push(kind);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(key);
+    out
+}
+
+/// Applies one decoded group-log op to an engine, idempotently — the
+/// node may already hold the item (a journaled-but-reshipped record, or
+/// state a full transfer already covered). Deletions without a stored
+/// version get the same NULL-item-then-delete treatment as the
+/// full-state sync path, so deletion knowledge stays authoritative.
+fn apply_group_op(engine: &mut QinDb, op: &GroupOp) -> std::result::Result<(), qindb::QinDbError> {
+    let deleted = op.kind == OP_DEL;
+    let known = engine
+        .versions_of(&op.key)
+        .iter()
+        .any(|&(v, _, d)| v == op.version && (d || !deleted));
+    if known {
+        return Ok(());
+    }
+    if deleted {
+        if engine
+            .versions_of(&op.key)
+            .iter()
+            .all(|&(v, _, _)| v != op.version)
+        {
+            // A deletion of a version this node never stored (it was not
+            // in the write's replica set when the put landed). Hang the
+            // deletion mark on a deduplicated NULL item: it joins the
+            // (version, deleted) chain without fabricating bytes — a
+            // traceback walks through it, and a dangling chain reports
+            // Missing, so read reconciliation prefers the replicas that
+            // hold the real preserved record.
+            engine.put(&op.key, op.version, None)?;
+        }
+        engine.del(&op.key, op.version)?;
+    } else {
+        engine.put(&op.key, op.version, op.value.as_deref())?;
+    }
+    Ok(())
+}
+
+/// What the last recovery catch-up did (consumed by chaos invariants,
+/// benchmarks, and the WAL example via [`Mint::take_last_wal_recovery`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// The recovered node.
+    pub node: u32,
+    /// The replication frontier the node's journal yielded after
+    /// truncation, before any catch-up.
+    pub frontier: u64,
+    /// Whether the journal image had a torn or corrupt tail cut off.
+    pub torn: bool,
+    /// Journal bytes truncated on open.
+    pub truncated_bytes: u64,
+    /// True when catch-up shipped only the group-log suffix above the
+    /// frontier; false when the needed segments were GC'd (or the WAL
+    /// path is disabled) and it fell back to a full state transfer.
+    pub suffix_only: bool,
+    /// Records replayed by a suffix catch-up (0 on the full path).
+    pub replayed_records: u64,
+    /// Payload bytes catch-up shipped to the node (either path).
+    pub shipped_bytes: u64,
+}
+
+/// How chaos damages a crashed node's stashed journal image (see
+/// [`Mint::tamper_crashed_wal`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTamper {
+    /// A crash mid-append: a partial frame header plus seed-derived
+    /// garbage past the durable tail.
+    TornTail {
+        /// Deterministic garbage generator seed.
+        seed: u64,
+    },
+    /// A bad sector: one byte inside the durable image flipped.
+    FlipByte {
+        /// Picks the flipped offset (mod image length).
+        seed: u64,
+    },
+}
+
 /// One row of a prefix scan: `(key, resolved_version, value)`.
 pub type ScanRow = (Bytes, u64, Bytes);
 
@@ -115,6 +252,11 @@ struct NodeState {
     /// against one node proceed in parallel; writes/recovery take the
     /// exclusive lock.
     engine: RwLock<Option<QinDb>>,
+    /// The journal image captured when the node crashed — the flushed
+    /// prefix of its WAL, which is exactly what survives on its device.
+    /// Restored into the fresh engine at recovery; chaos tampers with it
+    /// to model torn appends and journal sector corruption.
+    crash_journal: Vec<u8>,
 }
 
 /// Outcome of applying a batch of writes.
@@ -167,6 +309,18 @@ pub struct Mint {
     /// they change roles but not routing. Serving-path caches key their
     /// topology snapshots by this counter and re-resolve when it moves.
     generation: u64,
+    /// Per-group operation logs, coordinator-side (they do not crash
+    /// with a node). Every acknowledged mutation of group `g` is
+    /// appended to `group_logs[g]`; the assigned LSN is the group's
+    /// replication sequence number, embedded in each replica's journal,
+    /// so a returning node has a frontier catch-up can resume from.
+    group_logs: Vec<wal::Wal>,
+    /// Whether recovery and join catch-up may ship group-log suffixes
+    /// (on by default). Off forces the full-state anti-entropy path —
+    /// kept as a toggle so benchmarks can compare the two.
+    wal_catchup: bool,
+    /// Diagnostics from the most recent recovery catch-up.
+    last_recovery: Option<WalRecovery>,
 }
 
 impl Mint {
@@ -192,6 +346,7 @@ impl Mint {
                     clock,
                     device,
                     engine: RwLock::new(Some(engine)),
+                    crash_journal: Vec::new(),
                 });
                 members.push(id.0);
             }
@@ -200,6 +355,9 @@ impl Mint {
         }
         let alive = vec![true; nodes.len()];
         let roles = vec![NodeRole::Serving; nodes.len()];
+        let group_logs = (0..cfg.groups)
+            .map(|_| wal::Wal::new(wal::WalConfig::default()))
+            .collect();
         Mint {
             cfg,
             nodes,
@@ -209,6 +367,9 @@ impl Mint {
             trace: None,
             wall_trace: None,
             generation: 0,
+            group_logs,
+            wal_catchup: true,
+            last_recovery: None,
         }
     }
 
@@ -288,8 +449,11 @@ impl Mint {
     pub fn apply(&mut self, ops: &[WriteOp]) -> Result<ApplyReport> {
         let wall = self.wall_trace.clone();
         let mut wspan = wall.as_ref().map(|(s, l)| s.span(obs::SpanKind::Load, l));
-        // Route ops to per-node work lists.
-        let mut per_node: Vec<Vec<&WriteOp>> = (0..self.nodes.len()).map(|_| Vec::new()).collect();
+        // Pass 1: route and validate. Nothing is logged or applied until
+        // every op in the batch has a live replica set — a rejected batch
+        // must leave no trace in the group logs, or a later catch-up
+        // could resurrect a write that was never acknowledged.
+        let mut routed: Vec<(usize, Vec<NodeId>)> = Vec::with_capacity(ops.len());
         let mut report = ApplyReport::default();
         for op in ops {
             report.ops += 1;
@@ -302,21 +466,45 @@ impl Mint {
                 return Err(MintError::NoReplicaAvailable);
             }
             report.skipped_replicas += (self.cfg.replicas - replicas.len()) as u64;
+            routed.push((group_of(&op.key, self.groups.len()), replicas));
+        }
+        // Pass 2: sequence each op in its group's log; the LSN rides to
+        // every replica so its journal records the frontier it reached.
+        let mut per_node: Vec<Vec<(&WriteOp, u64)>> =
+            (0..self.nodes.len()).map(|_| Vec::new()).collect();
+        for (op, (group, replicas)) in ops.iter().zip(&routed) {
+            let kind = if op.value.is_some() {
+                OP_PUT_FULL
+            } else {
+                OP_PUT_DEDUP
+            };
+            let lsn = self.group_logs[*group].append(&encode_group_op(
+                kind,
+                &op.key,
+                op.version,
+                op.value.as_deref(),
+            ));
             for r in replicas {
-                per_node[r.0 as usize].push(op);
+                per_node[r.0 as usize].push((op, lsn));
             }
         }
         let before: Vec<SimTime> = self.nodes.iter().map(|n| n.clock.now()).collect();
-        let apply_node = |node: &NodeState, work: &[&WriteOp]| -> Result<()> {
+        let apply_node = |node: &NodeState, work: &[(&WriteOp, u64)]| -> Result<()> {
             let mut guard = node.engine.write();
             let engine = guard.as_mut().ok_or(MintError::BadNodeState(node.id.0))?;
-            for op in work {
+            for (op, lsn) in work {
+                let kind = if op.value.is_some() {
+                    OP_PUT_FULL
+                } else {
+                    OP_PUT_DEDUP
+                };
                 engine
                     .put(&op.key, op.version, op.value.as_deref())
                     .map_err(|error| MintError::Node {
                         node: node.id.0,
                         error,
                     })?;
+                engine.journal_mutation(*lsn, &journal_desc(kind, op.version, &op.key));
             }
             // Batch commit: the tail must be durable before the version is
             // acknowledged to the delivery layer.
@@ -367,6 +555,24 @@ impl Mint {
     /// held by former owners must be retired too — `del` of an unknown
     /// item is a safe no-op in the engine.
     pub fn delete(&mut self, key: &[u8], version: u64) -> Result<()> {
+        // Only a delete that targets a known version goes in the group
+        // log. A no-op delete (version unknown everywhere) must leave no
+        // trace: replaying it later would fabricate authoritative
+        // deletion knowledge for a version that may yet be written.
+        let known = self.group_readers(key).iter().any(|r| {
+            let guard = self.nodes[r.0 as usize].engine.read();
+            guard.as_ref().is_some_and(|engine| {
+                engine
+                    .versions_of(key)
+                    .iter()
+                    .any(|&(v, _, _)| v == version)
+            })
+        });
+        if !known {
+            return Ok(());
+        }
+        let group = group_of(key, self.groups.len());
+        let lsn = self.group_logs[group].append(&encode_group_op(OP_DEL, key, version, None));
         for r in self.group_readers(key) {
             let node = &self.nodes[r.0 as usize];
             let mut guard = node.engine.write();
@@ -374,6 +580,7 @@ impl Mint {
                 engine
                     .del(key, version)
                     .map_err(|error| MintError::Node { node: r.0, error })?;
+                engine.journal_mutation(lsn, &journal_desc(OP_DEL, version, key));
             }
         }
         Ok(())
@@ -582,61 +789,246 @@ impl Mint {
             // them is a scheduling error, not a storm.
             return Err(MintError::BadNodeState(node.0));
         }
-        let mut guard = state.engine.write();
-        if guard.take().is_none() || !self.alive[node.0 as usize] {
-            return Err(MintError::BadNodeState(node.0));
-        }
+        let image = {
+            let mut guard = state.engine.write();
+            let Some(engine) = guard.take() else {
+                return Err(MintError::BadNodeState(node.0));
+            };
+            if !self.alive[node.0 as usize] {
+                return Err(MintError::BadNodeState(node.0));
+            }
+            // Host memory dies with the engine, but the journal's
+            // flushed prefix is on flash: stash it for recovery.
+            engine.journal_image()
+        };
+        self.nodes[node.0 as usize].crash_journal = image;
         self.alive[node.0 as usize] = false;
         self.generation += 1;
         Ok(())
     }
 
-    /// Recovers a failed node: it rebuilds from its own AOFs (the paper's
-    /// recovery path), then catches up on everything it missed from its
-    /// group peers (anti-entropy) **before** serving — this is what lets
-    /// "parallel requests to the replicas hide the node recovery" without
-    /// the recovered node ever serving stale chains. Returns how long the
-    /// local scan plus catch-up kept the node busy.
-    pub fn recover_node(&mut self, node: NodeId) -> Result<SimTime> {
-        let state = self
-            .nodes
-            .get(node.0 as usize)
-            .ok_or(MintError::NoSuchNode(node.0))?;
-        if !matches!(
-            self.roles[node.0 as usize],
-            NodeRole::Serving | NodeRole::Draining
-        ) {
-            // A retired node's flash is intact but it must never rejoin
-            // through the crash-recovery path.
+    /// Damages a crashed node's stashed journal image — the chaos hook
+    /// for crash-mid-append (torn tail) and journal sector corruption.
+    pub fn tamper_crashed_wal(&mut self, node: NodeId, tamper: WalTamper) -> Result<()> {
+        let idx = node.0 as usize;
+        if idx >= self.nodes.len() {
+            return Err(MintError::NoSuchNode(node.0));
+        }
+        if self.alive[idx] || self.nodes[idx].engine.read().is_some() {
             return Err(MintError::BadNodeState(node.0));
         }
-        let mut guard = state.engine.write();
-        if guard.is_some() || self.alive[node.0 as usize] {
-            return Err(MintError::BadNodeState(node.0));
-        }
-        let t0 = state.clock.now();
-        let engine = QinDb::recover(state.device.clone(), self.cfg.engine).map_err(|error| {
-            MintError::Node {
-                node: node.0,
-                error,
+        let image = &mut self.nodes[idx].crash_journal;
+        match tamper {
+            WalTamper::TornTail { seed } => {
+                // A partial frame: valid magic, then garbage where the
+                // header and payload should be.
+                image.push(0xD7);
+                let mut x = seed | 1;
+                for _ in 0..(3 + seed % 13) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    image.push(x as u8);
+                }
             }
-        })?;
-        *guard = Some(engine);
-        drop(guard);
-        self.alive[node.0 as usize] = true;
+            WalTamper::FlipByte { seed } => {
+                if !image.is_empty() {
+                    let at = (seed as usize) % image.len();
+                    image[at] ^= 0x40;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The replication frontier recorded in a crashed node's stashed
+    /// journal image — what recovery will see after truncation. Chaos
+    /// reads this right after the crash (before or after tampering) to
+    /// pin what recovery must and must not restore.
+    pub fn crashed_wal_frontier(&self, node: NodeId) -> Result<u64> {
+        let idx = node.0 as usize;
+        let state = self.nodes.get(idx).ok_or(MintError::NoSuchNode(node.0))?;
+        if self.alive[idx] || state.engine.read().is_some() {
+            return Err(MintError::BadNodeState(node.0));
+        }
+        Ok(qindb::journal_frontier_of(&state.crash_journal))
+    }
+
+    /// Recovers a failed node: it rebuilds from its own AOFs (the paper's
+    /// recovery path) and restores its journal's surviving prefix, then
+    /// catches up on everything it missed **before** serving — this is
+    /// what lets "parallel requests to the replicas hide the node
+    /// recovery" without the recovered node ever serving stale chains.
+    ///
+    /// Catch-up is suffix-only when possible: the journal's frontier
+    /// says which group LSN the node last applied, and the group log
+    /// ships just the records above it, in throttled
+    /// [`CATCHUP_BATCH_BYTES`] batches. Only when GC already dropped
+    /// the needed segments does the node fall back to the full
+    /// anti-entropy transfer. Returns how long the local scan plus
+    /// catch-up kept the node busy; [`Mint::take_last_wal_recovery`]
+    /// reports which path ran.
+    pub fn recover_node(&mut self, node: NodeId) -> Result<SimTime> {
+        let idx = node.0 as usize;
+        {
+            let state = self.nodes.get(idx).ok_or(MintError::NoSuchNode(node.0))?;
+            if !matches!(self.roles[idx], NodeRole::Serving | NodeRole::Draining) {
+                // A retired node's flash is intact but it must never
+                // rejoin through the crash-recovery path.
+                return Err(MintError::BadNodeState(node.0));
+            }
+            if state.engine.read().is_some() || self.alive[idx] {
+                return Err(MintError::BadNodeState(node.0));
+            }
+        }
+        let image = std::mem::take(&mut self.nodes[idx].crash_journal);
+        let t0 = self.nodes[idx].clock.now();
+        let mut engine = match QinDb::recover(self.nodes[idx].device.clone(), self.cfg.engine) {
+            Ok(engine) => engine,
+            Err(error) => {
+                // Leave the stashed image in place for the retry.
+                self.nodes[idx].crash_journal = image;
+                return Err(MintError::Node {
+                    node: node.0,
+                    error,
+                });
+            }
+        };
+        let open = engine.restore_journal(&image);
+        *self.nodes[idx].engine.write() = Some(engine);
+        self.alive[idx] = true;
         self.reattach_trace(node);
-        if let Err(error) = self.sync_node(node) {
+        let group = self
+            .groups
+            .iter()
+            .position(|g| g.contains(&node.0))
+            .expect("a serving or draining node belongs to a group");
+        if let Err(error) = self.catch_up_recovered(node, group, &open) {
             // Catch-up failed: the node must not serve a possibly stale
             // chain. Roll it back to failed so the caller can retry the
             // whole recovery later.
-            let state = &self.nodes[node.0 as usize];
-            state.engine.write().take();
-            self.alive[node.0 as usize] = false;
+            let taken = self.nodes[idx].engine.write().take();
+            if let Some(engine) = taken {
+                self.nodes[idx].crash_journal = engine.journal_image();
+            }
+            self.alive[idx] = false;
             return Err(error);
         }
         self.generation += 1;
+        Ok(self.nodes[idx].clock.now().saturating_sub(t0))
+    }
+
+    /// Post-recovery catch-up: suffix replay from the group log when the
+    /// node's frontier is still retained, full anti-entropy otherwise.
+    /// Records what happened in [`Mint::take_last_wal_recovery`].
+    fn catch_up_recovered(
+        &mut self,
+        node: NodeId,
+        group: usize,
+        open: &wal::OpenReport,
+    ) -> Result<()> {
+        let frontier = {
+            let guard = self.nodes[node.0 as usize].engine.read();
+            let engine = guard.as_ref().ok_or(MintError::BadNodeState(node.0))?;
+            engine.journal_frontier()
+        };
+        let mut info = WalRecovery {
+            node: node.0,
+            frontier,
+            torn: open.torn,
+            truncated_bytes: open.truncated_bytes,
+            suffix_only: false,
+            replayed_records: 0,
+            shipped_bytes: 0,
+        };
+        let suffix = if self.wal_catchup {
+            self.group_logs[group].replay_from(frontier + 1).ok()
+        } else {
+            None
+        };
+        match suffix {
+            Some(records) => {
+                info.suffix_only = true;
+                info.replayed_records = records.len() as u64;
+                let mut at = 0usize;
+                while at < records.len() {
+                    let step = self.ship_suffix(node, &records[at..], CATCHUP_BATCH_BYTES)?;
+                    at += step.items as usize;
+                    info.shipped_bytes += step.bytes;
+                }
+            }
+            None => {
+                // GC dropped the suffix the node needs (or the WAL path
+                // is off): full state transfer, then fast-forward the
+                // frontier past everything the transfer covered.
+                let head = self.group_logs[group].head_lsn();
+                info.shipped_bytes = self.sync_node(node)?;
+                self.note_frontier(node, head)?;
+            }
+        }
+        self.last_recovery = Some(info);
+        Ok(())
+    }
+
+    /// Applies a group-log suffix to `node`: up to `max_bytes` of
+    /// records (always at least one, so progress is guaranteed), each
+    /// applied idempotently and journaled under its group LSN, then one
+    /// batch commit; the shipped bytes are charged to the node's clock
+    /// at [`SYNC_BYTES_PER_SEC`]. Emits a `wal_replay` span.
+    fn ship_suffix(
+        &mut self,
+        node: NodeId,
+        records: &[wal::WalRecord],
+        max_bytes: u64,
+    ) -> Result<SyncStep> {
+        let mut span = self.trace.as_ref().map(|(sink, prefix)| {
+            sink.span(obs::SpanKind::WalReplay, &format!("{prefix}/n{}", node.0))
+        });
+        let mut step = SyncStep {
+            done: true,
+            ..SyncStep::default()
+        };
+        {
+            let state = &self.nodes[node.0 as usize];
+            let mut guard = state.engine.write();
+            let engine = guard.as_mut().ok_or(MintError::BadNodeState(node.0))?;
+            let map_err = |error| MintError::Node {
+                node: node.0,
+                error,
+            };
+            for rec in records {
+                if step.items > 0 && step.bytes >= max_bytes {
+                    // Budget spent with records left: the caller comes
+                    // back for another batch.
+                    step.done = false;
+                    break;
+                }
+                let op = decode_group_op(&rec.payload);
+                apply_group_op(engine, &op).map_err(map_err)?;
+                engine.journal_mutation(rec.lsn, &journal_desc(op.kind, op.version, &op.key));
+                step.items += 1;
+                step.bytes += (op.key.len() + op.value.as_ref().map_or(0, |v| v.len())) as u64;
+            }
+            engine.flush().map_err(map_err)?;
+        }
+        self.charge_transfer(node, step.bytes);
+        if let Some(span) = span.as_mut() {
+            span.set_amount(step.bytes);
+        }
+        Ok(step)
+    }
+
+    /// Durably fast-forwards a node's journal frontier to `head` after a
+    /// full-state transfer covered everything at or below it.
+    fn note_frontier(&mut self, node: NodeId, head: u64) -> Result<()> {
         let state = &self.nodes[node.0 as usize];
-        Ok(state.clock.now().saturating_sub(t0))
+        let mut guard = state.engine.write();
+        let engine = guard.as_mut().ok_or(MintError::BadNodeState(node.0))?;
+        engine.note_journal_frontier(head);
+        engine.flush().map_err(|error| MintError::Node {
+            node: node.0,
+            error,
+        })
     }
 
     /// Anti-entropy: copies every `(key, version)` the node is missing
@@ -654,7 +1046,12 @@ impl Mint {
                 .expect("node belongs to a group"),
         };
         let step = self.sync_from_group(node, group, u64::MAX)?;
-        debug_assert!(step.done, "an unbounded sync pass always finishes");
+        if !step.done {
+            // An unbounded pass that still reports work left means the
+            // scan raced something it could not cover; the node must not
+            // serve until a retry completes.
+            return Err(MintError::SyncIncomplete(node.0));
+        }
         Ok(step.bytes)
     }
 
@@ -736,9 +1133,10 @@ impl Mint {
                 .iter()
                 .all(|&(v, _, _)| v != version)
             {
-                // Deleted with no resolvable value: store a placeholder so
-                // the deletion mark has an item to guard.
-                engine.put(&key, version, Some(b"")).map_err(map_err)?;
+                // Deleted with no resolvable value: a deduplicated NULL
+                // item gives the deletion mark something to guard without
+                // fabricating bytes a traceback could stop at.
+                engine.put(&key, version, None).map_err(map_err)?;
             }
             if deleted {
                 engine.del(&key, version).map_err(map_err)?;
@@ -786,6 +1184,7 @@ impl Mint {
             clock,
             device,
             engine: RwLock::new(Some(engine)),
+            crash_journal: Vec::new(),
         });
         self.alive.push(false);
         self.roles.push(NodeRole::Joining { group });
@@ -793,12 +1192,14 @@ impl Mint {
         Ok(id)
     }
 
-    /// One bounded catch-up batch for a joining node: copies up to
-    /// `max_bytes` of the group items it is still missing (at least one
-    /// item per call). Re-scans the peers each call, so writes that
-    /// landed since the previous batch are picked up. `done` means a
-    /// full scan found nothing missing — the node is ready for
-    /// [`Mint::cutover_join`].
+    /// One bounded catch-up batch for a joining node: ships up to
+    /// `max_bytes` of the group-log suffix above the node's journal
+    /// frontier (at least one record per call). Re-reads the log each
+    /// call, so writes that landed since the previous batch are picked
+    /// up. When GC already dropped the suffix a fresh joiner needs —
+    /// its frontier starts at 0 — the batch transparently falls back to
+    /// the full-state anti-entropy scan. `done` means nothing is left —
+    /// the node is ready for [`Mint::cutover_join`].
     pub fn join_sync_step(&mut self, node: NodeId, max_bytes: u64) -> Result<SyncStep> {
         let role = *self
             .roles
@@ -807,7 +1208,33 @@ impl Mint {
         let NodeRole::Joining { group } = role else {
             return Err(MintError::BadNodeState(node.0));
         };
-        self.sync_from_group(node, group, max_bytes)
+        self.catchup_step(node, group, max_bytes)
+    }
+
+    /// One bounded catch-up batch against `group`: the group-log suffix
+    /// when retained, the full-state path otherwise (with the frontier
+    /// fast-forwarded once that path completes, so later batches ride
+    /// the log again).
+    fn catchup_step(&mut self, node: NodeId, group: usize, max_bytes: u64) -> Result<SyncStep> {
+        if !self.wal_catchup {
+            return self.sync_from_group(node, group, max_bytes);
+        }
+        let frontier = {
+            let guard = self.nodes[node.0 as usize].engine.read();
+            let engine = guard.as_ref().ok_or(MintError::BadNodeState(node.0))?;
+            engine.journal_frontier()
+        };
+        match self.group_logs[group].replay_from(frontier + 1) {
+            Ok(records) => self.ship_suffix(node, &records, max_bytes),
+            Err(_) => {
+                let head = self.group_logs[group].head_lsn();
+                let step = self.sync_from_group(node, group, max_bytes)?;
+                if step.done {
+                    self.note_frontier(node, head)?;
+                }
+                Ok(step)
+            }
+        }
     }
 
     /// Flips a caught-up joining node into the routing table: one final
@@ -821,7 +1248,10 @@ impl Mint {
         let NodeRole::Joining { group } = role else {
             return Err(MintError::BadNodeState(node.0));
         };
-        self.sync_from_group(node, group, u64::MAX)?;
+        let step = self.catchup_step(node, group, u64::MAX)?;
+        if !step.done {
+            return Err(MintError::SyncIncomplete(node.0));
+        }
         self.groups[group].push(node.0);
         self.roles[node.0 as usize] = NodeRole::Serving;
         self.alive[node.0 as usize] = true;
@@ -961,7 +1391,8 @@ impl Mint {
                     .iter()
                     .all(|&(v, _, _)| v != version)
                 {
-                    engine.put(&key, version, Some(b"")).map_err(map_err)?;
+                    // Same deduplicated-NULL guard as the sync path.
+                    engine.put(&key, version, None).map_err(map_err)?;
                 }
                 if deleted {
                     engine.del(&key, version).map_err(map_err)?;
@@ -1027,8 +1458,9 @@ impl Mint {
 
     /// Checkpoints every alive node's engine (the paper's periodic
     /// checkpointing, fleet-wide), so subsequent node recoveries replay
-    /// only post-checkpoint AOF suffixes. Returns how many nodes were
-    /// checkpointed.
+    /// only post-checkpoint AOF suffixes, then garbage-collects the
+    /// group logs below the slowest replica's journal frontier. Returns
+    /// how many nodes were checkpointed.
     pub fn checkpoint_all(&mut self) -> Result<usize> {
         let mut done = 0;
         for node in &self.nodes {
@@ -1041,7 +1473,85 @@ impl Mint {
                 done += 1;
             }
         }
+        // Advance each group log's checkpoint frontier to the minimum
+        // journal frontier across the group's nodes with an engine up
+        // (serving, draining, and joining alike — a mid-join node still
+        // needs everything above its frontier). Crashed and retired
+        // nodes are deliberately excluded: a long-dead node finding its
+        // suffix GC'd simply falls back to the full state transfer.
+        for (g, log) in self.group_logs.iter_mut().enumerate() {
+            let mut frontier = u64::MAX;
+            let mut any = false;
+            for (idx, state) in self.nodes.iter().enumerate() {
+                let in_group = self.groups[g].contains(&state.id.0)
+                    || matches!(self.roles[idx], NodeRole::Joining { group } if group == g);
+                if !in_group {
+                    continue;
+                }
+                let guard = state.engine.read();
+                if let Some(engine) = guard.as_ref() {
+                    frontier = frontier.min(engine.journal_frontier());
+                    any = true;
+                }
+            }
+            if any && frontier > 0 {
+                log.checkpoint(frontier);
+                log.flush();
+                log.gc();
+            }
+        }
         Ok(done)
+    }
+
+    /// Diagnostics from the most recent [`Mint::recover_node`] catch-up
+    /// (consumed — reading clears it).
+    pub fn take_last_wal_recovery(&mut self) -> Option<WalRecovery> {
+        self.last_recovery.take()
+    }
+
+    /// Disables (or re-enables) group-log suffix catch-up. Off routes
+    /// every recovery and join through the full-state anti-entropy path;
+    /// benchmarks use this to compare the two.
+    pub fn set_wal_catchup(&mut self, on: bool) {
+        self.wal_catchup = on;
+    }
+
+    /// A live node's journal frontier: the highest group LSN it has
+    /// applied and journaled.
+    pub fn node_wal_frontier(&self, node: NodeId) -> Result<u64> {
+        let state = self
+            .nodes
+            .get(node.0 as usize)
+            .ok_or(MintError::NoSuchNode(node.0))?;
+        let guard = state.engine.read();
+        let engine = guard.as_ref().ok_or(MintError::BadNodeState(node.0))?;
+        Ok(engine.journal_frontier())
+    }
+
+    /// The head LSN of `group`'s log (the group's replication sequence
+    /// high-water mark).
+    pub fn group_log_head(&self, group: usize) -> Result<u64> {
+        self.group_logs
+            .get(group)
+            .map(wal::Wal::head_lsn)
+            .ok_or(MintError::NoSuchGroup(group))
+    }
+
+    /// Aggregated WAL counters: the coordinator group logs plus every
+    /// live engine journal. Engine journals reset when their node
+    /// crashes, so treat the aggregate as approximately monotone.
+    pub fn aggregate_wal_stats(&self) -> wal::WalStats {
+        let mut total = wal::WalStats::default();
+        for log in &self.group_logs {
+            total.accumulate(&log.stats());
+        }
+        for node in &self.nodes {
+            let guard = node.engine.read();
+            if let Some(engine) = guard.as_ref() {
+                total.accumulate(&engine.journal_stats());
+            }
+        }
+        total
     }
 
     /// Aggregated engine stats across alive nodes.
@@ -1701,5 +2211,168 @@ mod tests {
         }
         m.cutover_drain(victim).unwrap();
         assert_eq!(m.node_role(victim).unwrap(), NodeRole::Retired);
+    }
+
+    fn dedup_ops(n: u32, version: u64) -> Vec<WriteOp> {
+        (0..n)
+            .map(|i| WriteOp {
+                key: Bytes::from(format!("key-{i:04}")),
+                version,
+                value: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovery_replays_only_the_log_suffix() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        m.fail_node(NodeId(0)).unwrap();
+        // Everything node 0 misses while down lands in its group's log.
+        let missed = (0..40u32)
+            .filter(|i| crate::hash::group_of(format!("key-{i:04}").as_bytes(), 2) == 0)
+            .count() as u64;
+        m.apply(&dedup_ops(40, 2)).unwrap();
+        m.recover_node(NodeId(0)).unwrap();
+        let info = m.take_last_wal_recovery().unwrap();
+        assert!(info.suffix_only, "retained suffix should ride the log");
+        assert!(!info.torn);
+        assert_eq!(info.replayed_records, missed);
+        assert_eq!(
+            m.node_wal_frontier(NodeId(0)).unwrap(),
+            m.group_log_head(0).unwrap()
+        );
+        for i in 0..40u32 {
+            let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 2).unwrap();
+            assert_eq!(v.unwrap().as_ref(), format!("value-{i}-1").as_bytes());
+        }
+    }
+
+    #[test]
+    fn gc_of_the_suffix_falls_back_to_full_state() {
+        let big = |n: u32, version: u64| -> Vec<WriteOp> {
+            (0..n)
+                .map(|i| WriteOp {
+                    key: Bytes::from(format!("key-{i:04}")),
+                    version,
+                    value: Some(Bytes::from(vec![version as u8; 4096])),
+                })
+                .collect()
+        };
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&big(48, 1)).unwrap();
+        m.fail_node(NodeId(0)).unwrap();
+        m.apply(&big(48, 2)).unwrap();
+        // The alive replicas sit at the head, so this checkpoint lets
+        // every sealed group-log segment go — including the suffix the
+        // crashed node is missing.
+        m.checkpoint_all().unwrap();
+        m.recover_node(NodeId(0)).unwrap();
+        let info = m.take_last_wal_recovery().unwrap();
+        assert!(!info.suffix_only, "GC'd suffix must force a full transfer");
+        assert_eq!(info.replayed_records, 0);
+        assert!(info.shipped_bytes > 0);
+        // The full pass fast-forwards the frontier, so the node is back
+        // on the log path for the next crash.
+        assert_eq!(
+            m.node_wal_frontier(NodeId(0)).unwrap(),
+            m.group_log_head(0).unwrap()
+        );
+        for i in 0..48u32 {
+            let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 2).unwrap();
+            assert!(v.is_some());
+        }
+    }
+
+    #[test]
+    fn torn_journal_tail_keeps_every_acked_record() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        m.fail_node(NodeId(0)).unwrap();
+        let committed = m.crashed_wal_frontier(NodeId(0)).unwrap();
+        m.tamper_crashed_wal(NodeId(0), WalTamper::TornTail { seed: 7 })
+            .unwrap();
+        // A torn tail sits past the durable prefix; the frontier it
+        // yields is unchanged.
+        assert_eq!(m.crashed_wal_frontier(NodeId(0)).unwrap(), committed);
+        m.apply(&dedup_ops(40, 2)).unwrap();
+        m.recover_node(NodeId(0)).unwrap();
+        let info = m.take_last_wal_recovery().unwrap();
+        assert!(info.torn);
+        assert!(info.truncated_bytes > 0);
+        assert_eq!(info.frontier, committed, "lost an acked record");
+        assert!(info.suffix_only);
+        for i in 0..40u32 {
+            let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 2).unwrap();
+            assert_eq!(v.unwrap().as_ref(), format!("value-{i}-1").as_bytes());
+        }
+    }
+
+    #[test]
+    fn corrupt_journal_rolls_the_frontier_back_never_forward() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        m.fail_node(NodeId(0)).unwrap();
+        let committed = m.crashed_wal_frontier(NodeId(0)).unwrap();
+        m.tamper_crashed_wal(NodeId(0), WalTamper::FlipByte { seed: 5 })
+            .unwrap();
+        let surviving = m.crashed_wal_frontier(NodeId(0)).unwrap();
+        assert!(surviving <= committed, "corruption fabricated an LSN");
+        m.recover_node(NodeId(0)).unwrap();
+        let info = m.take_last_wal_recovery().unwrap();
+        assert_eq!(info.frontier, surviving);
+        // Catch-up reships the rolled-back span; the node converges.
+        assert_eq!(
+            m.node_wal_frontier(NodeId(0)).unwrap(),
+            m.group_log_head(0).unwrap()
+        );
+        for i in 0..40u32 {
+            let (v, _) = m.get(format!("key-{i:04}").as_bytes(), 1).unwrap();
+            assert_eq!(v.unwrap().as_ref(), format!("value-{i}-1").as_bytes());
+        }
+    }
+
+    #[test]
+    fn join_catchup_ships_far_fewer_bytes_than_full_state() {
+        // The paper's workload shape: one value-bearing version per key,
+        // then a long run of deduplicated versions. The log suffix ships
+        // the dedup tail as bare descriptors; the full-state path
+        // materializes a 4 KB value for every version.
+        let workload = |m: &mut Mint| {
+            let full: Vec<WriteOp> = (0..24u32)
+                .map(|i| WriteOp {
+                    key: Bytes::from(format!("key-{i:04}")),
+                    version: 1,
+                    value: Some(Bytes::from(vec![0xAB; 4096])),
+                })
+                .collect();
+            m.apply(&full).unwrap();
+            for v in 2..=12u64 {
+                m.apply(&dedup_ops(24, v)).unwrap();
+            }
+        };
+        let run = |wal_on: bool| -> u64 {
+            let mut m = Mint::new(MintConfig::tiny());
+            workload(&mut m);
+            m.set_wal_catchup(wal_on);
+            let joiner = m.begin_join(0).unwrap();
+            let mut shipped = 0u64;
+            loop {
+                let step = m.join_sync_step(joiner, 8192).unwrap();
+                shipped += step.bytes;
+                if step.done {
+                    break;
+                }
+            }
+            m.cutover_join(joiner).unwrap();
+            shipped
+        };
+        let wal_bytes = run(true);
+        let full_bytes = run(false);
+        assert!(wal_bytes > 0);
+        assert!(
+            wal_bytes * 10 <= full_bytes,
+            "log suffix not >=10x cheaper: wal={wal_bytes} full={full_bytes}"
+        );
     }
 }

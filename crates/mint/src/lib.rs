@@ -41,8 +41,8 @@ mod cluster;
 mod hash;
 
 pub use cluster::{
-    ApplyReport, Mint, MintConfig, NodeId, NodeRole, ScanRow, SyncStep, WriteOp, READ_RETRIES,
-    SYNC_BYTES_PER_SEC,
+    ApplyReport, Mint, MintConfig, NodeId, NodeRole, ScanRow, SyncStep, WalRecovery, WalTamper,
+    WriteOp, READ_RETRIES, SYNC_BYTES_PER_SEC,
 };
 pub use hash::{group_of, rendezvous_rank};
 
@@ -66,6 +66,10 @@ pub enum MintError {
     /// Decommissioning this group member would leave fewer members than
     /// the replication factor.
     GroupAtFloor(usize),
+    /// An unbounded sync pass against this node ended without covering
+    /// everything it was missing — the node must not enter (or re-enter)
+    /// service, and the caller should retry the whole catch-up.
+    SyncIncomplete(u32),
 }
 
 impl fmt::Display for MintError {
@@ -78,6 +82,9 @@ impl fmt::Display for MintError {
             MintError::NoSuchGroup(g) => write!(f, "no such group {g}"),
             MintError::GroupAtFloor(g) => {
                 write!(f, "group {g} is at the replication floor")
+            }
+            MintError::SyncIncomplete(n) => {
+                write!(f, "sync of node {n} ended before it caught up")
             }
         }
     }

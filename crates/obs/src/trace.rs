@@ -18,8 +18,10 @@
 //! `engine_gc`, `device_gc`, and `traceback`, the chaos subsystem
 //! emits `fault`/`repair` for every injected failure and its undo, the
 //! placement subsystem emits `migrate`/`drain` for every throttled
-//! batch of a live topology change, and the network front end emits
-//! `accept`/`net_read`/`net_write`/`dispatch` per connection and frame.
+//! batch of a live topology change, the network front end emits
+//! `accept`/`net_read`/`net_write`/`dispatch` per connection and frame,
+//! and the write-ahead logs emit `wal_append`/`wal_replay` for appended
+//! batches and replayed catch-up suffixes.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -81,11 +83,16 @@ pub enum SpanKind {
     SloBreach,
     /// A breached service-level objective recovered.
     SloRecover,
+    /// One batch of records appended to a write-ahead log.
+    WalAppend,
+    /// One suffix replayed out of a write-ahead log (node recovery or
+    /// join catch-up shipping the donor's log tail).
+    WalReplay,
 }
 
 impl SpanKind {
     /// Every kind, in pipeline-then-maintenance order.
-    pub const ALL: [SpanKind; 23] = [
+    pub const ALL: [SpanKind; 25] = [
         SpanKind::Build,
         SpanKind::Dedup,
         SpanKind::Slice,
@@ -109,6 +116,8 @@ impl SpanKind {
         SpanKind::Get,
         SpanKind::SloBreach,
         SpanKind::SloRecover,
+        SpanKind::WalAppend,
+        SpanKind::WalReplay,
     ];
 
     /// Stable lowercase name used in JSONL dumps.
@@ -137,6 +146,8 @@ impl SpanKind {
             SpanKind::Get => "get",
             SpanKind::SloBreach => "slo_breach",
             SpanKind::SloRecover => "slo_recover",
+            SpanKind::WalAppend => "wal_append",
+            SpanKind::WalReplay => "wal_replay",
         }
     }
 
@@ -161,6 +172,7 @@ impl SpanKind {
             SpanKind::Build | SpanKind::Publish => "pipeline",
             SpanKind::Fault | SpanKind::Repair => "chaos",
             SpanKind::SloBreach | SpanKind::SloRecover => "slo",
+            SpanKind::WalAppend | SpanKind::WalReplay => "wal",
         }
     }
 }

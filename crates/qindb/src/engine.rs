@@ -54,6 +54,36 @@ pub struct QinDb {
     /// the same maintenance spans stamped in real nanoseconds so they
     /// nest coherently inside the pipeline's wall-time phases.
     wall_trace: Option<(obs::TraceSink, String)>,
+    /// The node's mutation journal: every applied cluster mutation is
+    /// framed here with the coordinator-assigned group LSN embedded in
+    /// the payload. The journal carries no values — the AOF is the data
+    /// of record — so it stays small and cheap to re-scan after a crash.
+    journal: wal::Wal,
+    /// Highest group LSN present in the journal (this node's replication
+    /// frontier), cached so the coordinator reads it without a scan.
+    journal_frontier: u64,
+}
+
+/// The highest embedded group LSN among a slice of journal records (every
+/// journal payload starts with the 8-byte little-endian group LSN).
+fn frontier_of_records(records: &[wal::WalRecord]) -> u64 {
+    records
+        .iter()
+        .filter(|r| r.payload.len() >= 8)
+        .map(|r| u64::from_le_bytes(r.payload[..8].try_into().unwrap()))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The replication frontier recorded in a crashed node's journal image:
+/// frames are re-checksummed and a torn or corrupt tail is truncated
+/// before the surviving records' embedded group LSNs are inspected.
+pub fn journal_frontier_of(image: &[u8]) -> u64 {
+    let (mut journal, _) = wal::Wal::open(image, wal::WalConfig::default());
+    let records = journal
+        .replay_from(journal.first_lsn())
+        .expect("replaying a journal from its own first lsn cannot fail");
+    frontier_of_records(&records)
 }
 
 impl QinDb {
@@ -71,6 +101,8 @@ impl QinDb {
             recovered_via_checkpoint: false,
             trace: None,
             wall_trace: None,
+            journal: wal::Wal::new(wal::WalConfig::default()),
+            journal_frontier: 0,
         }
     }
 
@@ -324,7 +356,78 @@ impl QinDb {
         let _span = t.as_ref().map(|(s, l)| s.span(obs::SpanKind::Flush, l));
         let _wspan = w.as_ref().map(|(s, l)| s.span(obs::SpanKind::Flush, l));
         self.aof.flush()?;
+        // The journal goes durable with the data it describes: an acked
+        // write is never ahead of its journal frame.
+        let newly = self.journal.flush();
+        if newly > 0 {
+            if let Some((s, l)) = t.as_ref() {
+                s.event(obs::SpanKind::WalAppend, l, newly);
+            }
+        }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The mutation journal
+    // ------------------------------------------------------------------
+
+    /// Journals one applied mutation under the coordinator-assigned group
+    /// LSN. `payload` is the coordinator's record descriptor *without*
+    /// the value bytes — the AOF holds the data; the journal only needs
+    /// enough to re-derive this node's replication frontier after a
+    /// crash. Buffered until the next [`QinDb::flush`].
+    pub fn journal_mutation(&mut self, group_lsn: u64, payload: &[u8]) {
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        framed.extend_from_slice(&group_lsn.to_le_bytes());
+        framed.extend_from_slice(payload);
+        self.journal.append(&framed);
+        self.journal_frontier = self.journal_frontier.max(group_lsn);
+    }
+
+    /// This node's replication frontier: the highest group LSN it has
+    /// journaled (0 for a node that never applied a mutation).
+    pub fn journal_frontier(&self) -> u64 {
+        self.journal_frontier
+    }
+
+    /// Fast-forwards the frontier after a full-state transfer: the node
+    /// now holds every effect at or below `group_lsn`, so a durable note
+    /// lets the next catch-up resume from there instead of replaying (or
+    /// re-scanning) history the transfer already covered.
+    pub fn note_journal_frontier(&mut self, group_lsn: u64) {
+        if group_lsn > self.journal_frontier {
+            self.journal_mutation(group_lsn, &[]);
+        }
+    }
+
+    /// Journal counters.
+    pub fn journal_stats(&self) -> wal::WalStats {
+        self.journal.stats()
+    }
+
+    /// Retained journal bytes (sealed plus active segments).
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal.total_bytes()
+    }
+
+    /// The journal bytes that survive a crash of this node (the flushed
+    /// prefix of every retained segment).
+    pub fn journal_image(&self) -> Vec<u8> {
+        self.journal.durable_image()
+    }
+
+    /// Restores the journal from a crash image: frames are
+    /// re-checksummed, a torn or corrupt tail is truncated (never
+    /// resurrected), and the frontier is re-derived from the surviving
+    /// records' embedded group LSNs.
+    pub fn restore_journal(&mut self, image: &[u8]) -> wal::OpenReport {
+        let (mut journal, report) = wal::Wal::open(image, wal::WalConfig::default());
+        let records = journal
+            .replay_from(journal.first_lsn())
+            .expect("replaying a journal from its own first lsn cannot fail");
+        self.journal_frontier = frontier_of_records(&records);
+        self.journal = journal;
+        report
     }
 
     /// Writes a durable checkpoint — the periodic snapshot the paper
@@ -373,6 +476,16 @@ impl QinDb {
             wspan.set_amount(blocks.len() as u64);
         }
         self.ckpt = Some((id, blocks));
+        // The data checkpoint captures every journaled effect, so the
+        // journal prefix is replay-free: mark it, drop sealed segments,
+        // and re-note the frontier so it stays durable across the GC.
+        let frontier = self.journal_frontier;
+        self.journal.checkpoint(self.journal.head_lsn());
+        self.journal.gc();
+        if frontier > 0 {
+            self.journal.append(&frontier.to_le_bytes());
+        }
+        self.journal.flush();
         Ok(id)
     }
 
@@ -464,6 +577,8 @@ impl QinDb {
             recovered_via_checkpoint: true,
             trace: None,
             wall_trace: None,
+            journal: wal::Wal::new(wal::WalConfig::default()),
+            journal_frontier: 0,
         };
         for key in touched {
             engine.recompute_liveness(&key);
@@ -505,6 +620,8 @@ impl QinDb {
             recovered_via_checkpoint: false,
             trace: None,
             wall_trace: None,
+            journal: wal::Wal::new(wal::WalConfig::default()),
+            journal_frontier: 0,
         };
         // Recompute disk-liveness for every key to rebuild occupancy.
         let keys: Vec<Bytes> = {

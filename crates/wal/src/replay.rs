@@ -1,0 +1,142 @@
+//! Scanning a serialized log image back into records.
+//!
+//! A durable image is a flat concatenation of frames (segment boundaries
+//! are a storage policy, not a wire format — [`crate::Wal::open`]
+//! re-rotates while scanning). The scanner walks frames from the front
+//! and stops at the first byte position that is not a complete,
+//! checksum-valid, LSN-monotonic frame: everything before that position
+//! is recovered exactly, everything from it on is a torn tail (a
+//! partially-written final record, trailing garbage, or corruption) and
+//! is truncated. A frame that decodes but whose LSN does not advance the
+//! sequence is treated the same way — bit rot that happens to survive
+//! the CRC cannot silently reorder history.
+
+use crate::segment::{decode_frame, FrameKind};
+use bytes::Bytes;
+
+/// One recovered or replayed data record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The record's log sequence number.
+    pub lsn: u64,
+    /// The record payload, exactly as appended.
+    pub payload: Bytes,
+}
+
+/// What [`crate::Wal::open`] found in an image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenReport {
+    /// Data records recovered.
+    pub records: u64,
+    /// Checkpoint markers recovered.
+    pub markers: u64,
+    /// Bytes discarded past the last valid frame (0 for a clean image).
+    pub truncated_bytes: u64,
+    /// True when the image ended in a torn or corrupt tail.
+    pub torn: bool,
+    /// LSN of the last recovered record (0 when none).
+    pub durable_lsn: u64,
+}
+
+/// A scanned image: the recovered frames plus the tail verdict.
+pub(crate) struct ScannedImage {
+    /// Recovered data records, in LSN order.
+    pub records: Vec<WalRecord>,
+    /// The highest checkpoint LSN among recovered markers (0 when none).
+    pub checkpoint_lsn: u64,
+    /// Marker frames recovered.
+    pub markers: u64,
+    /// Bytes discarded at the tail.
+    pub truncated_bytes: u64,
+}
+
+/// Walks `image` frame by frame, truncating at the first invalid or
+/// non-monotonic frame.
+pub(crate) fn scan_image(image: &[u8]) -> ScannedImage {
+    let mut records = Vec::new();
+    let mut checkpoint_lsn = 0u64;
+    let mut markers = 0u64;
+    let mut at = 0usize;
+    let mut last_lsn = 0u64;
+    while let Some(frame) = decode_frame(image, at) {
+        match frame.kind {
+            FrameKind::Record => {
+                if frame.lsn <= last_lsn {
+                    break; // a CRC-valid frame out of sequence is rot, not history
+                }
+                last_lsn = frame.lsn;
+                records.push(WalRecord {
+                    lsn: frame.lsn,
+                    payload: Bytes::copy_from_slice(
+                        &image[frame.payload_start..frame.payload_start + frame.payload_len],
+                    ),
+                });
+            }
+            FrameKind::Checkpoint => {
+                markers += 1;
+                checkpoint_lsn = checkpoint_lsn.max(frame.lsn);
+            }
+        }
+        at = frame.next;
+    }
+    ScannedImage {
+        records,
+        checkpoint_lsn,
+        markers,
+        truncated_bytes: (image.len() - at) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::encode_frame;
+
+    fn image(frames: &[(FrameKind, u64, &[u8])]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for &(kind, lsn, payload) in frames {
+            encode_frame(&mut out, kind, lsn, payload);
+        }
+        out
+    }
+
+    #[test]
+    fn clean_image_scans_fully() {
+        let img = image(&[
+            (FrameKind::Record, 1, b"a"),
+            (FrameKind::Record, 2, b"bb"),
+            (FrameKind::Checkpoint, 2, b""),
+            (FrameKind::Record, 3, b"ccc"),
+        ]);
+        let scanned = scan_image(&img);
+        assert_eq!(scanned.records.len(), 3);
+        assert_eq!(scanned.records[2].lsn, 3);
+        assert_eq!(scanned.checkpoint_lsn, 2);
+        assert_eq!(scanned.markers, 1);
+        assert_eq!(scanned.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let mut img = image(&[(FrameKind::Record, 1, b"kept")]);
+        let keep = img.len();
+        let mut torn = image(&[(FrameKind::Record, 2, b"half-written")]);
+        torn.truncate(torn.len() / 2);
+        img.extend_from_slice(&torn);
+        let scanned = scan_image(&img);
+        assert_eq!(scanned.records.len(), 1);
+        assert_eq!(scanned.records[0].payload.as_ref(), b"kept");
+        assert_eq!(scanned.truncated_bytes, (img.len() - keep) as u64);
+    }
+
+    #[test]
+    fn non_monotonic_lsn_stops_the_scan() {
+        let img = image(&[
+            (FrameKind::Record, 5, b"a"),
+            (FrameKind::Record, 5, b"replayed ghost"),
+        ]);
+        let scanned = scan_image(&img);
+        assert_eq!(scanned.records.len(), 1);
+        assert!(scanned.truncated_bytes > 0);
+    }
+}
