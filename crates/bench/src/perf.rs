@@ -21,6 +21,7 @@
 //! | `telemetry` | obs | sim-clock sampler, windowed percentiles, SLO breach/recovery |
 //! | `recovery_replay` | wal + mint | crash a replica, catch up via log suffix vs. full state |
 //! | `join_sync` | wal + mint | join a node via log replay vs. full anti-entropy |
+//! | `attribution` | serve + obs | costed serving: accumulator render, hot-key sketch, WAN ledger |
 
 use crate::fig5::{self, Fig5Config};
 use bifrost::{Bifrost, BifrostConfig, DataCenterId, TrunkCapacities};
@@ -33,7 +34,7 @@ use serve::{ServeConfig, ServeExt, SummaryCache};
 use simclock::{SimClock, SimTime};
 
 /// Scenario names, in suite order. `perf -- all` runs exactly these.
-pub const SCENARIOS: [&str; 11] = [
+pub const SCENARIOS: [&str; 12] = [
     "qindb_write",
     "lsm_write",
     "bifrost_delivery",
@@ -45,6 +46,7 @@ pub const SCENARIOS: [&str; 11] = [
     "telemetry",
     "recovery_replay",
     "join_sync",
+    "attribution",
 ];
 
 /// Suite-wide knobs.
@@ -124,6 +126,7 @@ pub fn run_scenario(name: &str, cfg: &PerfConfig) -> Option<BenchReport> {
         "telemetry" => telemetry(cfg),
         "recovery_replay" => recovery_replay(cfg),
         "join_sync" => join_sync(cfg),
+        "attribution" => attribution(cfg),
         _ => return None,
     })
 }
@@ -763,6 +766,87 @@ fn join_sync(cfg: &PerfConfig) -> BenchReport {
         "bytes_ratio",
         full_bytes as f64 / wal_bytes as f64,
         "ratio",
+        true,
+    );
+    push_wall(&mut r, name, wall);
+    r
+}
+
+fn attribution(cfg: &PerfConfig) -> BenchReport {
+    // Costed serving over the seeded Zipf workload. Queues are deep
+    // enough that no request can shed, so the attribution — and thus
+    // every cell below — is a pure function of the seed: the
+    // accumulator's deterministic render, the merged hot-key sketch's
+    // byte image, and the WAN ledger's foreground bytes are all pinned
+    // bit-for-bit in the baseline.
+    let mut system = DirectLoad::new(pipeline_cfg(cfg));
+    system.run_version(1.0).expect("round 1");
+    system.run_version(0.3).expect("round 2");
+    let mut serve_cfg = ServeConfig::default();
+    serve_cfg.driver.requests = if cfg.quick { 240 } else { 1200 };
+    serve_cfg.driver.qps = 600.0;
+    serve_cfg.frontend.queue_depth = serve_cfg.driver.requests;
+    let scenario = || {
+        let cache = SummaryCache::new(
+            serve_cfg.frontend.cache_capacity,
+            serve_cfg.frontend.cache_shards,
+        );
+        system.serve_with_cache(&serve_cfg, &cache)
+    };
+    let (wall, report) = measure(cfg.reps, scenario);
+    assert_eq!(report.shed, 0, "deep queues must not shed");
+    let attr = &report.attribution;
+    let (group_err, node_err) = attr.costs.conservation_error();
+    assert_eq!((group_err, node_err), (0, 0), "attribution must conserve");
+    let name = "attribution";
+    let mut r = BenchReport::new(cfg.mode());
+    r.push(
+        name,
+        "requests",
+        attr.costs.total.requests as f64,
+        "count",
+        true,
+    );
+    r.push(
+        name,
+        "read_heat",
+        attr.costs.total.read.heat() as f64,
+        "bytes",
+        true,
+    );
+    r.push(
+        name,
+        "render_crc32",
+        net::wire::crc32(attr.costs.render().as_bytes()) as f64,
+        "crc",
+        true,
+    );
+    r.push(
+        name,
+        "sketch_crc32",
+        net::wire::crc32(&attr.hot_keys.to_bytes()) as f64,
+        "crc",
+        true,
+    );
+    r.push(
+        name,
+        "term_offers",
+        attr.hot_keys.total_weight() as f64,
+        "count",
+        true,
+    );
+    r.push(
+        name,
+        "sketch_error_bound",
+        attr.hot_keys.error_bound() as f64,
+        "count",
+        true,
+    );
+    r.push(
+        name,
+        "wan_foreground_bytes",
+        system.wan().class_total(obs::TrafficClass::Foreground) as f64,
+        "bytes",
         true,
     );
     push_wall(&mut r, name, wall);

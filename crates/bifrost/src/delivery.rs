@@ -137,6 +137,9 @@ pub struct Bifrost {
     /// Wall-clock counterpart of `trace` for the phase-time profiler:
     /// dedup/slice/deliver spans measured in real nanoseconds of compute.
     wall_trace: Option<obs::TraceSink>,
+    /// Shared WAN ledger: every scheduled uplink flow charges its bytes
+    /// as [`obs::TrafficClass::Foreground`] per destination DC and link.
+    wan: Option<obs::WanLedger>,
 }
 
 impl Bifrost {
@@ -157,6 +160,7 @@ impl Bifrost {
             totals: DeliveryTotals::default(),
             trace: None,
             wall_trace: None,
+            wan: None,
         }
     }
 
@@ -174,6 +178,15 @@ impl Bifrost {
     /// nest inside the pipeline's phase spans.
     pub fn attach_wall_trace(&mut self, sink: &obs::TraceSink) {
         self.wall_trace = Some(sink.clone());
+    }
+
+    /// Attaches the shared WAN ledger; subsequent deliveries charge each
+    /// scheduled uplink flow's bytes as foreground traffic, attributed to
+    /// the destination DC and the first (uplink) link of its path. The
+    /// foreground class total therefore equals the delivery totals'
+    /// `uplink_bytes` — a conservation law the chaos checker asserts.
+    pub fn attach_wan(&mut self, ledger: &obs::WanLedger) {
+        self.wan = Some(ledger.clone());
     }
 
     /// Schedules background traffic: at `at`, every trunk's available
@@ -389,6 +402,14 @@ impl Bifrost {
                             .on_scheduled(*l, bytes, self.base_capacity[l.0 as usize]);
                     }
                     uplink_bytes += bytes;
+                    if let Some(ledger) = &self.wan {
+                        ledger.charge(
+                            obs::TrafficClass::Foreground,
+                            &format!("dc{}.{}", dc.region.0, dc.slot),
+                            path.first().map(|l| l.0),
+                            bytes,
+                        );
+                    }
                     let id = self.sim.schedule_flow(start, path, bytes.max(1));
                     if self.cfg.mode == DeliveryMode::P2p
                         && class == StreamClass::Inverted
@@ -718,6 +739,34 @@ mod tests {
         assert!(deliver.iter().all(|e| e.duration_ns() > 0));
         assert_eq!(deliver[0].amount, r1.uplink_bytes);
         assert_eq!(deliver[1].amount, r2.uplink_bytes);
+    }
+
+    #[test]
+    fn wan_ledger_foreground_equals_uplink_totals() {
+        let mut sim = corpus();
+        let mut bifrost = Bifrost::new(small_cfg(), SimClock::new());
+        let ledger = obs::WanLedger::new();
+        bifrost.attach_wan(&ledger);
+        let v1 = sim.advance_round(1.0);
+        let (r1, _) = bifrost.deliver_version(&v1, SimTime::ZERO);
+        let v2 = sim.advance_round(0.2);
+        let now = bifrost.clock().now();
+        let (r2, _) = bifrost.deliver_version(&v2, now);
+        // Conservation: every uplink byte was attributed, nothing else.
+        assert_eq!(
+            ledger.class_total(obs::TrafficClass::Foreground),
+            r1.uplink_bytes + r2.uplink_bytes
+        );
+        assert_eq!(ledger.total(), r1.uplink_bytes + r2.uplink_bytes);
+        // Per-DC rows sum back to the same total and every serving DC
+        // received foreground bytes.
+        let rows = ledger.dc_rows();
+        assert_eq!(rows.len(), DataCenterId::all().len());
+        assert_eq!(
+            rows.iter().map(|r| r.bytes[0]).sum::<u64>(),
+            r1.uplink_bytes + r2.uplink_bytes
+        );
+        assert!(!ledger.link_rows().is_empty());
     }
 
     #[test]

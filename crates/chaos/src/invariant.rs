@@ -30,6 +30,14 @@
 //! 5. **Firmware counters monotonic** — per-DC aggregated device
 //!    counters never decrease: crashes and recoveries must not lose or
 //!    reset flash-level accounting.
+//! 6. **Attribution conservation** — the checker performs its sample
+//!    reads through the costed read path and folds every returned
+//!    [`obs::ReadAttribution`] into one accumulator for the whole
+//!    storm. The per-group and per-node attributed heat must sum
+//!    exactly to the request totals (no read cost lost or
+//!    double-counted across crashes, retries and churn), and the WAN
+//!    ledger's foreground class must equal bifrost's exported delivery
+//!    uplink bytes byte-for-byte.
 
 use bytes::Bytes;
 use directload::{routed_key, DirectLoad, VersionReport};
@@ -74,6 +82,9 @@ pub struct InvariantChecker {
     urls: Vec<Bytes>,
     counters: Vec<CounterSnapshot>,
     missed_sum: u64,
+    /// Attribution from every costed sample read across the storm —
+    /// invariant 6 asserts its conservation each round.
+    attr: obs::CostAccumulator,
     violations: Vec<Violation>,
 }
 
@@ -96,6 +107,7 @@ impl InvariantChecker {
             urls,
             counters,
             missed_sum: 0,
+            attr: obs::CostAccumulator::new(),
             violations: Vec::new(),
         }
     }
@@ -108,6 +120,7 @@ impl InvariantChecker {
         self.check_convergence(system, round);
         self.check_missed_accounting(system, round);
         self.check_counters_monotonic(system, round);
+        self.check_attribution_conservation(system, report.version, round);
     }
 
     /// The full check suite once the storm has settled (every node
@@ -132,6 +145,7 @@ impl InvariantChecker {
         self.check_acked_stable(system, SETTLE);
         self.check_convergence(system, SETTLE);
         self.check_counters_monotonic(system, SETTLE);
+        self.check_attribution_conservation(system, system.version(), SETTLE);
     }
 
     /// Violations found so far (empty on a correct system).
@@ -344,6 +358,53 @@ impl InvariantChecker {
                 });
             }
             self.counters[i] = now;
+        }
+    }
+
+    /// Invariant 6: load attribution is conservative. Sample reads go
+    /// through the costed path; the accumulator's per-group and
+    /// per-node heat must sum exactly to its request totals, and the
+    /// WAN ledger's foreground class must equal the delivery layer's
+    /// exported uplink bytes.
+    fn check_attribution_conservation(&mut self, system: &DirectLoad, version: u64, round: u32) {
+        for &dc in &system.dc_ids() {
+            let cluster = system.cluster(dc).expect("deployment DC exists");
+            let label = format!("dc{}.{}", dc.region.0, dc.slot);
+            for url in &self.urls {
+                let key = routed_key(IndexKind::Forward, url);
+                if let Ok((_, _, read)) = cluster.get_costed(&key, version, 0) {
+                    self.attr.record(
+                        &label,
+                        &obs::Cost {
+                            queue_us: 0,
+                            service_us: 0,
+                            reads: vec![read],
+                        },
+                    );
+                }
+            }
+        }
+        let (group_err, node_err) = self.attr.conservation_error();
+        if group_err != 0 || node_err != 0 {
+            self.violations.push(Violation {
+                round,
+                invariant: "attribution_conserves_cost",
+                detail: format!(
+                    "attributed heat drifts from request totals: group_err={group_err} \
+                     node_err={node_err}"
+                ),
+            });
+        }
+        let foreground = system.wan().class_total(obs::TrafficClass::Foreground);
+        let exported = system.introspect().counter("bifrost.uplink_bytes");
+        if exported != Some(foreground) {
+            self.violations.push(Violation {
+                round,
+                invariant: "wan_foreground_matches_delivery",
+                detail: format!(
+                    "wan ledger foreground={foreground} but bifrost.uplink_bytes={exported:?}"
+                ),
+            });
         }
     }
 }

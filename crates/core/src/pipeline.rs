@@ -111,6 +111,10 @@ pub struct DirectLoad {
     /// different layers nest coherently and [`obs::profile`] can
     /// attribute a pipeline round's real time to phases.
     wall_trace: obs::TraceSink,
+    /// The shared WAN byte ledger: bifrost charges foreground delivery,
+    /// each cluster charges its catch-up (and, under the placement
+    /// migrator, migration) transfers.
+    wan: obs::WanLedger,
     /// Lifetime pipeline totals for the metrics export.
     keys_stored_total: u64,
     versions_retired_total: u64,
@@ -125,9 +129,11 @@ impl DirectLoad {
         let crawler = CrawlSimulator::new(cfg.corpus);
         let trace = obs::TraceSink::sim(TRACE_CAPACITY, clock.clone());
         let wall_trace = obs::TraceSink::wall(TRACE_CAPACITY);
+        let wan = obs::WanLedger::new();
         let mut bifrost = Bifrost::new(cfg.bifrost, clock.clone());
         bifrost.attach_trace(&trace);
         bifrost.attach_wall_trace(&wall_trace);
+        bifrost.attach_wan(&wan);
         let dcs: Vec<(DataCenterId, Mint)> = DataCenterId::all()
             .into_iter()
             .map(|dc| {
@@ -135,6 +141,7 @@ impl DirectLoad {
                 let label = format!("dc{}.{}", dc.region.0, dc.slot);
                 cluster.attach_trace(&trace, &label);
                 cluster.attach_wall_trace(&wall_trace, &label);
+                cluster.attach_wan(&wan, &label);
                 (dc, cluster)
             })
             .collect();
@@ -148,6 +155,7 @@ impl DirectLoad {
             registry: obs::Registry::new(),
             trace,
             wall_trace,
+            wan,
             keys_stored_total: 0,
             versions_retired_total: 0,
         }
@@ -182,6 +190,12 @@ impl DirectLoad {
     /// background-traffic profiles).
     pub fn bifrost_mut(&mut self) -> &mut Bifrost {
         &mut self.bifrost
+    }
+
+    /// The shared WAN byte ledger: foreground delivery, WAL catch-up,
+    /// and migration bytes per traffic class, DC, and link.
+    pub fn wan(&self) -> &obs::WanLedger {
+        &self.wan
     }
 
     /// The current (latest completed) version.
@@ -338,6 +352,20 @@ impl DirectLoad {
         self.query_traced(dc, IndexKind::Inverted, term, version, trace_id)
     }
 
+    /// [`DirectLoad::get_inverted_traced`] plus the read's
+    /// [`obs::ReadAttribution`]: which group owned the key and what each
+    /// consulted replica spent (see [`mint::Mint::get_costed`]).
+    pub fn get_inverted_costed(
+        &self,
+        dc: DataCenterId,
+        term: &[u8],
+        version: u64,
+        trace_id: u64,
+    ) -> Result<(Option<Bytes>, SimTime, obs::ReadAttribution)> {
+        let cluster = self.cluster(dc)?;
+        Ok(cluster.get_costed(&prefixed(IndexKind::Inverted, term), version, trace_id)?)
+    }
+
     /// Looks up a forward term list at `dc` (stored everywhere).
     pub fn get_forward(
         &self,
@@ -455,6 +483,7 @@ impl DirectLoad {
             c("replayed_bytes", wal.replayed_bytes);
         }
         self.bifrost.publish_metrics(&self.registry);
+        self.wan.publish(&self.registry);
         self.registry
             .counter("pipeline.keys_stored_total")
             .store(self.keys_stored_total);

@@ -94,11 +94,30 @@ impl DirectLoad {
         top_k: usize,
         trace_id: u64,
     ) -> Result<RankedQuery> {
+        self.rank_costed(dc, terms, version, top_k, trace_id)
+            .map(|(ranked, _)| ranked)
+    }
+
+    /// [`DirectLoad::rank_traced`] plus one [`obs::ReadAttribution`] per
+    /// posting-list fetch: which Mint group owned each term and what
+    /// each consulted replica spent. The serve front-end feeds these
+    /// into its per-shard cost accumulators and hot-key sketches.
+    pub fn rank_costed(
+        &self,
+        dc: DataCenterId,
+        terms: &[&[u8]],
+        version: u64,
+        top_k: usize,
+        trace_id: u64,
+    ) -> Result<(RankedQuery, Vec<obs::ReadAttribution>)> {
         let mut matches: HashMap<Bytes, usize> = HashMap::new();
         let mut latency = SimTime::ZERO;
+        let mut attributions = Vec::with_capacity(terms.len());
         for term in terms {
-            let (postings, lat) = self.get_inverted_traced(dc, term, version, trace_id)?;
+            let (postings, lat, attribution) =
+                self.get_inverted_costed(dc, term, version, trace_id)?;
             latency += lat;
+            attributions.push(attribution);
             let Some(postings) = postings else { continue };
             let mut cursor = postings;
             while cursor.len() >= URL_BYTES {
@@ -110,7 +129,7 @@ impl DirectLoad {
         // Best match count first; URL order breaks ties deterministically.
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(top_k);
-        Ok(RankedQuery { ranked, latency })
+        Ok((RankedQuery { ranked, latency }, attributions))
     }
 
     /// Serves a search query at `dc`: ranks via [`DirectLoad::rank`] and

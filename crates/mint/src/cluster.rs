@@ -321,6 +321,13 @@ pub struct Mint {
     wal_catchup: bool,
     /// Diagnostics from the most recent recovery catch-up.
     last_recovery: Option<WalRecovery>,
+    /// Byte ledger plus the DC label catch-up transfers are charged to,
+    /// so replication traffic is attributable by class.
+    wan: Option<(obs::WanLedger, String)>,
+    /// Traffic class charged for catch-up transfers: `WalCatchup` by
+    /// default (crash recovery, join anti-entropy); the placement
+    /// migrator flips it to `Migration` around its throttled batches.
+    wan_class: obs::TrafficClass,
 }
 
 impl Mint {
@@ -370,6 +377,8 @@ impl Mint {
             group_logs,
             wal_catchup: true,
             last_recovery: None,
+            wan: None,
+            wan_class: obs::TrafficClass::WalCatchup,
         }
     }
 
@@ -405,6 +414,27 @@ impl Mint {
                 engine.attach_wall_trace(sink, &format!("{prefix}/n{}", node.id.0));
             }
         }
+    }
+
+    /// Attaches the shared WAN/fabric byte ledger; catch-up transfers
+    /// (crash recovery, join sync, drain, migration batches) are charged
+    /// to it under `dc_label` with the current [`Mint::set_wan_class`]
+    /// traffic class.
+    pub fn attach_wan(&mut self, ledger: &obs::WanLedger, dc_label: &str) {
+        self.wan = Some((ledger.clone(), dc_label.to_string()));
+    }
+
+    /// Sets the traffic class charged for subsequent catch-up transfers.
+    /// The placement migrator brackets its batches with
+    /// `Migration`/`WalCatchup` so planner-driven moves are
+    /// distinguishable from organic recovery traffic.
+    pub fn set_wan_class(&mut self, class: obs::TrafficClass) {
+        self.wan_class = class;
+    }
+
+    /// The traffic class currently charged for catch-up transfers.
+    pub fn wan_class(&self) -> obs::TrafficClass {
+        self.wan_class
     }
 
     /// Re-instruments one node's engine after recovery or addition.
@@ -637,6 +667,22 @@ impl Mint {
         version: u64,
         trace_id: u64,
     ) -> Result<(Option<Bytes>, SimTime)> {
+        self.get_costed(key, version, trace_id)
+            .map(|(value, latency, _)| (value, latency))
+    }
+
+    /// [`Mint::get_traced`] plus the read's [`obs::ReadAttribution`]:
+    /// the owning group, the total [`obs::ReadCost`], and the per-node
+    /// split (each consulted replica is charged the lookups, bytes,
+    /// traceback hops, and retries it actually performed). The
+    /// attribution is returned even on a miss — absence confirmation
+    /// costs the same fan-out as a hit.
+    pub fn get_costed(
+        &self,
+        key: &[u8],
+        version: u64,
+        trace_id: u64,
+    ) -> Result<(Option<Bytes>, SimTime, obs::ReadAttribution)> {
         let mut span = match (&self.wall_trace, trace_id) {
             (Some((sink, prefix)), id) if id != 0 => {
                 Some(sink.span_traced(obs::SpanKind::Get, prefix, id))
@@ -647,6 +693,10 @@ impl Mint {
         if let Some(s) = span.as_mut() {
             s.set_amount(readers.len() as u64);
         }
+        let mut attribution = obs::ReadAttribution {
+            group: group_of(key, self.groups.len()) as u64,
+            ..obs::ReadAttribution::default()
+        };
         let mut best_live: Option<(Bytes, u64, SimTime)> = None;
         let mut deleted = false;
         let mut slowest = SimTime::ZERO;
@@ -658,22 +708,31 @@ impl Mint {
             let Some(engine) = guard.as_ref() else {
                 continue;
             };
+            let mut node_cost = obs::ReadCost {
+                replicas: 1,
+                ..obs::ReadCost::default()
+            };
             let t0 = node.clock.now();
-            let mut attempt = 0;
+            let mut attempts = 0u64;
             let status = loop {
-                match engine.status_traced(key, version, trace_id) {
+                attempts += 1;
+                let (result, probe) = engine.status_probed(key, version, trace_id);
+                node_cost.absorb(&probe);
+                match result {
                     Ok(status) => break Some(status),
                     Err(error) => {
-                        attempt += 1;
-                        if attempt >= READ_RETRIES {
+                        if attempts >= READ_RETRIES as u64 {
                             last_error = Some(MintError::Node { node: r.0, error });
                             break None;
                         }
                     }
                 }
             };
+            node_cost.retries = attempts - 1;
             let latency = node.clock.now().saturating_sub(t0);
             slowest = slowest.max(latency);
+            attribution.cost.absorb(&node_cost);
+            attribution.per_node.push((u64::from(r.0), node_cost));
             let Some(status) = status else {
                 // This replica is unreadable right now; the others cover.
                 continue;
@@ -703,11 +762,11 @@ impl Mint {
             return Err(last_error.unwrap_or(MintError::NoReplicaAvailable));
         }
         if deleted {
-            return Ok((None, slowest));
+            return Ok((None, slowest, attribution));
         }
         match best_live {
-            Some((value, _, latency)) => Ok((Some(value), latency)),
-            None => Ok((None, slowest)),
+            Some((value, _, latency)) => Ok((Some(value), latency, attribution)),
+            None => Ok((None, slowest, attribution)),
         }
     }
 
@@ -1154,10 +1213,16 @@ impl Mint {
     }
 
     /// Charges `bytes` of anti-entropy transfer to the node's clock at
-    /// [`SYNC_BYTES_PER_SEC`].
+    /// [`SYNC_BYTES_PER_SEC`], and to the attached WAN ledger under the
+    /// current traffic class — every catch-up path (crash recovery,
+    /// join sync, drain, migration batch) funnels through here, so the
+    /// ledger sees the complete replication-fabric byte flow.
     fn charge_transfer(&self, node: NodeId, bytes: u64) {
         if bytes == 0 {
             return;
+        }
+        if let Some((ledger, label)) = &self.wan {
+            ledger.charge(self.wan_class, label, None, bytes);
         }
         let ns = bytes
             .saturating_mul(1_000_000_000)

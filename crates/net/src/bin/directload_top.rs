@@ -78,6 +78,30 @@ fn render(addr: &str, frame: &TelemetryFrame) -> String {
             ));
         }
     }
+    if !frame.hot_groups.is_empty() {
+        out.push_str("hot groups (read heat, byte-equivalents):\n");
+        for (group, heat) in &frame.hot_groups {
+            out.push_str(&format!("  group {group}: heat={heat}\n"));
+        }
+    }
+    if !frame.hot_keys.is_empty() {
+        out.push_str("hot keys (top-K sketch, estimated hits):\n");
+        for (key, count) in &frame.hot_keys {
+            out.push_str(&format!("  {key}: ~{count}\n"));
+        }
+    }
+    if !frame.wan.is_empty() {
+        out.push_str(&format!(
+            "wan bytes by class:\n  {:<10} {:>12} {:>12} {:>12}\n",
+            "dc", "foreground", "wal_catchup", "migration"
+        ));
+        for row in &frame.wan {
+            out.push_str(&format!(
+                "  {:<10} {:>12} {:>12} {:>12}\n",
+                row.dc, row.bytes[0], row.bytes[1], row.bytes[2]
+            ));
+        }
+    }
     out
 }
 

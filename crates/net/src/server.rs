@@ -404,6 +404,14 @@ fn layer_rows(sampler: &Sampler) -> Vec<LayerRow> {
             p99_us: None,
             err_rate: ratio(v("qindb.gets_not_found.rate"), v("qindb.gets.rate")),
         },
+        // The log layer below the engines: append rate stands in for
+        // QPS; it has no latency histogram or error signal.
+        LayerRow {
+            layer: "wal".into(),
+            qps: v("wal.appends.rate"),
+            p99_us: None,
+            err_rate: None,
+        },
     ]
 }
 
@@ -424,6 +432,19 @@ fn telemetry_frame(shared: &Shared) -> TelemetryFrame {
         .unwrap_or_else(|e| e.into_inner())
         .clone();
     let top_spans = TopSpan::rank(&shared.trace.snapshot(), 8);
+    // Load attribution: the front-end's merged cost buckets and hot-key
+    // sketch, plus the engine's WAN ledger split by traffic class.
+    let attribution = shared.live.attribution();
+    let mut hot_groups = attribution.costs.group_heat();
+    hot_groups.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hot_groups.retain(|&(_, heat)| heat > 0);
+    let hot_keys = attribution
+        .hot_keys
+        .entries()
+        .into_iter()
+        .map(|(key, count)| (String::from_utf8_lossy(&key).into_owned(), count))
+        .collect();
+    let wan = shared.engine.wan().dc_rows();
     TelemetryFrame {
         now_ns,
         metrics: TelemetryFrame::metrics_from_report(&report),
@@ -431,6 +452,9 @@ fn telemetry_frame(shared: &Shared) -> TelemetryFrame {
         layers,
         slos,
         top_spans,
+        hot_groups,
+        hot_keys,
+        wan,
     }
 }
 

@@ -113,7 +113,8 @@ fn every_op_round_trips_over_loopback() {
             let frame = TelemetryFrame::from_json(&json).expect("well-formed telemetry frame");
             assert!(frame.metric("net.requests_total").unwrap_or(0.0) >= 1.0);
             assert!(frame.metric("net.connections_total").unwrap_or(0.0) >= 1.0);
-            assert_eq!(frame.layers.len(), 4, "net/serve/mint/qindb rows");
+            assert_eq!(frame.layers.len(), 5, "net/serve/mint/qindb/wal rows");
+            assert!(frame.layers.iter().any(|l| l.layer == "wal"));
         }
         other => panic!("expected introspection, got {other:?}"),
     }

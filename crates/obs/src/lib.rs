@@ -35,6 +35,15 @@
 //!   transitions emit trace events and `slo.*` counters.
 //! * [`telemetry`] — the typed [`TelemetryFrame`] the network
 //!   `Introspect` response carries and `directload-top` renders.
+//! * [`sketch`] — the deterministic, mergeable Misra-Gries
+//!   [`TopKSketch`]: per-shard hot-key summaries with a proven
+//!   frequency error bound, merged into the cluster's hot-key view.
+//! * [`cost`] — per-request [`Cost`] records (queue wait, service
+//!   time, attributed storage reads) and the mergeable
+//!   [`CostAccumulator`] bucketing read cost by group, node, and DC.
+//! * [`wan`] — the shared [`WanLedger`]: replication-fabric bytes
+//!   attributed to a [`TrafficClass`] (foreground delivery vs. WAL
+//!   catch-up vs. migration), charged by bifrost, mint, and placement.
 //!
 //! Request tracing: [`TraceCtx`] carries a `trace_id` allocated at the
 //! network edge through every layer; spans emitted with
@@ -46,15 +55,20 @@
 //! the vendored `serde_json` below it) so every other crate can wire its
 //! counters in without cycles.
 
+pub mod cost;
 pub mod hist;
 pub mod registry;
+pub mod sketch;
 pub mod slo;
 pub mod telemetry;
 pub mod timeseries;
 pub mod trace;
+pub mod wan;
 
+pub use cost::{Cost, CostAccumulator, CostTotals, ReadAttribution, ReadCost};
 pub use hist::LatencyHistogram;
 pub use registry::{Counter, Gauge, MetricSample, MetricValue, MetricsReport, Registry};
+pub use sketch::TopKSketch;
 pub use slo::{SloEngine, SloOp, SloSpec, SloStatus};
 pub use telemetry::{LayerRow, TelemetryFrame, TopSpan};
 pub use timeseries::{Sampler, SeriesPoint, TimeSeries};
@@ -62,3 +76,4 @@ pub use trace::{
     assemble, breakdown, profile, profile_window, top_self_time, AssembledTrace, Profile, SelfTime,
     SpanBreakdown, SpanGuard, SpanKind, TraceCtx, TraceEvent, TraceSink,
 };
+pub use wan::{TrafficClass, WanDcRow, WanLedger, WanLinkRow};

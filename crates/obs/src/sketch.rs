@@ -1,0 +1,287 @@
+//! Deterministic heavy-hitter sketches for hot-key attribution.
+//!
+//! [`TopKSketch`] is a weighted Misra-Gries / SpaceSaving summary: at
+//! most `k` counters over an unbounded key domain, updated in O(k) worst
+//! case with no randomness anywhere — the same offer sequence always
+//! yields the same counters, which is what lets the perf gate pin sketch
+//! output bit-for-bit and lets per-shard sketches merge into one
+//! deterministic cluster view.
+//!
+//! # Error bound
+//!
+//! Let `W` be the total weight offered ([`TopKSketch::total_weight`])
+//! and `D` the weight discarded by decrement rounds
+//! ([`TopKSketch::error_bound`]). For every key:
+//!
+//! ```text
+//! true(key) - D  <=  estimate(key)  <=  true(key)
+//! ```
+//!
+//! where `estimate` is the tracked count (0 for untracked keys), and
+//! `D <= W / (k + 1)`: each decrement round removes the same amount from
+//! `k + 1` counters' worth of weight (the `k` survivors plus the evicted
+//! entry), so the discard can never exceed a `1/(k+1)` share of the
+//! total. Merging keeps the bound additive: the merged sketch's `D` is
+//! at most `(W₁ + W₂) / (k + 1)`.
+//!
+//! Merging follows Agarwal et al. ("Mergeable summaries"): sum counts
+//! pointwise, then subtract the `(k+1)`-th largest count from every
+//! entry and drop the non-positive ones. The operation is commutative
+//! and deterministic, so shard merge order never changes the result —
+//! shards are still merged in index order for clarity.
+
+use std::collections::BTreeMap;
+
+/// A deterministic, mergeable top-K heavy-hitter sketch (weighted
+/// Misra-Gries). Keys are arbitrary byte strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKSketch {
+    k: usize,
+    counters: BTreeMap<Vec<u8>, u64>,
+    /// Total weight offered (the `W` of the error bound).
+    total: u64,
+    /// Weight discarded by decrement rounds (the `D` of the error
+    /// bound); every estimate is within `D` below its true count.
+    discarded: u64,
+}
+
+impl TopKSketch {
+    /// An empty sketch tracking at most `k` keys.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> TopKSketch {
+        assert!(k > 0, "a top-K sketch needs k >= 1");
+        TopKSketch {
+            k,
+            counters: BTreeMap::new(),
+            total: 0,
+            discarded: 0,
+        }
+    }
+
+    /// The capacity this sketch was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total weight offered so far.
+    pub fn total_weight(&self) -> u64 {
+        self.total
+    }
+
+    /// The maximum amount any estimate can be below its true count.
+    /// Always `<= total_weight() / (k + 1)`.
+    pub fn error_bound(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Offers `weight` for `key`. Zero weights are ignored.
+    pub fn offer(&mut self, key: &[u8], weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.total += weight;
+        if let Some(count) = self.counters.get_mut(key) {
+            *count += weight;
+            return;
+        }
+        self.counters.insert(key.to_vec(), weight);
+        if self.counters.len() <= self.k {
+            return;
+        }
+        // Over capacity: subtract the minimum count from every entry and
+        // drop the zeros (at least the minimum entry itself). The
+        // subtraction touches k+1 entries, which is what keeps the
+        // discarded weight under a 1/(k+1) share of the total.
+        let min = *self.counters.values().min().expect("non-empty");
+        self.counters.retain(|_, count| {
+            *count -= min;
+            *count > 0
+        });
+        self.discarded += min;
+    }
+
+    /// The tracked estimate for `key` (0 when untracked). Never above
+    /// the true offered weight, never more than [`Self::error_bound`]
+    /// below it.
+    pub fn estimate(&self, key: &[u8]) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Tracked entries, heaviest first (ties broken by ascending key) —
+    /// the deterministic render order and the serialization order.
+    pub fn entries(&self) -> Vec<(Vec<u8>, u64)> {
+        let mut out: Vec<(Vec<u8>, u64)> =
+            self.counters.iter().map(|(k, &c)| (k.clone(), c)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Folds `other` into `self` (Agarwal-style mergeable-summary
+    /// union). Both sketches must have the same `k`.
+    ///
+    /// # Panics
+    /// Panics on a capacity mismatch.
+    pub fn merge(&mut self, other: &TopKSketch) {
+        assert_eq!(self.k, other.k, "cannot merge sketches of different k");
+        self.total += other.total;
+        self.discarded += other.discarded;
+        for (key, &count) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += count;
+        }
+        if self.counters.len() <= self.k {
+            return;
+        }
+        // Subtract the (k+1)-th largest combined count from everything;
+        // what stays positive is the merged top-k.
+        let mut counts: Vec<u64> = self.counters.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let cut = counts[self.k];
+        self.counters.retain(|_, count| {
+            *count = count.saturating_sub(cut);
+            *count > 0
+        });
+        self.discarded += cut;
+    }
+
+    /// Byte-stable serialization: header (`k`, total, discarded, entry
+    /// count) then entries in [`Self::entries`] order. Equal sketches
+    /// always serialize to equal bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let entries = self.entries();
+        let mut out = Vec::with_capacity(32 + entries.len() * 24);
+        out.extend_from_slice(&(self.k as u64).to_le_bytes());
+        out.extend_from_slice(&self.total.to_le_bytes());
+        out.extend_from_slice(&self.discarded.to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (key, count) in entries {
+            out.extend_from_slice(&count.to_le_bytes());
+            out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            out.extend_from_slice(&key);
+        }
+        out
+    }
+
+    /// Parses [`Self::to_bytes`] output. `None` on any malformation.
+    pub fn from_bytes(bytes: &[u8]) -> Option<TopKSketch> {
+        fn take_u64(bytes: &[u8], at: &mut usize) -> Option<u64> {
+            let v = u64::from_le_bytes(bytes.get(*at..*at + 8)?.try_into().ok()?);
+            *at += 8;
+            Some(v)
+        }
+        let mut at = 0;
+        let k = take_u64(bytes, &mut at)? as usize;
+        if k == 0 {
+            return None;
+        }
+        let total = take_u64(bytes, &mut at)?;
+        let discarded = take_u64(bytes, &mut at)?;
+        let len = take_u64(bytes, &mut at)? as usize;
+        if len > k {
+            return None;
+        }
+        let mut counters = BTreeMap::new();
+        for _ in 0..len {
+            let count = take_u64(bytes, &mut at)?;
+            let key_len = u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?) as usize;
+            at += 4;
+            let key = bytes.get(at..at + key_len)?.to_vec();
+            at += key_len;
+            if count == 0 || counters.insert(key, count).is_some() {
+                return None;
+            }
+        }
+        if at != bytes.len() {
+            return None;
+        }
+        Some(TopKSketch {
+            k,
+            counters,
+            total,
+            discarded,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = TopKSketch::new(4);
+        for (key, w) in [("a", 5u64), ("b", 3), ("a", 2), ("c", 1)] {
+            s.offer(key.as_bytes(), w);
+        }
+        assert_eq!(s.estimate(b"a"), 7);
+        assert_eq!(s.estimate(b"b"), 3);
+        assert_eq!(s.estimate(b"c"), 1);
+        assert_eq!(s.estimate(b"zzz"), 0);
+        assert_eq!(s.error_bound(), 0);
+        assert_eq!(s.total_weight(), 11);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_eviction_pressure() {
+        let mut s = TopKSketch::new(3);
+        // One heavy key among a stream of distinct light keys.
+        for i in 0..100u32 {
+            s.offer(b"hot", 3);
+            s.offer(format!("cold-{i}").as_bytes(), 1);
+        }
+        let est = s.estimate(b"hot");
+        let truth = 300;
+        assert!(est <= truth);
+        assert!(truth - est <= s.error_bound());
+        assert!(s.error_bound() <= s.total_weight() / 4);
+        assert_eq!(s.entries()[0].0, b"hot".to_vec());
+    }
+
+    #[test]
+    fn entries_order_is_count_desc_then_key_asc() {
+        let mut s = TopKSketch::new(8);
+        s.offer(b"b", 2);
+        s.offer(b"a", 2);
+        s.offer(b"c", 5);
+        let e = s.entries();
+        assert_eq!(e[0].0, b"c".to_vec());
+        assert_eq!(e[1].0, b"a".to_vec());
+        assert_eq!(e[2].0, b"b".to_vec());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_bounded() {
+        let mut a = TopKSketch::new(3);
+        let mut b = TopKSketch::new(3);
+        for i in 0..50u32 {
+            a.offer(b"hot", 2);
+            a.offer(format!("a-{i}").as_bytes(), 1);
+            b.offer(b"hot", 1);
+            b.offer(format!("b-{i}").as_bytes(), 1);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_weight(), a.total_weight() + b.total_weight());
+        assert!(ab.error_bound() <= ab.total_weight() / 4);
+        let truth = 150;
+        assert!(truth - ab.estimate(b"hot") <= ab.error_bound());
+    }
+
+    #[test]
+    fn serialization_round_trips_and_is_stable() {
+        let mut s = TopKSketch::new(4);
+        for i in 0..40u32 {
+            s.offer(format!("k-{}", i % 6).as_bytes(), 1 + u64::from(i % 3));
+        }
+        let bytes = s.to_bytes();
+        let back = TopKSketch::from_bytes(&bytes).expect("parses");
+        assert_eq!(back, s);
+        assert_eq!(back.to_bytes(), bytes);
+        assert!(TopKSketch::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(TopKSketch::from_bytes(b"").is_none());
+    }
+}

@@ -14,6 +14,7 @@
 use crate::registry::{MetricValue, MetricsReport};
 use crate::slo::SloStatus;
 use crate::trace::{top_self_time, TraceEvent};
+use crate::wan::WanDcRow;
 
 /// One layer's health row in the console: windowed QPS, windowed p99
 /// (microseconds), and error rate, each `None` when the layer has no
@@ -122,6 +123,14 @@ pub struct TelemetryFrame {
     pub slos: Vec<SloStatus>,
     /// Spans dominating self time, largest first.
     pub top_spans: Vec<TopSpan>,
+    /// `(group, read heat)` from the serve layer's cost attribution,
+    /// hottest first. Empty when no attribution source is wired.
+    pub hot_groups: Vec<(u64, u64)>,
+    /// `(key, estimated count)` from the merged hot-key sketch, hottest
+    /// first (keys rendered lossy-UTF-8 for display).
+    pub hot_keys: Vec<(String, u64)>,
+    /// Per-DC WAN bytes split by traffic class, ascending by DC label.
+    pub wan: Vec<WanDcRow>,
 }
 
 impl TelemetryFrame {
@@ -176,6 +185,53 @@ impl TelemetryFrame {
                 "top_spans".to_string(),
                 Value::Array(self.top_spans.iter().map(|s| s.to_value()).collect()),
             ),
+            (
+                "hot_groups".to_string(),
+                Value::Array(
+                    self.hot_groups
+                        .iter()
+                        .map(|&(group, heat)| {
+                            Value::Array(vec![
+                                Value::Number(group as f64),
+                                Value::Number(heat as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "hot_keys".to_string(),
+                Value::Array(
+                    self.hot_keys
+                        .iter()
+                        .map(|(key, count)| {
+                            Value::Array(vec![
+                                Value::String(key.clone()),
+                                Value::Number(*count as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "wan".to_string(),
+                Value::Array(
+                    self.wan
+                        .iter()
+                        .map(|row| {
+                            Value::Object(vec![
+                                ("dc".to_string(), Value::String(row.dc.clone())),
+                                ("foreground".to_string(), Value::Number(row.bytes[0] as f64)),
+                                (
+                                    "wal_catchup".to_string(),
+                                    Value::Number(row.bytes[1] as f64),
+                                ),
+                                ("migration".to_string(), Value::Number(row.bytes[2] as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -212,6 +268,51 @@ impl TelemetryFrame {
             .iter()
             .map(TopSpan::from_value)
             .collect::<Option<Vec<_>>>()?;
+        // The attribution fields arrived later than the frame itself;
+        // frames from older servers simply lack them, so absence decodes
+        // as empty instead of rejecting the whole frame.
+        let hot_groups = v
+            .get("hot_groups")
+            .and_then(|x| x.as_array())
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|pair| {
+                        let pair = pair.as_array()?;
+                        Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let hot_keys = v
+            .get("hot_keys")
+            .and_then(|x| x.as_array())
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|pair| {
+                        let pair = pair.as_array()?;
+                        Some((pair.first()?.as_str()?.to_string(), pair.get(1)?.as_u64()?))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let wan = v
+            .get("wan")
+            .and_then(|x| x.as_array())
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|row| {
+                        Some(WanDcRow {
+                            dc: row.get("dc")?.as_str()?.to_string(),
+                            bytes: [
+                                row.get("foreground")?.as_u64()?,
+                                row.get("wal_catchup")?.as_u64()?,
+                                row.get("migration")?.as_u64()?,
+                            ],
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         Some(TelemetryFrame {
             now_ns: v.get("now_ns")?.as_u64()?,
             metrics,
@@ -219,6 +320,9 @@ impl TelemetryFrame {
             layers,
             slos,
             top_spans,
+            hot_groups,
+            hot_keys,
+            wan,
         })
     }
 
@@ -273,12 +377,42 @@ mod tests {
                 label: "dc0".to_string(),
                 self_ns: 5000,
             }],
+            hot_groups: vec![(1, 9000), (0, 300)],
+            hot_keys: vec![("term:00000007".to_string(), 12)],
+            wan: vec![WanDcRow {
+                dc: "dc0.0".to_string(),
+                bytes: [100, 20, 3],
+            }],
         };
         let back = TelemetryFrame::from_json(&frame.to_json()).unwrap();
         assert_eq!(back, frame);
         assert_eq!(back.metric("net.requests"), Some(42.0));
         assert_eq!(back.metric("net.conns"), Some(3.0));
         assert_eq!(back.metric("nope"), None);
+    }
+
+    #[test]
+    fn frames_without_attribution_fields_still_parse() {
+        // A frame encoded before hot_groups/hot_keys/wan existed: the
+        // new fields decode as empty, nothing is rejected.
+        let reg = Registry::new();
+        let frame = TelemetryFrame {
+            now_ns: 7,
+            metrics: TelemetryFrame::metrics_from_report(&reg.snapshot()),
+            series: serde_json::Value::Object(vec![]),
+            layers: vec![],
+            slos: vec![],
+            top_spans: vec![],
+            hot_groups: vec![],
+            hot_keys: vec![],
+            wan: vec![],
+        };
+        let mut v = frame.to_value();
+        if let serde_json::Value::Object(pairs) = &mut v {
+            pairs.retain(|(k, _)| !matches!(k.as_str(), "hot_groups" | "hot_keys" | "wan"));
+        }
+        let back = TelemetryFrame::from_value(&v).unwrap();
+        assert_eq!(back, frame);
     }
 
     #[test]

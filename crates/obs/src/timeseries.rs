@@ -17,7 +17,10 @@
 //! * gauge `g` → `g` (the level, sampled);
 //! * histogram source `h` → `h.p50` / `h.p99` (percentiles of *this
 //!   window's* samples, via [`LatencyHistogram::diff`]), `h.rate`
-//!   (window samples per second), and `h.mean_us` (window mean).
+//!   (window samples per second), and `h.mean_us` (window mean). A
+//!   window with zero new samples pushes no percentile points — only
+//!   the honest zero rate — so a stalled source reads as a gap, not as
+//!   the previous window's latency.
 //!
 //! Determinism: the sampler's output is a pure function of the tick
 //! times and the sampled values, and [`Sampler::to_json`] renders
@@ -238,27 +241,33 @@ impl Sampler {
                 let cur = (slot.source)();
                 if let Some(prev) = &slot.prev {
                     let w = cur.diff(prev);
-                    Self::push(
-                        &mut self.series,
-                        self.capacity,
-                        &format!("{}.p50", slot.name),
-                        now_ns,
-                        w.p50() as f64,
-                    );
-                    Self::push(
-                        &mut self.series,
-                        self.capacity,
-                        &format!("{}.p99", slot.name),
-                        now_ns,
-                        w.p99() as f64,
-                    );
-                    Self::push(
-                        &mut self.series,
-                        self.capacity,
-                        &format!("{}.mean_us", slot.name),
-                        now_ns,
-                        w.mean(),
-                    );
+                    // A window with no new samples has no percentiles: a
+                    // p50/p99 point would just restate stale (or zero)
+                    // values and read as "latency is fine" during a
+                    // stall. The rate series still gets its honest 0.
+                    if w.count() > 0 {
+                        Self::push(
+                            &mut self.series,
+                            self.capacity,
+                            &format!("{}.p50", slot.name),
+                            now_ns,
+                            w.p50() as f64,
+                        );
+                        Self::push(
+                            &mut self.series,
+                            self.capacity,
+                            &format!("{}.p99", slot.name),
+                            now_ns,
+                            w.p99() as f64,
+                        );
+                        Self::push(
+                            &mut self.series,
+                            self.capacity,
+                            &format!("{}.mean_us", slot.name),
+                            now_ns,
+                            w.mean(),
+                        );
+                    }
                     if dt > 0.0 {
                         Self::push(
                             &mut self.series,
@@ -455,6 +464,37 @@ mod tests {
             .collect();
         assert_eq!(rates, [3.0, 2.0]);
         assert_eq!(s.last_window("serve.lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_window_reports_no_percentiles() {
+        use std::sync::{Arc, Mutex};
+        let shared = Arc::new(Mutex::new(LatencyHistogram::new()));
+        let reader = Arc::clone(&shared);
+        let mut s = Sampler::new(Registry::new(), 16);
+        s.add_histogram("serve.lat", move || reader.lock().unwrap().clone());
+        s.tick(0);
+        shared.lock().unwrap().record(5_000);
+        s.tick(1_000_000_000);
+        // A stalled window: no new samples land before the next tick.
+        s.tick(2_000_000_000);
+        shared.lock().unwrap().record(7_000);
+        s.tick(3_000_000_000);
+        // Three windows elapsed but only two carried samples: the stall
+        // must leave a gap, not repeat (or zero) the previous p99.
+        let p99 = s.series("serve.lat.p99").unwrap();
+        assert_eq!(p99.len(), 2);
+        let times: Vec<u64> = p99.points().map(|p| p.t_ns).collect();
+        assert_eq!(times, [1_000_000_000, 3_000_000_000]);
+        // The rate series still records the honest zero for the stall.
+        let rates: Vec<f64> = s
+            .series("serve.lat.rate")
+            .unwrap()
+            .points()
+            .map(|p| p.value)
+            .collect();
+        assert_eq!(rates, [1.0, 0.0, 1.0]);
+        assert_eq!(s.last_window("serve.lat").unwrap().count(), 1);
     }
 
     #[test]

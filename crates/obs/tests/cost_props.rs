@@ -1,0 +1,122 @@
+//! Property tests for the cost accumulator: sharded recording plus
+//! merge must be indistinguishable from sequential recording, and the
+//! conservation law must hold for any attribution whose per-node
+//! portions sum to the read's total.
+
+use obs::{Cost, CostAccumulator, ReadAttribution, ReadCost};
+use proptest::prelude::*;
+
+/// One generated request: `(dc index, queue_us, service_us, reads)`,
+/// where each read is `(group, per-node byte portions)`. Costs are
+/// built so the per-node split sums exactly to the read total —
+/// matching how mint constructs attributions.
+type GenRequest = (u8, u64, u64, Vec<(u8, Vec<(u8, u64)>)>);
+
+fn requests() -> impl Strategy<Value = Vec<GenRequest>> {
+    proptest::collection::vec(
+        (
+            0u8..3,
+            0u64..1000,
+            0u64..1000,
+            proptest::collection::vec(
+                (
+                    0u8..6,
+                    proptest::collection::vec((0u8..9, 0u64..10_000), 1..4),
+                ),
+                0..4,
+            ),
+        ),
+        1..60,
+    )
+}
+
+fn build_cost(req: &GenRequest) -> (String, Cost) {
+    let (dc, queue_us, service_us, reads) = req;
+    let reads = reads
+        .iter()
+        .map(|(group, nodes)| {
+            let mut cost = ReadCost::default();
+            let per_node: Vec<(u64, ReadCost)> = nodes
+                .iter()
+                .map(|&(node, bytes)| {
+                    let portion = ReadCost {
+                        storage_reads: 1,
+                        bytes,
+                        traceback_hops: bytes % 3,
+                        replicas: 1,
+                        retries: bytes % 2,
+                    };
+                    cost.absorb(&portion);
+                    (u64::from(node), portion)
+                })
+                .collect();
+            ReadAttribution {
+                group: u64::from(*group),
+                cost,
+                per_node,
+            }
+        })
+        .collect();
+    (
+        format!("dc0.{dc}"),
+        Cost {
+            queue_us: *queue_us,
+            service_us: *service_us,
+            reads,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Recording a workload across any shard partition and merging the
+    /// shards equals recording it all into one accumulator — in every
+    /// bucket, and in the deterministic render.
+    #[test]
+    fn sharded_merge_equals_sequential_recording(
+        reqs in requests(),
+        shards in 1usize..5,
+    ) {
+        let mut whole = CostAccumulator::new();
+        let mut parts: Vec<CostAccumulator> =
+            (0..shards).map(|_| CostAccumulator::new()).collect();
+        for (i, req) in reqs.iter().enumerate() {
+            let (dc, cost) = build_cost(req);
+            whole.record(&dc, &cost);
+            parts[i % shards].record(&dc, &cost);
+        }
+        let mut merged = CostAccumulator::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.render(), whole.render());
+    }
+
+    /// Conservation holds for any workload whose per-node portions sum
+    /// to the read totals: group buckets and node buckets both account
+    /// for exactly the layer-wide read cost, before and after merging.
+    #[test]
+    fn conservation_holds_across_recording_and_merge(
+        reqs in requests(),
+    ) {
+        let mut acc = CostAccumulator::new();
+        let mut other = CostAccumulator::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let (dc, cost) = build_cost(req);
+            if i % 2 == 0 {
+                acc.record(&dc, &cost);
+            } else {
+                other.record(&dc, &cost);
+            }
+        }
+        prop_assert_eq!(acc.conservation_error(), (0, 0));
+        prop_assert_eq!(other.conservation_error(), (0, 0));
+        acc.merge(&other);
+        prop_assert_eq!(acc.conservation_error(), (0, 0));
+        // The DC buckets partition the requests exactly.
+        let dc_requests: u64 = acc.per_dc.values().map(|t| t.requests).sum();
+        prop_assert_eq!(dc_requests, acc.total.requests);
+    }
+}

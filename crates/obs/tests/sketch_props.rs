@@ -1,0 +1,111 @@
+//! Property tests for the heavy-hitter sketch's advertised guarantees:
+//! the Misra-Gries error bound, merge determinism and commutativity,
+//! and byte-stable serialization.
+
+use obs::TopKSketch;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A workload item: a small key universe keeps collisions (and thus
+/// eviction pressure) high, weights stay modest so totals never
+/// overflow.
+fn items() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    proptest::collection::vec((0u8..32, 1u64..100), 1..400)
+}
+
+fn offer_all(k: usize, items: &[(u8, u64)]) -> TopKSketch {
+    let mut s = TopKSketch::new(k);
+    for &(key, weight) in items {
+        s.offer(&[key], weight);
+    }
+    s
+}
+
+fn truth(items: &[(u8, u64)]) -> BTreeMap<u8, u64> {
+    let mut t = BTreeMap::new();
+    for &(key, weight) in items {
+        *t.entry(key).or_insert(0) += weight;
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For every key in the stream:
+    /// `true - error_bound() <= estimate <= true`, and the bound itself
+    /// never exceeds the advertised `W / (k + 1)` share of total weight.
+    #[test]
+    fn estimates_stay_within_the_error_bound(
+        items in items(),
+        k in 1usize..12,
+    ) {
+        let s = offer_all(k, &items);
+        let truth = truth(&items);
+        let total: u64 = truth.values().sum();
+        prop_assert_eq!(s.total_weight(), total);
+        prop_assert!(s.error_bound() <= total / (k as u64 + 1));
+        for (&key, &count) in &truth {
+            let est = s.estimate(&[key]);
+            prop_assert!(est <= count, "overestimate for {key}: {est} > {count}");
+            prop_assert!(
+                count - est <= s.error_bound(),
+                "underestimate for {key} beyond bound: {count} - {est} > {}",
+                s.error_bound()
+            );
+        }
+        // Untracked keys estimate to zero, never negative-by-wraparound.
+        prop_assert_eq!(s.estimate(b"never offered"), 0);
+    }
+
+    /// Merging is deterministic (same inputs, same result) and
+    /// commutative, the merged bound stays within the additive
+    /// guarantee, and merged estimates still bracket the combined truth.
+    #[test]
+    fn merge_is_deterministic_commutative_and_bounded(
+        left in items(),
+        right in items(),
+        k in 1usize..10,
+    ) {
+        let a = offer_all(k, &left);
+        let b = offer_all(k, &right);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab2 = a.clone();
+        ab2.merge(&b);
+        prop_assert_eq!(&ab, &ab2, "same merge twice must be identical");
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "merge must be commutative");
+        prop_assert_eq!(ab.total_weight(), a.total_weight() + b.total_weight());
+        prop_assert!(ab.error_bound() <= ab.total_weight() / (k as u64 + 1));
+        let mut combined = truth(&left);
+        for (key, count) in truth(&right) {
+            *combined.entry(key).or_insert(0) += count;
+        }
+        for (&key, &count) in &combined {
+            let est = ab.estimate(&[key]);
+            prop_assert!(est <= count);
+            prop_assert!(count - est <= ab.error_bound());
+        }
+    }
+
+    /// Serialization is byte-stable: round-trips exactly, and equal
+    /// sketches produce equal bytes.
+    #[test]
+    fn serialization_round_trips_byte_stably(
+        items in items(),
+        k in 1usize..10,
+    ) {
+        let s = offer_all(k, &items);
+        let bytes = s.to_bytes();
+        let back = TopKSketch::from_bytes(&bytes).expect("own output parses");
+        prop_assert_eq!(&back, &s);
+        prop_assert_eq!(back.to_bytes(), bytes.clone());
+        // Rebuilding from the same stream serializes identically.
+        prop_assert_eq!(offer_all(k, &items).to_bytes(), bytes.clone());
+        // A truncated image never parses (the parser demands an exact
+        // frame, so a lost tail is detected, not silently accepted).
+        prop_assert!(TopKSketch::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+}

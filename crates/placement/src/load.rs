@@ -49,6 +49,11 @@ pub struct GroupLoad {
     pub disk_bytes: u64,
     /// Payload write bytes across members — the write-pressure signal.
     pub user_write_bytes: u64,
+    /// Observed read cost charged to the group (heat byte-equivalents
+    /// from the serve layer's attribution, see [`obs::ReadCost::heat`]).
+    /// Zero until [`LoadReport::attach_read_heat`] folds a measured
+    /// workload in.
+    pub read_heat: u64,
 }
 
 /// A deterministic snapshot of per-node and per-group pressure.
@@ -64,6 +69,9 @@ pub struct LoadReport {
     /// Read latency percentiles from the serving front-end's histogram
     /// (`[p50, p99]`, microseconds), when one was attached.
     pub read_latency_us: Option<[u64; 2]>,
+    /// Hottest keys of the observed workload (`(key, estimated count)`,
+    /// hottest first), when attribution was attached.
+    pub hot_keys: Vec<(Vec<u8>, u64)>,
 }
 
 impl LoadReport {
@@ -116,6 +124,7 @@ impl LoadReport {
                     alive: members.iter().filter(|n| n.alive).count(),
                     disk_bytes: members.iter().map(|n| n.disk_bytes).sum(),
                     user_write_bytes: members.iter().map(|n| n.user_write_bytes).sum(),
+                    read_heat: 0,
                 }
             })
             .collect();
@@ -124,6 +133,7 @@ impl LoadReport {
             nodes,
             groups,
             read_latency_us: None,
+            hot_keys: Vec::new(),
         }
     }
 
@@ -134,12 +144,36 @@ impl LoadReport {
         self.read_latency_us = Some([hist.percentile(0.50), hist.percentile(0.99)]);
     }
 
-    /// The group under the most write pressure, breaking ties by disk
-    /// footprint and then by lowest index — fully deterministic.
+    /// Folds the serve layer's measured load attribution in: each
+    /// group's observed read heat (from the cost accumulator's per-group
+    /// buckets) and the workload's hottest keys (from the merged
+    /// hot-key sketch). After this, [`LoadReport::hottest_group`] ranks
+    /// by what the workload actually read instead of write pressure
+    /// alone — the observed-heat signal `RebalanceHot` plans from.
+    pub fn attach_read_heat(&mut self, costs: &obs::CostAccumulator, hot_keys: &obs::TopKSketch) {
+        for (group, heat) in costs.group_heat() {
+            if let Some(g) = self.groups.get_mut(group as usize) {
+                g.read_heat = heat;
+            }
+        }
+        self.hot_keys = hot_keys.entries();
+    }
+
+    /// The group under the most pressure: observed read heat first (all
+    /// zero until [`LoadReport::attach_read_heat`]), then write bytes,
+    /// then disk footprint, ties to the lowest index — fully
+    /// deterministic.
     pub fn hottest_group(&self) -> usize {
         self.groups
             .iter()
-            .max_by_key(|g| (g.user_write_bytes, g.disk_bytes, std::cmp::Reverse(g.group)))
+            .max_by_key(|g| {
+                (
+                    g.read_heat,
+                    g.user_write_bytes,
+                    g.disk_bytes,
+                    std::cmp::Reverse(g.group),
+                )
+            })
             .map(|g| g.group)
             .expect("a cluster has at least one group")
     }
@@ -165,8 +199,14 @@ impl LoadReport {
         }
         for g in &self.groups {
             out.push_str(&format!(
-                "  group {}: members={} alive={} disk={}B written={}B\n",
-                g.group, g.members, g.alive, g.disk_bytes, g.user_write_bytes
+                "  group {}: members={} alive={} disk={}B written={}B heat={}\n",
+                g.group, g.members, g.alive, g.disk_bytes, g.user_write_bytes, g.read_heat
+            ));
+        }
+        for (key, count) in &self.hot_keys {
+            out.push_str(&format!(
+                "  hot key {}: ~{count}\n",
+                String::from_utf8_lossy(key)
             ));
         }
         for n in &self.nodes {
@@ -221,6 +261,46 @@ mod tests {
         let report = LoadReport::snapshot(&m);
         // Empty cluster: all groups identical, lowest index wins.
         assert_eq!(report.hottest_group(), 0);
+    }
+
+    #[test]
+    fn observed_read_heat_drives_hottest_group() {
+        let mut m = Mint::new(MintConfig::tiny());
+        m.apply(&ops(40, 1)).unwrap();
+        let mut report = LoadReport::snapshot(&m);
+        // Plant read heat on whichever group write pressure would NOT
+        // pick, and check the observed signal overrides it.
+        let cold_pick = report.hottest_group();
+        let hot = report
+            .groups
+            .iter()
+            .map(|g| g.group)
+            .find(|&g| g != cold_pick)
+            .expect("tiny() has two groups");
+        let mut acc = obs::CostAccumulator::new();
+        acc.record(
+            "dc0.0",
+            &obs::Cost {
+                queue_us: 0,
+                service_us: 0,
+                reads: vec![obs::ReadAttribution {
+                    group: hot as u64,
+                    cost: obs::ReadCost {
+                        storage_reads: 3,
+                        bytes: 1 << 20,
+                        ..Default::default()
+                    },
+                    per_node: Vec::new(),
+                }],
+            },
+        );
+        let mut sketch = obs::TopKSketch::new(4);
+        sketch.offer(b"term:00000007", 9);
+        report.attach_read_heat(&acc, &sketch);
+        assert_eq!(report.hottest_group(), hot);
+        assert!(report.groups[hot].read_heat > 0);
+        assert_eq!(report.hot_keys[0], (b"term:00000007".to_vec(), 9));
+        assert!(report.render().contains("hot key term:00000007: ~9"));
     }
 
     #[test]

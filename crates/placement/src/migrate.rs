@@ -196,11 +196,18 @@ impl Migration {
         let label = format!("node={}", node.0);
         let mut span = node_sink.as_ref().map(|s| s.span(kind, &label));
         let t0 = clock.now();
+        // Bytes moved by this batch are migration traffic on the WAN
+        // ledger, not ordinary catch-up; restore the cluster's default
+        // class as soon as the batch is done.
+        let previous_class = cluster.wan_class();
+        cluster.set_wan_class(obs::TrafficClass::Migration);
         let step = if joining {
-            cluster.join_sync_step(node, self.cfg.step_bytes)?
+            cluster.join_sync_step(node, self.cfg.step_bytes)
         } else {
-            cluster.drain_step(node, self.cfg.step_bytes)?
+            cluster.drain_step(node, self.cfg.step_bytes)
         };
+        cluster.set_wan_class(previous_class);
+        let step = step?;
         let elapsed = clock.now().saturating_sub(t0);
         let floor = SimTime::from_nanos(
             step.bytes
@@ -307,6 +314,8 @@ mod tests {
     #[test]
     fn throttled_join_respects_the_budget() {
         let mut m = Mint::new(MintConfig::tiny());
+        let ledger = obs::WanLedger::new();
+        m.attach_wan(&ledger, "dc0.0");
         m.apply(&ops(60, 1)).unwrap();
         let registry = Registry::new();
         let report = LoadReport::snapshot(&m);
@@ -332,6 +341,10 @@ mod tests {
             Some(done.bytes_moved)
         );
         assert!(snap.counter("placement.busy_ns_total").unwrap() > 0);
+        // The batches were charged to the migration traffic class, and
+        // nothing leaked into the catch-up class.
+        assert!(ledger.class_total(obs::TrafficClass::Migration) > 0);
+        assert_eq!(ledger.class_total(obs::TrafficClass::WalCatchup), 0);
     }
 
     #[test]

@@ -216,30 +216,56 @@ impl QinDb {
     /// [`QinDb::status`] on behalf of a traced request; the inner read
     /// propagates `trace_id` (see [`QinDb::get_traced`]).
     pub fn status_traced(&self, key: &[u8], version: u64, trace_id: u64) -> Result<KeyStatus> {
+        self.status_probed(key, version, trace_id).0
+    }
+
+    /// [`QinDb::status_traced`] plus what the lookup cost: one storage
+    /// read, the payload bytes it returned, and the dedup-traceback hops
+    /// it walked. The probe is reported even when the status is
+    /// `Missing`/`Deleted` or the read errors — the work was still done,
+    /// and load attribution must account for it.
+    pub fn status_probed(
+        &self,
+        key: &[u8],
+        version: u64,
+        trace_id: u64,
+    ) -> (Result<KeyStatus>, obs::ReadCost) {
+        let mut probe = obs::ReadCost {
+            storage_reads: 1,
+            ..obs::ReadCost::default()
+        };
         let vk = VersionedKey::new(Bytes::copy_from_slice(key), version);
-        match self.table.get(&vk).copied() {
-            None => Ok(KeyStatus::Missing),
-            Some(e) if e.deleted => Ok(KeyStatus::Deleted),
-            Some(e) => {
-                let resolved_version = if e.deduplicated {
-                    match self.table.trace_back_value(key, version) {
-                        Some((v, _, _)) => v,
-                        // Dangling dedup chain: the item exists but no
-                        // value resolves here — another replica may have
-                        // the ancestor.
-                        None => return Ok(KeyStatus::Missing),
-                    }
-                } else {
-                    version
-                };
-                match self.get_traced(key, version, trace_id)? {
-                    Some(value) => Ok(KeyStatus::Live {
+        let entry = match self.table.get(&vk).copied() {
+            None => return (Ok(KeyStatus::Missing), probe),
+            Some(e) if e.deleted => return (Ok(KeyStatus::Deleted), probe),
+            Some(e) => e,
+        };
+        let resolved_version = if entry.deduplicated {
+            match self.table.trace_back_value(key, version) {
+                Some((v, _, steps)) => {
+                    probe.traceback_hops = steps as u64;
+                    v
+                }
+                // Dangling dedup chain: the item exists but no value
+                // resolves here — another replica may have the ancestor.
+                None => return (Ok(KeyStatus::Missing), probe),
+            }
+        } else {
+            version
+        };
+        match self.get_traced(key, version, trace_id) {
+            Ok(Some(value)) => {
+                probe.bytes = value.len() as u64;
+                (
+                    Ok(KeyStatus::Live {
                         value,
                         resolved_version,
                     }),
-                    None => Ok(KeyStatus::Missing),
-                }
+                    probe,
+                )
             }
+            Ok(None) => (Ok(KeyStatus::Missing), probe),
+            Err(e) => (Err(e), probe),
         }
     }
 

@@ -66,6 +66,9 @@ pub struct FrontendConfig {
     pub rank_service: Duration,
     /// Modeled storage wait per summary-cache miss.
     pub summary_service: Duration,
+    /// Capacity (k) of the per-shard hot-key sketches; frequency error
+    /// is bounded by `terms_offered / (k + 1)` per shard.
+    pub hot_key_capacity: usize,
 }
 
 impl Default for FrontendConfig {
@@ -81,6 +84,7 @@ impl Default for FrontendConfig {
             top_k: 5,
             rank_service: Duration::from_micros(150),
             summary_service: Duration::from_micros(350),
+            hot_key_capacity: 32,
         }
     }
 }
@@ -201,6 +205,9 @@ pub struct ServeReport {
     pub summary_hits: u64,
     /// Summary-cache misses during this run (each one a storage fetch).
     pub summary_misses: u64,
+    /// Load attribution for the run: per-group/node/DC read cost and
+    /// the merged hot-key sketch.
+    pub attribution: AttributionReport,
 }
 
 impl ServeReport {
@@ -264,6 +271,23 @@ impl ServeReport {
     }
 }
 
+/// One shard's attribution state, owned by the worker serving that
+/// shard (the mutex is uncontended except for live telemetry reads).
+struct ShardAttribution {
+    acc: obs::CostAccumulator,
+    sketch: obs::TopKSketch,
+}
+
+/// Merged load attribution across every serve shard: where the read
+/// cost went (group / node / DC) and which terms were hottest.
+#[derive(Debug, Clone)]
+pub struct AttributionReport {
+    /// Per-group / per-node / per-DC cost buckets.
+    pub costs: obs::CostAccumulator,
+    /// Hot-term sketch (one offer of weight 1 per term per request).
+    pub hot_keys: obs::TopKSketch,
+}
+
 /// Live, shared serving tallies — readable *while the front-end runs*,
 /// which is what the telemetry sampler needs (the per-run
 /// [`ServeReport`] only exists after shutdown). Counters are relaxed
@@ -276,10 +300,15 @@ pub struct LiveStats {
     served_stale: AtomicU64,
     shed: AtomicU64,
     hist: Mutex<LatencyHistogram>,
+    /// One attribution bucket per shard; merged in shard order so the
+    /// combined view is deterministic.
+    attribution: Vec<Mutex<ShardAttribution>>,
+    hot_key_capacity: usize,
 }
 
 impl LiveStats {
-    fn new() -> LiveStats {
+    fn new(shards: usize, hot_key_capacity: usize) -> LiveStats {
+        let hot_key_capacity = hot_key_capacity.max(1);
         LiveStats {
             offered: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
@@ -287,6 +316,15 @@ impl LiveStats {
             served_stale: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             hist: Mutex::new(LatencyHistogram::new()),
+            attribution: (0..shards.max(1))
+                .map(|_| {
+                    Mutex::new(ShardAttribution {
+                        acc: obs::CostAccumulator::new(),
+                        sketch: obs::TopKSketch::new(hot_key_capacity),
+                    })
+                })
+                .collect(),
+            hot_key_capacity,
         }
     }
 
@@ -334,6 +372,20 @@ impl LiveStats {
         self.hist.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
+    /// A snapshot of the merged load attribution so far: every shard's
+    /// cost accumulator and hot-key sketch folded in shard order, so
+    /// identical workloads render identically.
+    pub fn attribution(&self) -> AttributionReport {
+        let mut costs = obs::CostAccumulator::new();
+        let mut hot_keys = obs::TopKSketch::new(self.hot_key_capacity);
+        for shard in &self.attribution {
+            let s = shard.lock().unwrap_or_else(|e| e.into_inner());
+            costs.merge(&s.acc);
+            hot_keys.merge(&s.sketch);
+        }
+        AttributionReport { costs, hot_keys }
+    }
+
     /// Republishes the cumulative tallies into `reg` under the same
     /// `serve.*` names as [`ServeReport::publish_metrics`], using
     /// `store` semantics (idempotent re-publish of running totals, for
@@ -349,6 +401,7 @@ impl LiveStats {
         reg.gauge("serve.latency.p50_us").set(h.p50() as f64);
         reg.gauge("serve.latency.p99_us").set(h.p99() as f64);
         reg.gauge("serve.latency.mean_us").set(h.mean());
+        self.attribution().costs.publish(reg, "serve.attr");
     }
 }
 
@@ -371,9 +424,9 @@ impl Core {
                 .map(|_| ShardQueue::new(cfg.queue_depth.max(1)))
                 .collect(),
             responses: ShardedLru::new(cfg.response_cache_capacity.max(1), 4),
-            cfg,
             next_shard: AtomicU64::new(0),
-            live: Arc::new(LiveStats::new()),
+            live: Arc::new(LiveStats::new(workers, cfg.hot_key_capacity)),
+            cfg,
         }
     }
 
@@ -517,16 +570,47 @@ impl Submitter<'_> {
     }
 }
 
+/// Folds one completed request into its shard's attribution bucket:
+/// every query term feeds the hot-key sketch (weight 1), and the
+/// request's cost record lands in the accumulator under the fronting
+/// DC's label.
+fn record_attribution(
+    attr: &Mutex<ShardAttribution>,
+    dc: DataCenterId,
+    terms: &[Bytes],
+    queue_us: u64,
+    service_us: u64,
+    reads: Vec<obs::ReadAttribution>,
+) {
+    let mut shard = attr.lock().unwrap_or_else(|e| e.into_inner());
+    for term in terms {
+        shard.sketch.offer(term, 1);
+    }
+    shard.acc.record(
+        &format!("dc{}.{}", dc.region.0, dc.slot),
+        &obs::Cost {
+            queue_us,
+            service_us,
+            reads,
+        },
+    );
+}
+
 fn worker_loop(
     engine: &DirectLoad,
-    cfg: &FrontendConfig,
+    core: &Core,
     cache: &SummaryCache,
-    responses: &ResponseCache,
-    queue: &ShardQueue,
-    live: &LiveStats,
+    shard: usize,
     trace: Option<(&obs::TraceSink, &str)>,
 ) {
+    let cfg = &core.cfg;
+    let responses = &core.responses;
+    let queue = &core.queues[shard];
+    let live = &core.live;
+    let attr = &live.attribution[shard];
     while let Some(mut req) = queue.pop() {
+        let dequeued = Instant::now();
+        let queue_us = dequeued.duration_since(req.enqueued).as_micros() as u64;
         // One wall-clock span per response: the profiler's view of time
         // spent serving (excludes queue wait, which starts at enqueue).
         // A traced request's span carries its id so the storage spans
@@ -535,9 +619,9 @@ fn worker_loop(
         let term_refs: Vec<&[u8]> = req.terms.iter().map(|t| t.as_ref()).collect();
         // Rank errors (e.g. quorum loss mid-run) degrade to an empty
         // ranking; the request still gets a response.
-        let ranked = engine
-            .rank_traced(req.dc, &term_refs, req.version, req.top_k, req.trace)
-            .map(|r| r.ranked)
+        let (ranked, reads) = engine
+            .rank_costed(req.dc, &term_refs, req.version, req.top_k, req.trace)
+            .map(|(r, reads)| (r.ranked, reads))
             .unwrap_or_default();
         let key: ResponseKey = (req.dc.region.0, req.terms.clone());
         if Instant::now() >= req.deadline {
@@ -570,6 +654,16 @@ fn worker_loop(
             }
             live.served_stale.fetch_add(1, Ordering::Relaxed);
             live.record_latency(req.enqueued.elapsed().as_micros() as u64);
+            // The degraded path still ranked, so its storage reads are
+            // attributed like any other request's.
+            record_attribution(
+                attr,
+                req.dc,
+                &req.terms,
+                queue_us,
+                dequeued.elapsed().as_micros() as u64,
+                reads,
+            );
             continue;
         }
         let mut misses = 0u32;
@@ -606,6 +700,14 @@ fn worker_loop(
         }
         live.served.fetch_add(1, Ordering::Relaxed);
         live.record_latency(req.enqueued.elapsed().as_micros() as u64);
+        record_attribution(
+            attr,
+            req.dc,
+            &req.terms,
+            queue_us,
+            dequeued.elapsed().as_micros() as u64,
+            reads,
+        );
     }
 }
 
@@ -650,22 +752,13 @@ where
     let start = Instant::now();
     let core_ref = &core;
     std::thread::scope(|s| {
-        let handles: Vec<_> = core
-            .queues
+        let handles: Vec<_> = labels
             .iter()
-            .zip(&labels)
-            .map(|(q, label)| {
+            .enumerate()
+            .map(|(i, label)| {
                 s.spawn(move || {
                     let t = trace.map(|t| (t, label.as_str()));
-                    worker_loop(
-                        engine,
-                        &core_ref.cfg,
-                        cache,
-                        &core_ref.responses,
-                        q,
-                        &core_ref.live,
-                        t,
-                    )
+                    worker_loop(engine, core_ref, cache, i, t)
                 })
             })
             .collect();
@@ -697,6 +790,7 @@ fn finish_report(
         hist: live.hist(),
         summary_hits: cache.hits() - hits_before,
         summary_misses: cache.misses() - misses_before,
+        attribution: live.attribution(),
     }
 }
 
@@ -738,15 +832,7 @@ impl Frontend {
                     .spawn(move || {
                         let label = format!("serve/w{i}");
                         let t = trace.as_ref().map(|t| (t, label.as_str()));
-                        worker_loop(
-                            &engine,
-                            &core.cfg,
-                            &cache,
-                            &core.responses,
-                            &core.queues[i],
-                            &core.live,
-                            t,
-                        )
+                        worker_loop(&engine, &core, &cache, i, t)
                     })
                     .expect("spawn serve worker")
             })

@@ -52,8 +52,8 @@ pub mod routing;
 pub use cache::{ShardedLru, SummaryCache, SummaryKey};
 pub use driver::DriverConfig;
 pub use frontend::{
-    Admission, Frontend, FrontendConfig, LiveStats, QueryReply, Responder, ServeReport, ShedPolicy,
-    Submitted, Submitter,
+    Admission, AttributionReport, Frontend, FrontendConfig, LiveStats, QueryReply, Responder,
+    ServeReport, ShedPolicy, Submitted, Submitter,
 };
 pub use obs::LatencyHistogram;
 pub use routing::RoutingView;
