@@ -19,6 +19,7 @@
 //! | `rebalance` | placement + mint | throttled scale-out then decommission |
 //! | `netbench` | net + serve | the serve path behind a real loopback socket |
 //! | `telemetry` | obs | sim-clock sampler, windowed percentiles, SLO breach/recovery |
+//! | `controller` | ctrl + placement + mint | observe→decide→act rounds over a ramping load, plans executed live |
 //! | `recovery_replay` | wal + mint | crash a replica, catch up via log suffix vs. full state |
 //! | `join_sync` | wal + mint | join a node via log replay vs. full anti-entropy |
 //! | `attribution` | serve + obs | costed serving: accumulator render, hot-key sketch, WAN ledger |
@@ -34,7 +35,7 @@ use serve::{ServeConfig, ServeExt, SummaryCache};
 use simclock::{SimClock, SimTime};
 
 /// Scenario names, in suite order. `perf -- all` runs exactly these.
-pub const SCENARIOS: [&str; 12] = [
+pub const SCENARIOS: [&str; 13] = [
     "qindb_write",
     "lsm_write",
     "bifrost_delivery",
@@ -44,6 +45,7 @@ pub const SCENARIOS: [&str; 12] = [
     "rebalance",
     "netbench",
     "telemetry",
+    "controller",
     "recovery_replay",
     "join_sync",
     "attribution",
@@ -124,6 +126,7 @@ pub fn run_scenario(name: &str, cfg: &PerfConfig) -> Option<BenchReport> {
         "rebalance" => rebalance(cfg),
         "netbench" => netbench(cfg),
         "telemetry" => telemetry(cfg),
+        "controller" => controller(cfg),
         "recovery_replay" => recovery_replay(cfg),
         "join_sync" => join_sync(cfg),
         "attribution" => attribution(cfg),
@@ -617,6 +620,66 @@ fn telemetry(cfg: &PerfConfig) -> BenchReport {
     r.push(name, "series_crc32", crc as f64, "crc", true);
     r.push(name, "series_bytes", snap_len as f64, "bytes", true);
     r.push(name, "window_p99_us", p99, "us", true);
+    push_wall(&mut r, name, wall);
+    r
+}
+
+fn controller(cfg: &PerfConfig) -> BenchReport {
+    let rounds: u32 = if cfg.quick { 10 } else { 24 };
+    let keys = if cfg.quick { 200 } else { 800 };
+    // The control loop's cost shape: snapshot + model + decide every
+    // round, plus the occasional plan executed live through the
+    // throttled migrator. The offered load ramps one group past its
+    // capacity so the p99 policy must engage, fire, cool down, and fire
+    // again as the ramp outruns each added node.
+    let run = move || {
+        let mut cluster = Mint::new(MintConfig::tiny());
+        let registry = obs::Registry::new();
+        let ops: Vec<WriteOp> = (0..keys)
+            .map(|i| WriteOp {
+                key: Bytes::from(format!("key:{i:06}")),
+                version: 1,
+                value: Some(Bytes::from(vec![b'a' + (i % 23) as u8; 256])),
+            })
+            .collect();
+        cluster.apply(&ops).expect("apply");
+        let model = ctrl::ServeModel::new(ctrl::ServeModelConfig::default());
+        let mut controller = ctrl::Controller::new(ctrl::ControllerConfig::default());
+        let mut plans = 0u64;
+        let mut moved = 0u64;
+        let mut steady_p99 = 0u64;
+        for round in 0..rounds {
+            let mut load = placement::LoadReport::snapshot(&cluster);
+            let offered = [200, (300 + 200 * round as u64).min(1_400)];
+            let seen = model.observe(&mut load, &offered, round);
+            steady_p99 = seen.p99_us;
+            let decision = controller.decide(round, 0, &load, &registry, None);
+            if let Some(plan) = decision.plan {
+                plans += 1;
+                let report = placement::Migration::execute(
+                    plan,
+                    placement::MigratorConfig::default(),
+                    &mut cluster,
+                    &registry,
+                    None,
+                )
+                .expect("controller plan executes");
+                moved += report.bytes_moved;
+            }
+        }
+        let timeline = controller.timeline().join("\n");
+        let crc = net::wire::crc32(timeline.as_bytes());
+        (plans, moved, steady_p99, cluster.num_nodes() as u64, crc)
+    };
+    let (wall, (plans, moved, steady_p99, nodes, crc)) = measure(cfg.reps, run);
+    let name = "controller";
+    let mut r = BenchReport::new(cfg.mode());
+    r.push(name, "rounds", rounds as f64, "count", true);
+    r.push(name, "plans", plans as f64, "count", true);
+    r.push(name, "bytes_moved", moved as f64, "bytes", true);
+    r.push(name, "steady_p99_us", steady_p99 as f64, "us", true);
+    r.push(name, "final_nodes", nodes as f64, "count", true);
+    r.push(name, "decision_crc32", crc as f64, "crc", true);
     push_wall(&mut r, name, wall);
     r
 }

@@ -32,5 +32,5 @@ mod orchestrator;
 mod schedule;
 
 pub use invariant::{InvariantChecker, Violation};
-pub use orchestrator::{ChaosConfig, ChaosReport, Orchestrator};
+pub use orchestrator::{Actuator, ActuatorPlan, ChaosConfig, ChaosReport, Orchestrator};
 pub use schedule::{FaultEvent, FaultKind, Schedule, ScheduleConfig};

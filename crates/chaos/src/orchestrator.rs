@@ -29,6 +29,11 @@ const CHURN_THROTTLE_BPS: u64 = 8 * 1024 * 1024;
 /// join or drain spans several throttled batches (and thus several
 /// `migrate`/`drain` spans), as a production rebalance would.
 const CHURN_STEP_BYTES: u64 = 16 * 1024;
+/// Migration batches each in-flight churn migration may move per storm
+/// round. Batch-granularity interleaving: a scale-out or drain spans
+/// several delivery rounds, its batches contending with foreground WAN
+/// traffic, instead of running to completion between rounds.
+const CHURN_TICKS_PER_ROUND: u32 = 8;
 
 /// Orchestrator knobs.
 #[derive(Debug, Clone, Copy)]
@@ -95,7 +100,44 @@ pub struct Orchestrator {
     /// node, committed frontier, corrupt). Consumed when the node
     /// recovers, to check the recovery against the ground truth.
     wal_marks: Vec<(usize, u32, u64, bool)>,
+    /// Churn migrations still in flight, in start order. Each storm
+    /// round ticks every entry at most [`CHURN_TICKS_PER_ROUND`]
+    /// batches; a tick error (a drain target still crashed, a floor
+    /// waiting on an earlier join's cutover) leaves the op in place for
+    /// the next round.
+    inflight: Vec<InflightChurn>,
+    /// The per-round control loop, when one is installed.
+    actuator: Option<Actuator>,
 }
+
+/// One churn migration being ticked across rounds.
+struct InflightChurn {
+    /// DC index in the deployment's `dc_ids` order.
+    dc: usize,
+    /// What started it — the schedule event or the controller plan
+    /// (for timeline and violation labels).
+    label: String,
+    migration: placement::Migration,
+}
+
+/// One topology plan an [`Actuator`] wants driven through the storm:
+/// the orchestrator ticks it batch-by-batch alongside scheduled churn,
+/// its migration traffic contending with foreground WAN bytes.
+pub struct ActuatorPlan {
+    /// DC index in the deployment's `dc_ids` order.
+    pub dc: usize,
+    /// Timeline label for the plan (e.g. the controller's policy name).
+    pub label: String,
+    /// The validated multi-op plan to execute.
+    pub plan: placement::MigrationPlan,
+}
+
+/// A control loop invoked once per storm round, after the round's
+/// scheduled faults land and before churn ticks: it observes the (possibly
+/// degraded) deployment and returns the topology plans to actuate. This is
+/// how the placement controller runs *inside* the storm without the chaos
+/// crate depending on it.
+pub type Actuator = Box<dyn FnMut(&mut DirectLoad, u32) -> Vec<ActuatorPlan>>;
 
 impl Orchestrator {
     /// Wraps a freshly built deployment and a schedule.
@@ -114,12 +156,23 @@ impl Orchestrator {
             retry_recover: Vec::new(),
             crashed: Vec::new(),
             wal_marks: Vec::new(),
+            inflight: Vec::new(),
+            actuator: None,
         }
     }
 
     /// The wrapped deployment (for post-storm inspection).
     pub fn system(&self) -> &DirectLoad {
         &self.system
+    }
+
+    /// Installs a per-round control loop. Each storm round — after the
+    /// round's scheduled faults land, before churn ticks — the actuator
+    /// observes the deployment and returns plans; the orchestrator
+    /// starts each as a throttled in-flight migration, interleaved
+    /// batch-by-batch with scheduled churn and foreground traffic.
+    pub fn set_actuator(&mut self, actuator: Actuator) {
+        self.actuator = Some(actuator);
     }
 
     /// Runs the storm to completion and reports.
@@ -131,6 +184,8 @@ impl Orchestrator {
             for kind in due {
                 self.apply(round, kind, &mut checker);
             }
+            self.run_actuator(round);
+            self.tick_churn(round);
             match self.system.run_version(self.cfg.change_fraction) {
                 Ok(report) => checker.observe_round(&self.system, &report, round),
                 Err(e) => self.note_violation(
@@ -227,6 +282,7 @@ impl Orchestrator {
                 one_in,
                 rounds,
             } => {
+                self.flush_churn_for_node(round, dc, node, checker);
                 self.install_ssd(
                     dc,
                     node,
@@ -245,6 +301,7 @@ impl Orchestrator {
                 one_in,
                 rounds,
             } => {
+                self.flush_churn_for_node(round, dc, node, checker);
                 self.install_ssd(
                     dc,
                     node,
@@ -265,7 +322,6 @@ impl Orchestrator {
                     placement::PlanOp::Join {
                         group: group as usize,
                     },
-                    checker,
                 );
             }
             FaultKind::Decommission { dc, node } => {
@@ -274,7 +330,6 @@ impl Orchestrator {
                     kind,
                     dc,
                     placement::PlanOp::Drain { node: NodeId(node) },
-                    checker,
                 );
             }
         }
@@ -294,6 +349,7 @@ impl Orchestrator {
         tamper: Option<WalTamper>,
         checker: &mut InvariantChecker,
     ) {
+        self.flush_churn_for_node(round, dc, node, checker);
         let id = self.dc_id(dc);
         let outcome = {
             let cluster = self.system.cluster_mut(id).expect("deployment DC exists");
@@ -326,22 +382,15 @@ impl Orchestrator {
         }
     }
 
-    /// Executes one topology-churn op as a live throttled migration,
-    /// synchronously, against the DC's cluster. The migrator writes its
-    /// `migrate`/`drain` spans and `placement.*` counters into the
-    /// system's shared trace ring and registry, so churn shows up in
-    /// `introspect()` exactly as an operator-driven rebalance would.
-    fn apply_churn(
-        &mut self,
-        round: u32,
-        kind: FaultKind,
-        dc: usize,
-        op: placement::PlanOp,
-        checker: &mut InvariantChecker,
-    ) {
-        let id = self.dc_id(dc);
-        let registry = self.system.registry().clone();
-        let trace = self.system.trace().clone();
+    /// Starts one topology-churn op as a live throttled migration, to be
+    /// ticked batch by batch across the coming rounds. The migrator
+    /// writes its `migrate`/`drain` spans and `placement.*` counters
+    /// into the system's shared trace ring and registry, so churn shows
+    /// up in `introspect()` exactly as an operator-driven rebalance
+    /// would. The op itself begins on the first tick: a join allocates
+    /// its node id then, so ids stay dense in event order — the
+    /// assumption the schedule generator's membership model makes.
+    fn apply_churn(&mut self, round: u32, kind: FaultKind, dc: usize, op: placement::PlanOp) {
         let plan = placement::MigrationPlan {
             ops: vec![op],
             estimated_bytes: 0,
@@ -350,21 +399,191 @@ impl Orchestrator {
             throttle_bytes_per_sec: CHURN_THROTTLE_BPS,
             step_bytes: CHURN_STEP_BYTES,
         };
-        let cluster = self.system.cluster_mut(id).expect("deployment DC exists");
-        match placement::Migration::execute(plan, mcfg, cluster, &registry, Some(&trace)) {
-            Ok(report) => {
-                self.emit_fault(round, kind);
+        self.emit_fault(round, kind);
+        self.timeline
+            .push(format!("round={round:02} migrate_begin dc={dc} op={kind}"));
+        self.inflight.push(InflightChurn {
+            dc,
+            label: kind.to_string(),
+            migration: placement::Migration::new(plan, mcfg),
+        });
+    }
+
+    /// Runs the installed control loop for one round and enqueues the
+    /// plans it emits as in-flight churn migrations. The actuator is
+    /// temporarily taken out of `self` so it can borrow the deployment
+    /// mutably while the orchestrator still owns it.
+    fn run_actuator(&mut self, round: u32) {
+        let Some(mut actuator) = self.actuator.take() else {
+            return;
+        };
+        let plans = actuator(&mut self.system, round);
+        self.actuator = Some(actuator);
+        for ActuatorPlan { dc, label, plan } in plans {
+            let mcfg = placement::MigratorConfig {
+                throttle_bytes_per_sec: CHURN_THROTTLE_BPS,
+                step_bytes: CHURN_STEP_BYTES,
+            };
+            self.timeline.push(format!(
+                "round={round:02} ctrl dc={dc} {label} ops={}",
+                plan.ops.len()
+            ));
+            self.system
+                .registry()
+                .counter("chaos.ctrl_plans_total")
+                .inc();
+            self.inflight.push(InflightChurn {
+                dc,
+                label,
+                migration: placement::Migration::new(plan, mcfg),
+            });
+        }
+    }
+
+    /// Moves up to [`CHURN_TICKS_PER_ROUND`] batches of every in-flight
+    /// churn migration, in start order. Tick errors are expected
+    /// mid-storm (a drain target still crashed, a begin waiting on an
+    /// earlier migration's cutover) and leave the op in place; the
+    /// settle flush flags the ones that never resolve.
+    fn tick_churn(&mut self, round: u32) {
+        if self.inflight.is_empty() {
+            return;
+        }
+        let registry = self.system.registry().clone();
+        let trace = self.system.trace().clone();
+        let ids = self.system.dc_ids();
+        for entry in &mut self.inflight {
+            let cluster = self
+                .system
+                .cluster_mut(ids[entry.dc])
+                .expect("deployment DC exists");
+            let mut steps = 0u64;
+            let mut bytes = 0u64;
+            let mut stalled = None;
+            for _ in 0..CHURN_TICKS_PER_ROUND {
+                match entry.migration.tick(cluster, &registry, Some(&trace)) {
+                    Ok(placement::TickOutcome::Finished) => break,
+                    Ok(placement::TickOutcome::Step { bytes: b, .. }) => {
+                        steps += 1;
+                        bytes += b;
+                    }
+                    Ok(placement::TickOutcome::CutOver { .. }) => steps += 1,
+                    Err(e) => {
+                        stalled = Some(e);
+                        break;
+                    }
+                }
+                if entry.migration.is_finished() {
+                    break;
+                }
+            }
+            let dc = entry.dc;
+            if steps > 0 {
                 self.timeline.push(format!(
-                    "round={round:02} migrate dc={dc} steps={} bytes={} items={}",
-                    report.steps, report.bytes_moved, report.items_moved
+                    "round={round:02} migrate dc={dc} steps={steps} bytes={bytes}"
                 ));
             }
-            Err(e) => self.note_violation(
-                checker,
-                round,
-                "schedule_valid",
-                format!("churn {kind} rejected: {e}"),
-            ),
+            if let Some(e) = stalled {
+                self.timeline
+                    .push(format!("round={round:02} migrate_stall dc={dc} err={e}"));
+            }
+            if entry.migration.is_finished() {
+                let report = entry.migration.report();
+                self.timeline.push(format!(
+                    "round={round:02} migrate_done dc={dc} steps={} bytes={} items={} \
+                     joined={} retired={}",
+                    report.steps,
+                    report.bytes_moved,
+                    report.items_moved,
+                    report.joined.len(),
+                    report.retired.len(),
+                ));
+            }
+        }
+        self.inflight.retain(|e| !e.migration.is_finished());
+    }
+
+    /// Runs every in-flight churn migration for `dc` to completion, in
+    /// start order. Called when a scheduled event is about to touch a
+    /// node the schedule's membership model already counts as settled
+    /// (a scale-out's joiner that is still syncing), and at settle. A
+    /// migration whose tick errors here is stuck for good — earlier
+    /// migrations have already flushed — so it is flagged and dropped.
+    fn flush_churn(&mut self, round: u32, dc: Option<usize>, checker: &mut InvariantChecker) {
+        if self.inflight.is_empty() {
+            return;
+        }
+        let registry = self.system.registry().clone();
+        let trace = self.system.trace().clone();
+        let ids = self.system.dc_ids();
+        let mut entries = std::mem::take(&mut self.inflight);
+        for entry in &mut entries {
+            if dc.is_some_and(|d| d != entry.dc) {
+                continue;
+            }
+            let cluster = self
+                .system
+                .cluster_mut(ids[entry.dc])
+                .expect("deployment DC exists");
+            let outcome = loop {
+                match entry.migration.tick(cluster, &registry, Some(&trace)) {
+                    Ok(placement::TickOutcome::Finished) => break Ok(()),
+                    Ok(_) => {}
+                    Err(e) => break Err(e),
+                }
+            };
+            let entry_dc = entry.dc;
+            match outcome {
+                Ok(()) => {
+                    let report = entry.migration.report();
+                    self.timeline.push(format!(
+                        "round={round:02} migrate_done dc={entry_dc} steps={} bytes={} \
+                         items={} joined={} retired={}",
+                        report.steps,
+                        report.bytes_moved,
+                        report.items_moved,
+                        report.joined.len(),
+                        report.retired.len(),
+                    ));
+                }
+                Err(e) => {
+                    let label = entry.label.clone();
+                    self.note_violation(
+                        checker,
+                        round,
+                        "schedule_valid",
+                        format!("churn {label} rejected: {e}"),
+                    );
+                }
+            }
+        }
+        entries.retain(|e| !e.migration.is_finished() && dc.is_some_and(|d| d != e.dc));
+        self.inflight = entries;
+    }
+
+    /// Flushes `dc`'s in-flight churn before an event touches `node`,
+    /// when the node is one churn is still creating: the schedule's
+    /// membership model treats a scale-out as complete the round it
+    /// fires, so a later crash may target a joiner that has not cut
+    /// over yet (`Mint::fail_node` rejects joining nodes).
+    fn flush_churn_for_node(
+        &mut self,
+        round: u32,
+        dc: usize,
+        node: u32,
+        checker: &mut InvariantChecker,
+    ) {
+        let needs = {
+            let id = self.dc_id(dc);
+            let cluster = self.system.cluster(id).expect("deployment DC exists");
+            node as usize >= cluster.num_nodes()
+                || matches!(
+                    cluster.node_role(NodeId(node)),
+                    Ok(mint::NodeRole::Joining { .. })
+                )
+        };
+        if needs {
+            self.flush_churn(round, Some(dc), checker);
         }
     }
 
@@ -569,6 +788,10 @@ impl Orchestrator {
                 format!("dc={dc} node={node} still down after {attempts} attempts at settle"),
             );
         }
+        // Every node is back (or flagged): churn still in flight can now
+        // run to completion, so the final clean round and the checker's
+        // final pass see a settled topology.
+        self.flush_churn(settle_round, None, checker);
         match self.system.run_version(self.cfg.change_fraction) {
             Ok(report) => checker.observe_round(&self.system, &report, settle_round),
             Err(e) => self.note_violation(

@@ -58,7 +58,8 @@ fn churn_migrates_live_without_violations() {
         rounds: 5,
         ..ChaosConfig::default()
     };
-    let report = Orchestrator::new(system, schedule, cfg).run();
+    let mut orch = Orchestrator::new(system, schedule, cfg);
+    let report = orch.run();
     assert!(
         report.violations.is_empty(),
         "live churn must keep every invariant: {:?}",
@@ -76,11 +77,27 @@ fn churn_migrates_live_without_violations() {
         report
             .timeline
             .iter()
-            .filter(|l| l.contains(" migrate dc=0 "))
+            .filter(|l| l.contains("migrate_done dc=0"))
             .count()
             == 2,
-        "both churn ops run as live migrations: {:?}",
+        "both churn ops run to completion as live migrations: {:?}",
         report.timeline
+    );
+    assert!(
+        report
+            .timeline
+            .iter()
+            .any(|l| l.contains("migrate dc=0 steps=")),
+        "churn must tick in throttled batches inside delivery rounds: {:?}",
+        report.timeline
+    );
+    // Every batch the churn moved was charged to the WAN ledger's
+    // migration traffic class — it never pollutes the foreground or
+    // catch-up accounting the other invariants pin.
+    let wan = orch.system().wan();
+    assert!(
+        wan.class_total(obs::TrafficClass::Migration) > 0,
+        "churn batches must land in the Migration WAN class"
     );
 }
 

@@ -1,0 +1,192 @@
+//! Declarative placement policies: signals, bands, and cooldowns.
+//!
+//! A policy watches one scalar signal derived from the load report and
+//! latches through a **hysteresis band**: it engages after the signal
+//! holds above the enter threshold for a sustain window, and disengages
+//! only once the signal falls below the (lower) exit threshold. Between
+//! the two thresholds the previous state sticks, so a signal hovering
+//! at the boundary cannot toggle the policy on and off each round.
+//! Actuation is additionally rate-limited by per-family **cooldowns**
+//! ([`ActionFamily`]): scale-up and scale-down share one family, which
+//! is what makes opposing plans inside a cooldown window impossible by
+//! construction — the anti-flap property the controller's proptests
+//! pin.
+
+use placement::LoadReport;
+
+/// Thresholds and rate limits for every policy the controller runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyConfig {
+    /// p99 pressure: engage above this read p99 (microseconds)…
+    pub p99_enter_us: u64,
+    /// …and disengage only below this.
+    pub p99_exit_us: u64,
+    /// Consecutive rounds above `p99_enter_us` before engaging — one
+    /// crash-recovery blip must not trigger a topology change.
+    pub p99_sustain: u32,
+    /// Heat skew: engage when the hottest group's read heat exceeds
+    /// this multiple (permille) of the mean…
+    pub skew_enter_pm: u64,
+    /// …and disengage below this multiple.
+    pub skew_exit_pm: u64,
+    /// Footprint skew: engage when the biggest group's disk bytes
+    /// exceed this multiple (permille) of the mean…
+    pub footprint_enter_pm: u64,
+    /// …and disengage below this multiple.
+    pub footprint_exit_pm: u64,
+    /// Desired live serving nodes per DC (`None` disables the goal).
+    /// Below it the controller adds capacity; above it, it decommissions
+    /// from the coldest group still over the replication floor.
+    pub target_nodes: Option<usize>,
+    /// Rounds an action family stays quiet after emitting a plan.
+    pub cooldown_rounds: u32,
+    /// Join/drain pairs a cross-group balancing plan may carry.
+    pub max_moves: usize,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            p99_enter_us: 10_000,
+            p99_exit_us: 6_000,
+            p99_sustain: 2,
+            skew_enter_pm: 1_800,
+            skew_exit_pm: 1_300,
+            footprint_enter_pm: 2_000,
+            footprint_exit_pm: 1_500,
+            target_nodes: None,
+            cooldown_rounds: 3,
+            max_moves: 2,
+        }
+    }
+}
+
+/// Which cooldown an action draws from. `AddCapacity` and
+/// `Decommission` both spend from [`ActionFamily::Scale`], so the
+/// controller can never emit one within a cooldown window of the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ActionFamily {
+    /// Topology size changes: scale-up and scale-down.
+    Scale,
+    /// Net-zero rebalancing: cross-group moves and hot-group rotation.
+    Balance,
+}
+
+/// One policy's latch through its hysteresis band.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hysteresis {
+    engaged: bool,
+    above: u32,
+}
+
+impl Hysteresis {
+    /// Feeds one round's signal level through the band; returns whether
+    /// the policy is engaged afterwards.
+    pub fn update(&mut self, level: u64, enter: u64, exit: u64, sustain: u32) -> bool {
+        if level > enter {
+            self.above += 1;
+            if self.above >= sustain {
+                self.engaged = true;
+            }
+        } else {
+            self.above = 0;
+            if level < exit {
+                self.engaged = false;
+            }
+            // Between exit and enter: the latch holds its state.
+        }
+        self.engaged
+    }
+
+    /// Whether the policy is currently engaged.
+    pub fn engaged(&self) -> bool {
+        self.engaged
+    }
+}
+
+/// The scalar signals one control round derives from a load report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signals {
+    /// Read p99 from the attached latency histogram (0 when absent).
+    pub p99_us: u64,
+    /// Hottest group's read heat over the mean, permille (1000 = even).
+    pub heat_skew_pm: u64,
+    /// Biggest group's disk bytes over the mean, permille.
+    pub footprint_skew_pm: u64,
+    /// Live serving nodes (the node-count goal's level).
+    pub serving_nodes: usize,
+    /// The group `RebalanceHot`/`AddCapacity` would target.
+    pub hottest: usize,
+}
+
+impl Signals {
+    /// Derives the round's signals from `load`. Pure and total: a
+    /// report with no heat or latency attached yields neutral levels.
+    pub fn from_report(load: &LoadReport) -> Signals {
+        Signals {
+            p99_us: load.read_latency_us.map(|[_, p99]| p99).unwrap_or(0),
+            heat_skew_pm: skew_pm(load.groups.iter().map(|g| g.read_heat)),
+            footprint_skew_pm: skew_pm(load.groups.iter().map(|g| g.disk_bytes)),
+            serving_nodes: load
+                .nodes
+                .iter()
+                .filter(|n| n.role == mint::NodeRole::Serving && n.alive)
+                .count(),
+            hottest: load.hottest_group(),
+        }
+    }
+}
+
+/// Max-over-mean in permille; 1000 when the signal is flat or absent.
+fn skew_pm(levels: impl Iterator<Item = u64>) -> u64 {
+    let levels: Vec<u64> = levels.collect();
+    let total: u64 = levels.iter().sum();
+    let max = levels.iter().copied().max().unwrap_or(0);
+    if total == 0 || levels.is_empty() {
+        return 1000;
+    }
+    // max / (total/n) = max*n/total, scaled to permille.
+    max.saturating_mul(1000).saturating_mul(levels.len() as u64) / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hysteresis_latches_through_the_band() {
+        let mut h = Hysteresis::default();
+        // Needs `sustain` consecutive rounds above enter.
+        assert!(!h.update(120, 100, 50, 2));
+        assert!(h.update(120, 100, 50, 2), "second round engages");
+        // Inside the band the latch holds.
+        assert!(h.update(80, 100, 50, 2));
+        assert!(h.update(60, 100, 50, 2));
+        // Below exit it releases…
+        assert!(!h.update(40, 100, 50, 2));
+        // …and a single spike does not re-engage.
+        assert!(!h.update(120, 100, 50, 2));
+        assert!(h.update(120, 100, 50, 2));
+    }
+
+    #[test]
+    fn a_dip_resets_the_sustain_window() {
+        let mut h = Hysteresis::default();
+        assert!(!h.update(120, 100, 50, 3));
+        assert!(!h.update(120, 100, 50, 3));
+        assert!(!h.update(90, 100, 50, 3), "dip inside the band");
+        assert!(!h.update(120, 100, 50, 3), "window restarted");
+        assert!(!h.update(120, 100, 50, 3));
+        assert!(h.update(120, 100, 50, 3));
+    }
+
+    #[test]
+    fn skew_is_neutral_when_flat_and_scales_with_imbalance() {
+        assert_eq!(skew_pm([5u64, 5, 5].into_iter()), 1000);
+        assert_eq!(skew_pm([0u64, 0].into_iter()), 1000);
+        assert_eq!(skew_pm(std::iter::empty()), 1000);
+        // One group holding 3/4 of the heat of two groups: 1500 pm.
+        assert_eq!(skew_pm([30u64, 10].into_iter()), 1500);
+        assert!(skew_pm([100u64, 1].into_iter()) > 1900);
+    }
+}

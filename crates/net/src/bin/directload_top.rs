@@ -90,6 +90,24 @@ fn render(addr: &str, frame: &TelemetryFrame) -> String {
             out.push_str(&format!("  {key}: ~{count}\n"));
         }
     }
+    if let Some(section) = frame.controller() {
+        out.push_str(&format!(
+            "controller: rounds={} plans={} plan_errors={}\n",
+            section.rounds, section.plans, section.plan_errors
+        ));
+        if !section.dcs.is_empty() {
+            out.push_str(&format!(
+                "  {:<5} {:>10} {:>10} {:>10} {:>7}\n",
+                "dc", "p99_us", "heat_pm", "disk_pm", "nodes"
+            ));
+            for row in &section.dcs {
+                out.push_str(&format!(
+                    "  dc{:<3} {:>10.0} {:>10.0} {:>10.0} {:>7.0}\n",
+                    row.dc, row.p99_us, row.heat_skew_pm, row.footprint_skew_pm, row.serving_nodes
+                ));
+            }
+        }
+    }
     if !frame.wan.is_empty() {
         out.push_str(&format!(
             "wan bytes by class:\n  {:<10} {:>12} {:>12} {:>12}\n",

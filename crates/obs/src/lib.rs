@@ -70,7 +70,7 @@ pub use hist::LatencyHistogram;
 pub use registry::{Counter, Gauge, MetricSample, MetricValue, MetricsReport, Registry};
 pub use sketch::TopKSketch;
 pub use slo::{SloEngine, SloOp, SloSpec, SloStatus};
-pub use telemetry::{LayerRow, TelemetryFrame, TopSpan};
+pub use telemetry::{CtrlDcRow, CtrlSection, LayerRow, TelemetryFrame, TopSpan};
 pub use timeseries::{Sampler, SeriesPoint, TimeSeries};
 pub use trace::{
     assemble, breakdown, profile, profile_window, top_self_time, AssembledTrace, Profile, SelfTime,

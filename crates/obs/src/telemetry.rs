@@ -106,6 +106,39 @@ impl TopSpan {
     }
 }
 
+/// One DC's placement-controller signals, assembled from the frame's
+/// `ctrl.dc{N}.*` gauges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtrlDcRow {
+    /// DC index (deployment `dc_ids` order).
+    pub dc: u64,
+    /// The read p99 the controller last observed, microseconds.
+    pub p99_us: f64,
+    /// Hottest group's read heat over the mean, permille.
+    pub heat_skew_pm: f64,
+    /// Biggest group's disk footprint over the mean, permille.
+    pub footprint_skew_pm: f64,
+    /// Live serving nodes the controller last counted.
+    pub serving_nodes: f64,
+}
+
+/// The placement controller's section of a telemetry frame: loop
+/// counters plus the latest per-DC signal gauges. Assembled from the
+/// frame's cumulative `ctrl.*` metrics, so it needs no wire-format
+/// change — frames from deployments without a controller simply yield
+/// `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtrlSection {
+    /// Control rounds run (`ctrl.rounds_total`).
+    pub rounds: u64,
+    /// Plans emitted (`ctrl.plans_total`).
+    pub plans: u64,
+    /// Planner rejections (`ctrl.plan_errors_total`).
+    pub plan_errors: u64,
+    /// Per-DC signal rows, ascending by DC index.
+    pub dcs: Vec<CtrlDcRow>,
+}
+
 /// The full typed `Introspect` payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TelemetryFrame {
@@ -156,6 +189,37 @@ impl TelemetryFrame {
             .binary_search_by(|(n, _)| n.as_str().cmp(name))
             .ok()
             .map(|i| self.metrics[i].1)
+    }
+
+    /// The placement controller's section, assembled from the frame's
+    /// `ctrl.*` metrics; `None` when no controller has run.
+    pub fn controller(&self) -> Option<CtrlSection> {
+        let rounds = self.metric("ctrl.rounds_total")? as u64;
+        let mut dcs = Vec::new();
+        for dc in 0.. {
+            let Some(p99_us) = self.metric(&format!("ctrl.dc{dc}.p99_us")) else {
+                break;
+            };
+            dcs.push(CtrlDcRow {
+                dc,
+                p99_us,
+                heat_skew_pm: self
+                    .metric(&format!("ctrl.dc{dc}.heat_skew_pm"))
+                    .unwrap_or(0.0),
+                footprint_skew_pm: self
+                    .metric(&format!("ctrl.dc{dc}.footprint_skew_pm"))
+                    .unwrap_or(0.0),
+                serving_nodes: self
+                    .metric(&format!("ctrl.dc{dc}.serving_nodes"))
+                    .unwrap_or(0.0),
+            });
+        }
+        Some(CtrlSection {
+            rounds,
+            plans: self.metric("ctrl.plans_total").unwrap_or(0.0) as u64,
+            plan_errors: self.metric("ctrl.plan_errors_total").unwrap_or(0.0) as u64,
+            dcs,
+        })
     }
 
     /// The frame as a JSON tree.
@@ -413,6 +477,47 @@ mod tests {
         }
         let back = TelemetryFrame::from_value(&v).unwrap();
         assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn controller_section_assembles_from_ctrl_metrics() {
+        let reg = Registry::new();
+        let frame = |reg: &Registry| TelemetryFrame {
+            now_ns: 1,
+            metrics: TelemetryFrame::metrics_from_report(&reg.snapshot()),
+            series: serde_json::Value::Object(vec![]),
+            layers: vec![],
+            slos: vec![],
+            top_spans: vec![],
+            hot_groups: vec![],
+            hot_keys: vec![],
+            wan: vec![],
+        };
+        // No controller ran: no section.
+        assert_eq!(frame(&reg).controller(), None);
+        reg.counter("ctrl.rounds_total").add(12);
+        reg.counter("ctrl.plans_total").add(3);
+        reg.gauge("ctrl.dc0.p99_us").set(7259.0);
+        reg.gauge("ctrl.dc0.heat_skew_pm").set(1750.0);
+        reg.gauge("ctrl.dc0.footprint_skew_pm").set(1333.0);
+        reg.gauge("ctrl.dc0.serving_nodes").set(8.0);
+        let section = frame(&reg).controller().expect("controller ran");
+        assert_eq!(section.rounds, 12);
+        assert_eq!(section.plans, 3);
+        assert_eq!(section.plan_errors, 0);
+        assert_eq!(
+            section.dcs,
+            vec![CtrlDcRow {
+                dc: 0,
+                p99_us: 7259.0,
+                heat_skew_pm: 1750.0,
+                footprint_skew_pm: 1333.0,
+                serving_nodes: 8.0,
+            }]
+        );
+        // The section survives the wire: same frame after a round trip.
+        let back = TelemetryFrame::from_json(&frame(&reg).to_json()).unwrap();
+        assert_eq!(back.controller(), frame(&reg).controller());
     }
 
     #[test]

@@ -88,11 +88,14 @@ pub enum SpanKind {
     /// One suffix replayed out of a write-ahead log (node recovery or
     /// join catch-up shipping the donor's log tail).
     WalReplay,
+    /// One placement-controller decision: a control round observed the
+    /// cluster and emitted (or declined to emit) a topology plan.
+    Control,
 }
 
 impl SpanKind {
     /// Every kind, in pipeline-then-maintenance order.
-    pub const ALL: [SpanKind; 25] = [
+    pub const ALL: [SpanKind; 26] = [
         SpanKind::Build,
         SpanKind::Dedup,
         SpanKind::Slice,
@@ -118,6 +121,7 @@ impl SpanKind {
         SpanKind::SloRecover,
         SpanKind::WalAppend,
         SpanKind::WalReplay,
+        SpanKind::Control,
     ];
 
     /// Stable lowercase name used in JSONL dumps.
@@ -148,6 +152,7 @@ impl SpanKind {
             SpanKind::SloRecover => "slo_recover",
             SpanKind::WalAppend => "wal_append",
             SpanKind::WalReplay => "wal_replay",
+            SpanKind::Control => "control",
         }
     }
 
@@ -173,6 +178,7 @@ impl SpanKind {
             SpanKind::Fault | SpanKind::Repair => "chaos",
             SpanKind::SloBreach | SpanKind::SloRecover => "slo",
             SpanKind::WalAppend | SpanKind::WalReplay => "wal",
+            SpanKind::Control => "ctrl",
         }
     }
 }

@@ -7,7 +7,7 @@
 //! floor at `begin_drain`): the planner failing fast just gives better
 //! errors before any data moves.
 
-use crate::load::LoadReport;
+use crate::load::{GroupLoad, LoadReport};
 use crate::Result;
 use mint::{MintError, NodeId, NodeRole};
 
@@ -27,6 +27,23 @@ pub enum TopologyGoal {
     /// Shift load off the hottest group: grow it by one node, then
     /// drain its busiest member onto the fresh capacity.
     RebalanceHot,
+    /// Cross-group balancing: move capacity from cold over-provisioned
+    /// groups to hot ones. Each move pairs the hottest unpaired group
+    /// with the coldest group still above the replication floor — one
+    /// join to the hot group, one drain from the cold one — up to
+    /// `max_moves` pairs. All joins are ordered before all drains.
+    /// A cluster that is already balanced (or has no donor above the
+    /// floor) yields an empty plan.
+    BalanceGroups {
+        /// Upper bound on join/drain pairs in one plan.
+        max_moves: usize,
+    },
+    /// Whole-DC fleet replacement: every group gains `replicas` fresh
+    /// newcomers, then every original live serving member drains out.
+    /// Joins all land before the first drain, so no group ever dips
+    /// below the floor mid-plan; the end state is a cluster of entirely
+    /// fresh nodes at exactly the replication factor.
+    DrainDatacenter,
 }
 
 /// One step of a migration plan.
@@ -94,6 +111,81 @@ pub fn plan(report: &LoadReport, goal: TopologyGoal) -> Result<MigrationPlan> {
             estimated_bytes += report.groups[group].disk_bytes;
             estimated_bytes += report.nodes[victim.0 as usize].disk_bytes;
         }
+        TopologyGoal::BalanceGroups { max_moves } => {
+            // Rank groups by the same pressure key `hottest_group` uses,
+            // hottest first, ties to the lowest index.
+            let key = |g: &GroupLoad| (g.read_heat, g.user_write_bytes, g.disk_bytes);
+            let mut order: Vec<usize> = (0..report.groups.len()).collect();
+            order.sort_by(|&a, &b| {
+                key(&report.groups[b])
+                    .cmp(&key(&report.groups[a]))
+                    .then(a.cmp(&b))
+            });
+            // Donors, coldest first: above the floor and with a live
+            // serving member to give up.
+            let donors: Vec<usize> = order
+                .iter()
+                .rev()
+                .copied()
+                .filter(|&g| {
+                    report.groups[g].members > report.replicas && report.busiest_member(g).is_some()
+                })
+                .collect();
+            let mut used = std::collections::BTreeSet::new();
+            let mut joins = Vec::new();
+            let mut drains = Vec::new();
+            for &hot in &order {
+                if joins.len() >= max_moves || used.contains(&hot) {
+                    continue;
+                }
+                // The coldest unused donor strictly colder than `hot`:
+                // moving between equal-pressure groups would churn data
+                // without changing the skew.
+                let Some(cold) = donors.iter().copied().find(|&cold| {
+                    cold != hot
+                        && !used.contains(&cold)
+                        && key(&report.groups[cold]) < key(&report.groups[hot])
+                }) else {
+                    continue;
+                };
+                used.insert(hot);
+                used.insert(cold);
+                let victim = report
+                    .busiest_member(cold)
+                    .expect("donor has a live member");
+                joins.push(PlanOp::Join { group: hot });
+                estimated_bytes += report.groups[hot].disk_bytes;
+                drains.push(PlanOp::Drain { node: victim });
+                estimated_bytes += report.nodes[victim.0 as usize].disk_bytes;
+            }
+            // Joins land before the first drain: the fresh capacity is
+            // routable before any donor shrinks.
+            ops.extend(joins);
+            ops.extend(drains);
+        }
+        TopologyGoal::DrainDatacenter => {
+            // Every live serving member leaves; every group first gains
+            // a full replica set of newcomers so the floor never trips.
+            let leavers: Vec<NodeId> = report
+                .nodes
+                .iter()
+                .filter(|n| n.role == NodeRole::Serving && n.alive && n.group.is_some())
+                .map(|n| n.node)
+                .collect();
+            if leavers.is_empty() {
+                return Err(MintError::NoReplicaAvailable);
+            }
+            for g in &report.groups {
+                for _ in 0..report.replicas {
+                    ops.push(PlanOp::Join { group: g.group });
+                    estimated_bytes += g.disk_bytes;
+                }
+            }
+            for node in leavers {
+                ops.push(PlanOp::Drain { node });
+                estimated_bytes += report.nodes[node.0 as usize].disk_bytes;
+            }
+        }
     }
     Ok(MigrationPlan {
         ops,
@@ -158,5 +250,166 @@ mod tests {
         let group = report.hottest_group();
         assert_eq!(plan.ops[0], PlanOp::Join { group });
         assert!(matches!(plan.ops[1], PlanOp::Drain { .. }));
+    }
+
+    #[test]
+    fn balance_groups_moves_capacity_from_cold_to_hot() {
+        let mut m = loaded_cluster();
+        let report = LoadReport::snapshot(&m);
+        let cold = {
+            // Give the group write pressure would NOT pick an extra
+            // member, making it the over-provisioned donor.
+            let hot = report.hottest_group();
+            report
+                .groups
+                .iter()
+                .map(|g| g.group)
+                .find(|&g| g != hot)
+                .expect("two groups")
+        };
+        m.add_node(cold).unwrap();
+        let mut report = LoadReport::snapshot(&m);
+        // Anti-entropy to the newcomer counts as write pressure on the
+        // donor; planted read heat keeps the hot group unambiguous, as
+        // it is for the controller's observed-heat signal.
+        let hot = report
+            .groups
+            .iter()
+            .map(|g| g.group)
+            .find(|&g| g != cold)
+            .expect("two groups");
+        report.groups[hot].read_heat = 64 << 20;
+        assert_eq!(report.hottest_group(), hot);
+        let built = plan(&report, TopologyGoal::BalanceGroups { max_moves: 4 }).unwrap();
+        assert_eq!(built.ops.len(), 2, "one pair: {:?}", built.ops);
+        assert_eq!(built.ops[0], PlanOp::Join { group: hot });
+        let PlanOp::Drain { node } = built.ops[1] else {
+            panic!("second op must drain the donor");
+        };
+        assert_eq!(report.nodes[node.0 as usize].group, Some(cold));
+        assert!(built.estimated_bytes > 0);
+    }
+
+    #[test]
+    fn balance_groups_is_empty_when_no_donor_clears_the_floor() {
+        let m = loaded_cluster();
+        // tiny(): every group sits exactly at the floor — nothing to move.
+        let report = LoadReport::snapshot(&m);
+        let built = plan(&report, TopologyGoal::BalanceGroups { max_moves: 4 }).unwrap();
+        assert!(built.ops.is_empty(), "no donor: {:?}", built.ops);
+        assert_eq!(built.estimated_bytes, 0);
+    }
+
+    #[test]
+    fn drain_datacenter_replaces_the_fleet_join_first() {
+        let m = loaded_cluster();
+        let report = LoadReport::snapshot(&m);
+        let built = plan(&report, TopologyGoal::DrainDatacenter).unwrap();
+        let joins = built
+            .ops
+            .iter()
+            .take_while(|op| matches!(op, PlanOp::Join { .. }))
+            .count();
+        assert_eq!(
+            joins,
+            report.groups.len() * report.replicas,
+            "a full replica set of newcomers per group"
+        );
+        assert!(built.ops[joins..]
+            .iter()
+            .all(|op| matches!(op, PlanOp::Drain { .. })));
+        let drains = built.ops.len() - joins;
+        let alive_serving = report
+            .nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Serving && n.alive)
+            .count();
+        assert_eq!(drains, alive_serving, "every original member leaves");
+    }
+
+    /// Replays a plan's ops in order against the report's membership
+    /// counts, enforcing the two validity invariants: capacity arrives
+    /// before it is relied upon (no drain precedes any join) and no
+    /// drain takes a group below the replication floor at the moment it
+    /// executes.
+    fn assert_plan_valid(report: &LoadReport, built: &MigrationPlan) {
+        let mut members: Vec<usize> = report.groups.iter().map(|g| g.members).collect();
+        let mut drained = std::collections::BTreeSet::new();
+        let mut drains_started = false;
+        for op in &built.ops {
+            match *op {
+                PlanOp::Join { group } => {
+                    assert!(
+                        !drains_started,
+                        "join after drain breaks the ordering: {:?}",
+                        built.ops
+                    );
+                    members[group] += 1;
+                }
+                PlanOp::Drain { node } => {
+                    drains_started = true;
+                    assert!(drained.insert(node), "node {node:?} drained twice");
+                    let load = &report.nodes[node.0 as usize];
+                    assert_eq!(load.role, NodeRole::Serving);
+                    assert!(load.alive);
+                    let group = load.group.expect("drained node has a group");
+                    assert!(
+                        members[group] > report.replicas,
+                        "drain of {node:?} breaches the floor in group {group}"
+                    );
+                    members[group] -= 1;
+                }
+            }
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Any reachable cluster shape (extra members, skewed write
+            /// load, planted read heat) yields multi-op plans that are
+            /// ordered join-before-drain and never breach the group
+            /// floor when replayed op by op.
+            #[test]
+            fn multi_op_plans_stay_valid(
+                keys in 8u32..48,
+                extra in proptest::collection::vec(0usize..2, 0..5),
+                heat_group in 0usize..2,
+                heat in 0u64..(8 << 20),
+                max_moves in 1usize..4,
+                goal_pick in 0u8..3,
+            ) {
+                let mut m = Mint::new(MintConfig::tiny());
+                let ops: Vec<WriteOp> = (0..keys)
+                    .map(|i| WriteOp {
+                        key: Bytes::from(format!("key-{i:04}")),
+                        version: 1,
+                        value: Some(Bytes::from(format!("value-{i}"))),
+                    })
+                    .collect();
+                m.apply(&ops).unwrap();
+                for group in extra {
+                    m.add_node(group).unwrap();
+                }
+                let mut report = LoadReport::snapshot(&m);
+                if heat > 0 {
+                    report.groups[heat_group].read_heat = heat;
+                }
+                let goal = match goal_pick {
+                    0 => TopologyGoal::BalanceGroups { max_moves },
+                    1 => TopologyGoal::DrainDatacenter,
+                    _ => TopologyGoal::RebalanceHot,
+                };
+                let built = plan(&report, goal).unwrap();
+                if let TopologyGoal::BalanceGroups { max_moves } = goal {
+                    prop_assert!(built.ops.len() <= 2 * max_moves);
+                }
+                assert_plan_valid(&report, &built);
+            }
+        }
     }
 }
